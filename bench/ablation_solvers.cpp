@@ -1,0 +1,58 @@
+// Ablation: RPCA solver choice (APG — the paper's — vs IALM vs the
+// hard rank-1 alternating solver) on synthetic low-rank + sparse
+// instances shaped like TP-matrices: recovery quality, Norm(N_E)
+// fidelity and runtime.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "rpca/validation.hpp"
+#include "support/stopwatch.hpp"
+
+using namespace netconst;
+
+int main() {
+  print_banner(std::cout,
+               "Ablation: RPCA solvers on planted rank-1 + sparse "
+               "TP-matrix instances");
+  ConsoleTable table({"rows_x_cols", "sparsity", "solver", "low_rank_err",
+                      "support_f1", "iterations", "seconds"});
+
+  Rng rng(2718);
+  for (const auto& [rows, cols] :
+       {std::pair{10, 256}, std::pair{10, 1024}, std::pair{20, 4096}}) {
+    for (const double sparsity : {0.02, 0.10}) {
+      rpca::SyntheticSpec spec;
+      spec.rows = static_cast<std::size_t>(rows);
+      spec.cols = static_cast<std::size_t>(cols);
+      spec.rank = 1;
+      spec.sparsity = sparsity;
+      spec.sparse_magnitude = 6.0;
+      Rng instance_rng = rng.split();
+      const rpca::SyntheticProblem problem =
+          rpca::make_synthetic(spec, instance_rng);
+
+      for (const auto solver : {rpca::Solver::Apg, rpca::Solver::Ialm,
+                                rpca::Solver::RankOne}) {
+        const rpca::Result result = rpca::solve(problem.data, solver);
+        const rpca::RecoveryError err = rpca::measure_recovery(
+            problem, result.low_rank, result.sparse);
+        table.add_row({std::to_string(rows) + "x" + std::to_string(cols),
+                       ConsoleTable::cell(sparsity, 2),
+                       rpca::solver_name(solver),
+                       ConsoleTable::cell(err.low_rank_error, 4),
+                       ConsoleTable::cell(err.support_f1, 3),
+                       std::to_string(result.iterations),
+                       ConsoleTable::cell(result.solve_seconds, 3)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: all three recover the planted rank-1 "
+               "component; IALM converges in the fewest iterations; the "
+               "hard rank-1 solver — which gets the true rank as prior "
+               "knowledge, unlike the convex solvers — is both cheapest "
+               "(no SVD) and the most exact on these instances. The "
+               "paper's APG remains the safe default when the rank is "
+               "not known to be one.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared helpers for the figure-reproduction harnesses.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "support/statistics.hpp"
+#include "support/table.hpp"
+
+namespace netconst::bench {
+
+/// Print an empirical CDF as a two-column table (the paper's CDF plots).
+inline void print_cdf(const std::string& title,
+                      const std::vector<double>& samples,
+                      std::size_t points = 12) {
+  print_banner(std::cout, title);
+  ConsoleTable table({"elapsed_s", "P(X<=x)"});
+  for (const auto& point : empirical_cdf(samples, points)) {
+    table.add_row({ConsoleTable::cell(point.value, 4),
+                   ConsoleTable::cell(point.probability, 3)});
+  }
+  table.print(std::cout);
+}
+
+/// Print per-strategy means normalized to a reference strategy
+/// (the paper's "normalized to the average of Baseline" bars).
+inline void print_normalized(const std::string& title,
+                             const core::CampaignResult& result,
+                             core::Strategy reference) {
+  print_banner(std::cout, title);
+  ConsoleTable table(
+      {"strategy", "mean_s", "normalized", "improvement_vs_ref"});
+  for (const auto& [strategy, samples] : result.times) {
+    table.add_row(
+        {core::strategy_name(strategy),
+         ConsoleTable::cell(mean(samples), 4),
+         ConsoleTable::cell(result.normalized_mean(strategy, reference), 3),
+         ConsoleTable::cell_percent(
+             result.improvement_over(strategy, reference))});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace netconst::bench

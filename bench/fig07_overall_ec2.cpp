@@ -1,0 +1,126 @@
+// Figure 7: overall comparison on the EC2-like cloud — broadcast,
+// scatter and topology mapping under Baseline / Heuristics / RPCA,
+// normalized to Baseline, plus the broadcast CDF. The paper reports
+// RPCA 32-40% over Baseline and 8-10% over Heuristics at
+// Norm(N_E) ~ 0.1, and a trace-replay accuracy check (Section V-D3).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "cloud/synthetic.hpp"
+#include "core/experiment.hpp"
+
+using namespace netconst;
+using netconst::bench::print_cdf;
+using netconst::bench::print_normalized;
+
+namespace {
+
+cloud::SyntheticCloudConfig ec2_like(std::size_t n) {
+  cloud::SyntheticCloudConfig config;
+  config.cluster_size = n;
+  config.datacenter_racks = 32;
+  // Interference tuned so RPCA measures Norm(N_E) ~ 0.1, the paper's
+  // EC2 reading ("relatively stable"): ~5% per-pair spike duty plus
+  // rare rack-level congestion events.
+  config.mean_quiet_duration = 5500.0;
+  config.mean_spike_duration = 300.0;
+  config.mean_rack_quiet_duration = 20000.0;
+  config.mean_rack_congestion_duration = 300.0;
+  config.seed = 20130801;  // the paper's August 2013 campaign, in spirit
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kInstances = 96;
+  constexpr std::size_t kRepeats = 100;
+
+  // --- collectives ---
+  for (const auto op :
+       {collective::Collective::Broadcast, collective::Collective::Scatter}) {
+    cloud::SyntheticCloud provider(ec2_like(kInstances));
+    core::CampaignOptions options;
+    options.op = op;
+    options.repeats = kRepeats;
+    options.calibration.time_step = 10;
+    options.calibration.interval = 600.0;
+    options.seed = 5;
+    const core::CampaignResult result =
+        run_collective_campaign(provider, options);
+    print_normalized(std::string("Figure 7a: ") +
+                         collective::collective_name(op) +
+                         " (96 instances, normalized to Baseline)",
+                     result, core::Strategy::Baseline);
+    std::cout << "Norm(N_E) measured by RPCA: "
+              << ConsoleTable::cell(result.error_norm, 3) << "\n";
+    if (op == collective::Collective::Broadcast) {
+      print_cdf("Figure 7b: CDF of broadcast elapsed time (RPCA)",
+                result.times.at(core::Strategy::Rpca));
+      print_cdf("Figure 7b: CDF of broadcast elapsed time (Baseline)",
+                result.times.at(core::Strategy::Baseline));
+    }
+  }
+
+  // --- topology mapping ---
+  {
+    cloud::SyntheticCloud provider(ec2_like(kInstances));
+    core::MappingCampaignOptions options;
+    options.repeats = kRepeats;
+    options.calibration.time_step = 10;
+    options.calibration.interval = 600.0;
+    options.seed = 6;
+    const core::CampaignResult result =
+        run_mapping_campaign(provider, options);
+    print_normalized(
+        "Figure 7a: topology mapping (96 instances, normalized to "
+        "Baseline)",
+        result, core::Strategy::Baseline);
+  }
+
+  // --- trace-replay accuracy (Section V-D3) ---
+  {
+    cloud::SyntheticCloud provider(ec2_like(48));
+    core::CampaignOptions options;
+    options.repeats = 40;
+    options.calibration.time_step = 10;
+    options.calibration.interval = 600.0;
+    options.strategies = {core::Strategy::Baseline, core::Strategy::Rpca};
+    options.seed = 8;
+    // "Measured": score against a fresh oracle sample (default timer).
+    const core::CampaignResult measured =
+        run_collective_campaign(provider, options);
+    // "Replayed": score against the constant component only (the alpha-
+    // beta estimate a replay would produce without live dynamics).
+    cloud::SyntheticCloud provider2(ec2_like(48));
+    core::CampaignOptions replay_options = options;
+    replay_options.timer = [&](const collective::CommTree& tree,
+                               const netmodel::PerformanceMatrix&) {
+      return collective::collective_time(
+          tree, provider2.oracle_snapshot(), replay_options.op,
+          replay_options.bytes);
+    };
+    const core::CampaignResult replayed =
+        run_collective_campaign(provider2, replay_options);
+
+    print_banner(std::cout,
+                 "Section V-D3: trace-replay estimation accuracy");
+    ConsoleTable table({"strategy", "measured_s", "replayed_s",
+                        "relative_difference"});
+    for (const auto strategy :
+         {core::Strategy::Baseline, core::Strategy::Rpca}) {
+      const double m = measured.mean_time(strategy);
+      const double r = replayed.mean_time(strategy);
+      table.add_row({core::strategy_name(strategy),
+                     ConsoleTable::cell(m, 4), ConsoleTable::cell(r, 4),
+                     ConsoleTable::cell_percent(std::abs(m - r) / m)});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: Heuristics and RPCA both well below "
+               "Baseline (tens of percent); RPCA below Heuristics by a "
+               "further margin; replay estimates within ~20% of "
+               "measurements.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 9: real-world applications.
+//  (a) CG: time breakdown vs vector size — at small sizes calibration
+//      overhead makes RPCA slower than Baseline; at large sizes the
+//      communication savings dominate (paper: 31% over Baseline, 14%
+//      over Heuristics).
+//  (b) N-body vs #Step (fixed 1 MB messages).
+//  (c) N-body vs message size (fixed 2560 steps).
+#include <iostream>
+
+#include "apps/nbody.hpp"
+#include "bench_util.hpp"
+#include "cloud/synthetic.hpp"
+#include "core/experiment.hpp"
+
+using namespace netconst;
+
+namespace {
+
+cloud::SyntheticCloud make_provider(std::uint64_t seed) {
+  cloud::SyntheticCloudConfig config;
+  config.cluster_size = 32;
+  config.datacenter_racks = 16;
+  config.seed = seed;
+  return cloud::SyntheticCloud(config);
+}
+
+core::AppCampaignOptions app_options() {
+  core::AppCampaignOptions options;
+  options.calibration.time_step = 10;
+  options.calibration.interval = 10.0;
+  return options;
+}
+
+void print_breakdown(const std::string& label,
+                     const std::map<core::Strategy, core::AppBreakdown>&
+                         result) {
+  ConsoleTable table({"case", "strategy", "compute_s", "comm_s",
+                      "overhead_s", "total_s"});
+  for (const auto& [strategy, b] : result) {
+    table.add_row({label, core::strategy_name(strategy),
+                   ConsoleTable::cell(b.compute_seconds, 2),
+                   ConsoleTable::cell(b.communication_seconds, 2),
+                   ConsoleTable::cell(b.overhead_seconds, 2),
+                   ConsoleTable::cell(b.total(), 2)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  // --- (a) CG vs vector size ---
+  print_banner(std::cout, "Figure 9a: CG time breakdown vs vector size "
+                          "(32 instances)");
+  for (const std::size_t grid : {32u, 256u, 1012u}) {
+    // Vector size = grid^2 (1024 .. ~1024000, the paper's range);
+    // iterations come from the real CG solve on the 2-D Laplacian.
+    const apps::CsrMatrix a = apps::laplacian_2d(grid, grid);
+    std::vector<double> b(grid * grid, 1.0);
+    const apps::DistributedProfile profile = apps::cg_profile(a, b, 32);
+    auto provider = make_provider(13);
+    const auto result = run_app_campaign(provider, profile, app_options());
+    print_breakdown("CG n=" + std::to_string(grid * grid) + " iters=" +
+                        std::to_string(profile.rounds),
+                    result);
+  }
+
+  // --- (b) N-body vs #Step ---
+  print_banner(std::cout,
+               "Figure 9b: N-body time breakdown vs #Step (1 MiB "
+               "messages, 32 instances)");
+  for (const std::size_t steps : {10u, 160u, 2560u}) {
+    const apps::DistributedProfile profile =
+        apps::nbody_profile(4096, steps, 1 << 20, 32);
+    auto provider = make_provider(14);
+    const auto result = run_app_campaign(provider, profile, app_options());
+    print_breakdown("N-body steps=" + std::to_string(steps), result);
+  }
+
+  // --- (c) N-body vs message size ---
+  print_banner(std::cout,
+               "Figure 9c: N-body time breakdown vs message size "
+               "(2560 steps, 32 instances)");
+  for (const std::uint64_t bytes : {std::uint64_t{1} << 10,
+                                    std::uint64_t{1} << 15,
+                                    std::uint64_t{1} << 20}) {
+    const apps::DistributedProfile profile =
+        apps::nbody_profile(4096, 2560, bytes, 32);
+    auto provider = make_provider(15);
+    const auto result = run_app_campaign(provider, profile, app_options());
+    print_breakdown("N-body msg=" + std::to_string(bytes) + "B", result);
+  }
+
+  std::cout << "\nExpected shape: at tiny problem sizes the calibration "
+               "overhead makes RPCA lose to Baseline; as rounds/message "
+               "sizes grow, RPCA's communication savings dominate "
+               "(double-digit percent totals).\n";
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Figure 10: impact of Norm(N_E) on the expected improvement, using the
+// paper's own method: capture a calibration trace on the cloud, inject
+// random noise (increase or decrease) until RPCA measures the target
+// Norm(N_E), then replay — plan from the first `time step` rows, score
+// every later row as the network reality at run time.
+//
+// Paper shape: improvement over Baseline >40% below Norm 0.1 and <20%
+// above 0.2; the RPCA-vs-Heuristics gap grows with Norm(N_E).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "cloud/calibration.hpp"
+#include "cloud/synthetic.hpp"
+#include "core/constant_finder.hpp"
+#include "core/heuristics.hpp"
+#include "core/noise.hpp"
+#include "core/strategy.hpp"
+#include "mapping/mapping.hpp"
+#include "support/statistics.hpp"
+
+using namespace netconst;
+
+namespace {
+
+constexpr std::size_t kInstances = 48;
+constexpr std::size_t kPlanRows = 10;  // the paper's time step
+constexpr std::uint64_t kBytes = 8ull << 20;
+
+struct ReplayScores {
+  double baseline = 0.0;
+  double heuristics = 0.0;
+  double rpca = 0.0;
+};
+
+// Replay one noisy trace: plan on the first kPlanRows, score the rest.
+ReplayScores replay_collective(const netmodel::TemporalPerformance& noisy,
+                               collective::Collective op, Rng& rng) {
+  netmodel::TemporalPerformance window;
+  for (std::size_t r = 0; r < kPlanRows; ++r) {
+    window.append(noisy.time_at(r), noisy.snapshot(r));
+  }
+  const auto component = core::find_constant(window);
+  const auto mean_matrix =
+      core::heuristic_matrix(window, core::HeuristicKind::Mean);
+
+  std::vector<double> base, heur, rpca;
+  for (std::size_t r = kPlanRows; r < noisy.row_count(); ++r) {
+    const auto root = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kInstances) - 1));
+    const netmodel::PerformanceMatrix& reality = noisy.snapshot(r);
+    core::PlanContext ctx;
+    ctx.bytes = kBytes;
+    base.push_back(collective::collective_time(
+        core::plan_tree(core::Strategy::Baseline, kInstances, root, ctx),
+        reality, op, kBytes));
+    ctx.guidance = &mean_matrix;
+    heur.push_back(collective::collective_time(
+        core::plan_tree(core::Strategy::Heuristics, kInstances, root, ctx),
+        reality, op, kBytes));
+    ctx.guidance = &component.constant;
+    rpca.push_back(collective::collective_time(
+        core::plan_tree(core::Strategy::Rpca, kInstances, root, ctx),
+        reality, op, kBytes));
+  }
+  return {mean(base), mean(heur), mean(rpca)};
+}
+
+ReplayScores replay_mapping(const netmodel::TemporalPerformance& noisy,
+                            Rng& rng) {
+  netmodel::TemporalPerformance window;
+  for (std::size_t r = 0; r < kPlanRows; ++r) {
+    window.append(noisy.time_at(r), noisy.snapshot(r));
+  }
+  const auto component = core::find_constant(window);
+  const auto mean_matrix =
+      core::heuristic_matrix(window, core::HeuristicKind::Mean);
+
+  std::vector<double> base, heur, rpca;
+  for (std::size_t r = kPlanRows; r < noisy.row_count(); ++r) {
+    const auto tasks = mapping::random_task_graph(
+        kInstances, rng, 5.0 * 1024 * 1024, 10.0 * 1024 * 1024, 0.2);
+    const netmodel::PerformanceMatrix& reality = noisy.snapshot(r);
+    core::PlanContext ctx;
+    base.push_back(mapping::mapping_volume_cost(
+        core::plan_mapping(core::Strategy::Baseline, tasks, ctx), tasks,
+        reality));
+    ctx.guidance = &mean_matrix;
+    heur.push_back(mapping::mapping_volume_cost(
+        core::plan_mapping(core::Strategy::Heuristics, tasks, ctx), tasks,
+        reality));
+    ctx.guidance = &component.constant;
+    rpca.push_back(mapping::mapping_volume_cost(
+        core::plan_mapping(core::Strategy::Rpca, tasks, ctx), tasks,
+        reality));
+  }
+  return {mean(base), mean(heur), mean(rpca)};
+}
+
+}  // namespace
+
+int main() {
+  // Capture a 40-row trace (one calibration every 30 simulated minutes)
+  // on a quiet cloud; all dynamics then come from the injected noise,
+  // exactly as in the paper's replay methodology.
+  cloud::SyntheticCloudConfig config;
+  config.cluster_size = kInstances;
+  config.datacenter_racks = 16;
+  config.mean_quiet_duration = 1e9;  // noise comes from the injector
+  config.seed = 4242;
+  cloud::SyntheticCloud provider(config);
+  cloud::SeriesOptions series_options;
+  series_options.time_step = 40;
+  series_options.interval = 1800.0;
+  const auto captured = cloud::calibrate_series(provider, series_options);
+
+  print_banner(std::cout,
+               "Figure 10a: expected improvement vs Norm(N_E) "
+               "(48 instances, trace replay with injected noise)");
+  ConsoleTable table({"target_norm", "achieved_norm", "bcast_improv",
+                      "scatter_improv", "mapping_improv"});
+  ConsoleTable table_b({"achieved_norm", "rpca_vs_heuristics_bcast"});
+
+  for (const double target : {0.05, 0.1, 0.2, 0.3, 0.5}) {
+    Rng noise_rng(1000 + static_cast<std::uint64_t>(target * 100));
+    const auto noisy =
+        core::inject_noise_to_norm(captured.series, target, noise_rng);
+
+    Rng replay_rng(17);
+    const ReplayScores bcast = replay_collective(
+        noisy.series, collective::Collective::Broadcast, replay_rng);
+    const ReplayScores scatter = replay_collective(
+        noisy.series, collective::Collective::Scatter, replay_rng);
+    const ReplayScores map = replay_mapping(noisy.series, replay_rng);
+
+    table.add_row({ConsoleTable::cell(target, 2),
+                   ConsoleTable::cell(noisy.achieved_norm, 3),
+                   ConsoleTable::cell_percent(1.0 - bcast.rpca /
+                                              bcast.baseline),
+                   ConsoleTable::cell_percent(1.0 - scatter.rpca /
+                                              scatter.baseline),
+                   ConsoleTable::cell_percent(1.0 - map.rpca /
+                                              map.baseline)});
+    table_b.add_row({ConsoleTable::cell(noisy.achieved_norm, 3),
+                     ConsoleTable::cell_percent(1.0 - bcast.rpca /
+                                                bcast.heuristics)});
+  }
+  table.print(std::cout);
+
+  print_banner(std::cout,
+               "Figure 10b: RPCA improvement over Heuristics vs "
+               "Norm(N_E) (broadcast)");
+  table_b.print(std::cout);
+
+  std::cout << "\nExpected shape: improvement over Baseline decreases "
+               "as Norm(N_E) grows (large when small, <20% when above "
+               "~0.2); the RPCA-vs-Heuristics gap widens with N_E "
+               "before both collapse at extreme dynamics.\n";
+  return 0;
+}

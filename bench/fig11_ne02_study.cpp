@@ -1,0 +1,146 @@
+// Figure 11: detailed study at Norm(N_E) = 0.2 — more dynamic than the
+// real EC2 environment — using the paper's trace-replay-with-injected-
+// noise method (same as Figure 10). Paper: RPCA outperforms Baseline by
+// 20-28% and Heuristics by 12-20%; the broadcast CDF shows the whole
+// distribution shifting left.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "cloud/calibration.hpp"
+#include "cloud/synthetic.hpp"
+#include "core/constant_finder.hpp"
+#include "core/heuristics.hpp"
+#include "core/noise.hpp"
+#include "core/strategy.hpp"
+#include "mapping/mapping.hpp"
+#include "support/statistics.hpp"
+
+using namespace netconst;
+using netconst::bench::print_cdf;
+
+namespace {
+
+constexpr std::size_t kInstances = 48;
+constexpr std::size_t kPlanRows = 10;
+constexpr std::uint64_t kBytes = 8ull << 20;
+
+}  // namespace
+
+int main() {
+  // Capture a clean 50-row trace and inject symmetric noise to
+  // Norm(N_E) ~ 0.2.
+  cloud::SyntheticCloudConfig config;
+  config.cluster_size = kInstances;
+  config.datacenter_racks = 16;
+  config.mean_quiet_duration = 1e9;
+  config.seed = 2020;
+  cloud::SyntheticCloud provider(config);
+  cloud::SeriesOptions series_options;
+  series_options.time_step = 50;
+  series_options.interval = 1800.0;
+  const auto captured = cloud::calibrate_series(provider, series_options);
+
+  Rng noise_rng(21);
+  const auto noisy =
+      core::inject_noise_to_norm(captured.series, 0.2, noise_rng);
+  std::cout << "achieved Norm(N_E): "
+            << ConsoleTable::cell(noisy.achieved_norm, 3) << "\n";
+
+  // Plan from the first kPlanRows rows.
+  netmodel::TemporalPerformance window;
+  for (std::size_t r = 0; r < kPlanRows; ++r) {
+    window.append(noisy.series.time_at(r), noisy.series.snapshot(r));
+  }
+  const auto component = core::find_constant(window);
+  const auto mean_matrix =
+      core::heuristic_matrix(window, core::HeuristicKind::Mean);
+
+  // Replay collectives on the remaining rows.
+  for (const auto op : {collective::Collective::Broadcast,
+                        collective::Collective::Scatter}) {
+    Rng rng(22);
+    std::vector<double> base, heur, rpca;
+    for (std::size_t r = kPlanRows; r < noisy.series.row_count(); ++r) {
+      const auto root = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(kInstances) - 1));
+      const auto& reality = noisy.series.snapshot(r);
+      core::PlanContext ctx;
+      ctx.bytes = kBytes;
+      base.push_back(collective::collective_time(
+          core::plan_tree(core::Strategy::Baseline, kInstances, root, ctx),
+          reality, op, kBytes));
+      ctx.guidance = &mean_matrix;
+      heur.push_back(collective::collective_time(
+          core::plan_tree(core::Strategy::Heuristics, kInstances, root,
+                          ctx),
+          reality, op, kBytes));
+      ctx.guidance = &component.constant;
+      rpca.push_back(collective::collective_time(
+          core::plan_tree(core::Strategy::Rpca, kInstances, root, ctx),
+          reality, op, kBytes));
+    }
+    print_banner(std::cout,
+                 std::string("Figure 11a: ") +
+                     collective::collective_name(op) +
+                     " at Norm(N_E)~0.2 (normalized to Baseline)");
+    ConsoleTable table({"strategy", "mean_s", "normalized",
+                        "improvement_vs_baseline"});
+    const double base_mean = mean(base);
+    for (const auto& [name, samples] :
+         {std::pair{"Baseline", &base}, std::pair{"Heuristics", &heur},
+          std::pair{"RPCA", &rpca}}) {
+      const double m = mean(*samples);
+      table.add_row({name, ConsoleTable::cell(m, 4),
+                     ConsoleTable::cell(m / base_mean, 3),
+                     ConsoleTable::cell_percent(1.0 - m / base_mean)});
+    }
+    table.print(std::cout);
+    std::cout << "RPCA improvement over Heuristics: "
+              << ConsoleTable::cell_percent(1.0 - mean(rpca) / mean(heur))
+              << "\n";
+    if (op == collective::Collective::Broadcast) {
+      print_cdf("Figure 11b: broadcast CDF (Baseline)", base);
+      print_cdf("Figure 11b: broadcast CDF (Heuristics)", heur);
+      print_cdf("Figure 11b: broadcast CDF (RPCA)", rpca);
+    }
+  }
+
+  // Topology mapping under the same noisy reality.
+  {
+    Rng rng(23);
+    std::vector<double> base, heur, rpca;
+    for (std::size_t r = kPlanRows; r < noisy.series.row_count(); ++r) {
+      const auto tasks = mapping::random_task_graph(
+          kInstances, rng, 5.0 * 1024 * 1024, 10.0 * 1024 * 1024, 0.2);
+      const auto& reality = noisy.series.snapshot(r);
+      core::PlanContext ctx;
+      base.push_back(mapping::mapping_volume_cost(
+          core::plan_mapping(core::Strategy::Baseline, tasks, ctx), tasks,
+          reality));
+      ctx.guidance = &mean_matrix;
+      heur.push_back(mapping::mapping_volume_cost(
+          core::plan_mapping(core::Strategy::Heuristics, tasks, ctx),
+          tasks, reality));
+      ctx.guidance = &component.constant;
+      rpca.push_back(mapping::mapping_volume_cost(
+          core::plan_mapping(core::Strategy::Rpca, tasks, ctx), tasks,
+          reality));
+    }
+    print_banner(std::cout,
+                 "Figure 11a: topology mapping at Norm(N_E)~0.2");
+    ConsoleTable table({"strategy", "mean_cost", "normalized"});
+    const double base_mean = mean(base);
+    for (const auto& [name, samples] :
+         {std::pair{"Baseline", &base}, std::pair{"Heuristics", &heur},
+          std::pair{"RPCA", &rpca}}) {
+      table.add_row({name, ConsoleTable::cell(mean(*samples), 4),
+                     ConsoleTable::cell(mean(*samples) / base_mean, 3)});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: improvements smaller than at "
+               "Norm(N_E)~0.1 but RPCA still clearly ahead of "
+               "Heuristics; CDFs ordered RPCA < Heuristics < Baseline.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Google-benchmark microbenchmarks for the per-operation hot paths of
+// the pipeline: FNF tree construction, collective cost evaluation,
+// greedy mapping, and the synthetic cloud's oracle sampling.
+#include <benchmark/benchmark.h>
+
+#include "cloud/synthetic.hpp"
+#include "collective/collective_ops.hpp"
+#include "collective/fnf.hpp"
+#include "core/heuristics.hpp"
+#include "mapping/mapping.hpp"
+
+namespace {
+
+using namespace netconst;
+
+cloud::SyntheticCloud make_cloud(std::size_t n) {
+  cloud::SyntheticCloudConfig config;
+  config.cluster_size = n;
+  config.seed = 5;
+  return cloud::SyntheticCloud(config);
+}
+
+void BM_FnfTree(benchmark::State& state) {
+  auto cloud = make_cloud(static_cast<std::size_t>(state.range(0)));
+  const auto snap = cloud.oracle_snapshot();
+  const auto weights = snap.weight_matrix(8ull << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collective::fnf_tree(weights, 0));
+  }
+}
+BENCHMARK(BM_FnfTree)->Arg(32)->Arg(64)->Arg(196);
+
+void BM_CollectiveCost(benchmark::State& state) {
+  auto cloud = make_cloud(static_cast<std::size_t>(state.range(0)));
+  const auto snap = cloud.oracle_snapshot();
+  const auto tree =
+      collective::fnf_tree(snap.weight_matrix(8ull << 20), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collective::collective_time(
+        tree, snap, collective::Collective::Broadcast, 8ull << 20));
+  }
+}
+BENCHMARK(BM_CollectiveCost)->Arg(32)->Arg(64)->Arg(196);
+
+void BM_GreedyMapping(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto cloud = make_cloud(n);
+  const auto snap = cloud.oracle_snapshot();
+  Rng rng(6);
+  const auto tasks = mapping::random_task_graph(n, rng);
+  const auto machines = mapping::MachineGraph::from_performance(snap);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapping::greedy_mapping(tasks, machines));
+  }
+}
+BENCHMARK(BM_GreedyMapping)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_OracleSnapshot(benchmark::State& state) {
+  auto cloud = make_cloud(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cloud.oracle_snapshot());
+    cloud.advance(1.0);
+  }
+}
+BENCHMARK(BM_OracleSnapshot)->Arg(64)->Arg(196);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Google-benchmark microbenchmarks for the flow simulator: event
+// throughput under background load, max-min rate recomputation cost,
+// and the analytic probe — the quantities that bound how large a
+// simulated campaign can get.
+#include <benchmark/benchmark.h>
+
+#include "simnet/simulator.hpp"
+
+namespace {
+
+using namespace netconst;
+using namespace netconst::simnet;
+
+FlowSimulator loaded_simulator(std::size_t racks, std::size_t servers,
+                               int sources, double mean_wait) {
+  TreeSpec spec;
+  spec.racks = racks;
+  spec.servers_per_rack = servers;
+  FlowSimulator sim(make_tree_topology(spec), Rng(7));
+  Rng rng(8);
+  const auto hosts = sim.topology().hosts();
+  const auto limit = static_cast<std::int64_t>(hosts.size()) - 1;
+  for (int k = 0; k < sources; ++k) {
+    BackgroundSource bg;
+    bg.src = hosts[static_cast<std::size_t>(rng.uniform_int(0, limit))];
+    do {
+      bg.dst = hosts[static_cast<std::size_t>(rng.uniform_int(0, limit))];
+    } while (bg.dst == bg.src);
+    bg.bytes = 10 << 20;
+    bg.mean_wait = mean_wait;
+    sim.add_background_source(bg);
+  }
+  sim.advance_to(5.0);
+  return sim;
+}
+
+void BM_AdvanceUnderBackgroundLoad(benchmark::State& state) {
+  auto sim = loaded_simulator(8, 8, static_cast<int>(state.range(0)), 1.0);
+  for (auto _ : state) {
+    sim.advance_to(sim.now() + 1.0);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " sources");
+}
+BENCHMARK(BM_AdvanceUnderBackgroundLoad)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_MeasureTransferUnderLoad(benchmark::State& state) {
+  auto sim = loaded_simulator(8, 8, 64, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.measure_transfer(0, 37, 1 << 20));
+  }
+}
+BENCHMARK(BM_MeasureTransferUnderLoad);
+
+void BM_ProbeRate(benchmark::State& state) {
+  auto sim = loaded_simulator(32, 32, static_cast<int>(state.range(0)),
+                              2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.probe_rate(0, 555));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " sources");
+}
+BENCHMARK(BM_ProbeRate)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Trace tooling: record a calibration trace from the synthetic cloud,
+// persist it to CSV, reload it, and replay an experiment against the
+// recording — the paper's repeatable-experiment workflow as a small CLI.
+//
+//   trace_tools record <path.csv> [instances] [rows]
+//   trace_tools info   <path.csv>
+//   trace_tools replay <path.csv>
+//
+// Build & run:  ./build/examples/trace_tools record /tmp/trace.csv
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "cloud/calibration.hpp"
+#include "cloud/synthetic.hpp"
+#include "cloud/trace_replay.hpp"
+#include "collective/binomial.hpp"
+#include "collective/collective_ops.hpp"
+#include "collective/fnf.hpp"
+#include "core/constant_finder.hpp"
+#include "support/table.hpp"
+
+using namespace netconst;
+
+namespace {
+
+int record(const std::string& path, std::size_t instances,
+           std::size_t rows) {
+  cloud::SyntheticCloudConfig config;
+  config.cluster_size = instances;
+  config.datacenter_racks = 16;
+  config.seed = 9000;
+  cloud::SyntheticCloud cloud(config);
+  cloud::SeriesOptions options;
+  options.time_step = rows;
+  options.interval = 1800.0;
+  const auto series = cloud::calibrate_series(cloud, options);
+  netmodel::Trace trace(series.series);
+  trace.save_csv(path);
+  std::cout << "recorded " << trace.snapshot_count() << " snapshots of a "
+            << trace.cluster_size() << "-VM cluster ("
+            << series.elapsed_seconds / 60.0 << " simulated minutes) to "
+            << path << "\n";
+  return 0;
+}
+
+int info(const std::string& path) {
+  const netmodel::Trace trace = netmodel::Trace::load_csv(path);
+  std::cout << "trace: " << trace.snapshot_count() << " snapshots, "
+            << trace.cluster_size() << " VMs, spanning "
+            << trace.duration() / 3600.0 << " hours\n";
+  const auto component = core::find_constant(trace.series());
+  std::cout << "Norm(N_E) = " << component.error_norm
+            << ", latency-layer norm = " << component.latency_error_norm
+            << ", RPCA solve " << component.solve_seconds << " s\n";
+  return 0;
+}
+
+int replay(const std::string& path) {
+  const netmodel::Trace trace = netmodel::Trace::load_csv(path);
+  cloud::TraceReplayProvider provider(trace);
+  const std::size_t n = provider.cluster_size();
+  const auto component = core::find_constant(trace.series());
+
+  constexpr std::uint64_t kBytes = 8ull << 20;
+  const auto fnf = collective::fnf_tree(
+      component.constant.weight_matrix(kBytes), 0);
+  const auto binomial = collective::binomial_tree(n, 0);
+
+  ConsoleTable table({"snapshot_time_h", "binomial_s", "fnf_rpca_s"});
+  for (std::size_t r = 0; r < trace.snapshot_count(); ++r) {
+    const auto& snap = trace.series().snapshot(r);
+    table.add_row(
+        {ConsoleTable::cell(trace.series().time_at(r) / 3600.0, 2),
+         ConsoleTable::cell(collective::collective_time(
+             binomial, snap, collective::Collective::Broadcast, kBytes),
+             4),
+         ConsoleTable::cell(collective::collective_time(
+             fnf, snap, collective::Collective::Broadcast, kBytes), 4)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: trace_tools record|info|replay <path.csv> "
+                 "[instances] [rows]\n";
+    return 2;
+  }
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+  try {
+    if (command == "record") {
+      const std::size_t instances =
+          argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 16;
+      const std::size_t rows =
+          argc > 4 ? static_cast<std::size_t>(std::atoi(argv[4])) : 10;
+      return record(path, instances, rows);
+    }
+    if (command == "info") return info(path);
+    if (command == "replay") return replay(path);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown command: " << command << "\n";
+  return 2;
+}

@@ -1,0 +1,82 @@
+#include "apps/cg.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace netconst::apps {
+namespace {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                            const CgOptions& options) {
+  NETCONST_CHECK(a.rows() == a.cols(), "CG needs a square matrix");
+  NETCONST_CHECK(a.rows() == b.size(), "CG dimension mismatch");
+  const std::size_t n = a.rows();
+
+  CgResult result;
+  result.solution.assign(n, 0.0);
+  std::vector<double> r(b.begin(), b.end());  // r = b - A*0
+  std::vector<double> p = r;
+  std::vector<double> ap;
+
+  const double g0 = std::sqrt(dot(r, r));
+  if (g0 == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  const double stop = options.rel_tolerance * g0;
+
+  double rr = g0 * g0;
+  for (std::size_t k = 0; k < options.max_iterations; ++k) {
+    a.multiply(p, ap);
+    const double pap = dot(p, ap);
+    NETCONST_CHECK(pap > 0.0, "matrix is not positive definite");
+    const double alpha = rr / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      result.solution[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double rr_next = dot(r, r);
+    result.iterations = k + 1;
+    if (std::sqrt(rr_next) <= stop) {
+      result.converged = true;
+      rr = rr_next;
+      break;
+    }
+    const double beta = rr_next / rr;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rr = rr_next;
+  }
+  result.final_residual_norm = std::sqrt(rr);
+  return result;
+}
+
+DistributedProfile cg_profile(const CsrMatrix& a, std::span<const double> b,
+                              std::size_t instances, double flop_rate,
+                              const CgOptions& options) {
+  NETCONST_CHECK(instances >= 1, "need at least one instance");
+  NETCONST_CHECK(flop_rate > 0.0, "flop rate must be positive");
+  const CgResult solve = conjugate_gradient(a, b, options);
+
+  DistributedProfile profile;
+  profile.instances = instances;
+  profile.rounds = solve.iterations;
+  profile.bytes_per_member = static_cast<std::uint64_t>(
+      a.rows() * sizeof(double) / instances + 1);
+  const double flops_per_round =
+      2.0 * static_cast<double>(a.nonzeros()) +
+      10.0 * static_cast<double>(a.rows());
+  profile.compute_seconds_per_round =
+      flops_per_round / static_cast<double>(instances) / flop_rate;
+  return profile;
+}
+
+}  // namespace netconst::apps

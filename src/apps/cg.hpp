@@ -1,0 +1,55 @@
+// Conjugate gradient (Hestenes & Stiefel) — the paper's second
+// real-world application. The numerical method is implemented for real
+// (it is what fixes the iteration count the communication model needs);
+// the distributed execution profile mirrors the paper's setup: each
+// iteration's core is a distributed SpMV whose vector exchange is an
+// all-to-all implemented as gather + broadcast.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/sparse.hpp"
+
+namespace netconst::apps {
+
+struct CgResult {
+  std::vector<double> solution;
+  std::size_t iterations = 0;
+  double final_residual_norm = 0.0;
+  bool converged = false;
+};
+
+struct CgOptions {
+  /// Paper's convergence condition: ||r|| <= rel_tolerance * ||g0||.
+  double rel_tolerance = 1e-5;
+  std::size_t max_iterations = 10000;
+};
+
+/// Solve A x = b for SPD A. Throws ContractViolation on shape mismatch.
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                            const CgOptions& options = {});
+
+/// Distributed execution profile of one application: how many
+/// communication rounds it performs, how much each member contributes to
+/// the all-to-all per round, and how much local compute happens per
+/// round. The experiment harness combines this with a communication-time
+/// evaluator to produce the paper's compute/communication breakdowns.
+struct DistributedProfile {
+  std::size_t instances = 0;
+  std::size_t rounds = 0;                   // iterations / steps
+  std::uint64_t bytes_per_member = 0;       // all-to-all contribution
+  double compute_seconds_per_round = 0.0;   // modeled local compute
+};
+
+/// Profile of CG on `instances` VMs for a vector of `vector_size`
+/// doubles: rounds = the actual iteration count of solving the given
+/// system, per-member payload = vector_size * 8 / instances bytes,
+/// compute = (2 nnz + 10 n) flops per iteration / instances / flop_rate.
+DistributedProfile cg_profile(const CsrMatrix& a, std::span<const double> b,
+                              std::size_t instances,
+                              double flop_rate = 2e9,
+                              const CgOptions& options = {});
+
+}  // namespace netconst::apps

@@ -1,0 +1,129 @@
+#include "apps/nbody.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace netconst::apps {
+
+NBodySimulation::NBodySimulation(std::vector<Body> bodies,
+                                 double gravitational_constant,
+                                 double softening)
+    : bodies_(std::move(bodies)),
+      g_(gravitational_constant),
+      softening2_(softening * softening) {
+  NETCONST_CHECK(!bodies_.empty(), "need at least one body");
+  NETCONST_CHECK(softening > 0.0, "softening must be positive");
+  for (const Body& b : bodies_) {
+    NETCONST_CHECK(b.mass > 0.0, "masses must be positive");
+  }
+  acceleration_.assign(bodies_.size(), {0.0, 0.0, 0.0});
+  compute_accelerations();
+}
+
+void NBodySimulation::compute_accelerations() {
+  const std::size_t n = bodies_.size();
+  for (auto& a : acceleration_) a = {0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = bodies_[j].x - bodies_[i].x;
+      const double dy = bodies_[j].y - bodies_[i].y;
+      const double dz = bodies_[j].z - bodies_[i].z;
+      const double r2 = dx * dx + dy * dy + dz * dz + softening2_;
+      const double inv_r3 = 1.0 / (r2 * std::sqrt(r2));
+      const double fi = g_ * bodies_[j].mass * inv_r3;
+      const double fj = g_ * bodies_[i].mass * inv_r3;
+      acceleration_[i][0] += fi * dx;
+      acceleration_[i][1] += fi * dy;
+      acceleration_[i][2] += fi * dz;
+      acceleration_[j][0] -= fj * dx;
+      acceleration_[j][1] -= fj * dy;
+      acceleration_[j][2] -= fj * dz;
+    }
+  }
+}
+
+void NBodySimulation::step(double dt) {
+  NETCONST_CHECK(dt > 0.0, "time step must be positive");
+  // Kick-drift-kick leapfrog: symplectic, conserves energy well.
+  for (std::size_t i = 0; i < bodies_.size(); ++i) {
+    bodies_[i].vx += 0.5 * dt * acceleration_[i][0];
+    bodies_[i].vy += 0.5 * dt * acceleration_[i][1];
+    bodies_[i].vz += 0.5 * dt * acceleration_[i][2];
+    bodies_[i].x += dt * bodies_[i].vx;
+    bodies_[i].y += dt * bodies_[i].vy;
+    bodies_[i].z += dt * bodies_[i].vz;
+  }
+  compute_accelerations();
+  for (std::size_t i = 0; i < bodies_.size(); ++i) {
+    bodies_[i].vx += 0.5 * dt * acceleration_[i][0];
+    bodies_[i].vy += 0.5 * dt * acceleration_[i][1];
+    bodies_[i].vz += 0.5 * dt * acceleration_[i][2];
+  }
+}
+
+void NBodySimulation::run(std::size_t steps, double dt) {
+  for (std::size_t s = 0; s < steps; ++s) step(dt);
+}
+
+double NBodySimulation::total_energy() const {
+  double kinetic = 0.0, potential = 0.0;
+  const std::size_t n = bodies_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Body& b = bodies_[i];
+    kinetic += 0.5 * b.mass *
+               (b.vx * b.vx + b.vy * b.vy + b.vz * b.vz);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = bodies_[j].x - b.x;
+      const double dy = bodies_[j].y - b.y;
+      const double dz = bodies_[j].z - b.z;
+      const double r =
+          std::sqrt(dx * dx + dy * dy + dz * dz + softening2_);
+      potential -= g_ * b.mass * bodies_[j].mass / r;
+    }
+  }
+  return kinetic + potential;
+}
+
+std::array<double, 3> NBodySimulation::total_momentum() const {
+  std::array<double, 3> p{0.0, 0.0, 0.0};
+  for (const Body& b : bodies_) {
+    p[0] += b.mass * b.vx;
+    p[1] += b.mass * b.vy;
+    p[2] += b.mass * b.vz;
+  }
+  return p;
+}
+
+std::vector<Body> random_bodies(std::size_t count, Rng& rng) {
+  std::vector<Body> bodies(count);
+  for (Body& b : bodies) {
+    b.x = rng.normal(0.0, 1.0);
+    b.y = rng.normal(0.0, 1.0);
+    b.z = rng.normal(0.0, 1.0);
+    b.vx = rng.normal(0.0, 0.1);
+    b.vy = rng.normal(0.0, 0.1);
+    b.vz = rng.normal(0.0, 0.1);
+    b.mass = rng.uniform(0.5, 1.5);
+  }
+  return bodies;
+}
+
+DistributedProfile nbody_profile(std::size_t bodies, std::size_t steps,
+                                 std::uint64_t message_bytes,
+                                 std::size_t instances, double flop_rate) {
+  NETCONST_CHECK(instances >= 1, "need at least one instance");
+  NETCONST_CHECK(flop_rate > 0.0, "flop rate must be positive");
+  DistributedProfile profile;
+  profile.instances = instances;
+  profile.rounds = steps;
+  profile.bytes_per_member = message_bytes;
+  // ~20 flops per pair interaction, pairs split across instances.
+  const double flops_per_round =
+      20.0 * static_cast<double>(bodies) * static_cast<double>(bodies);
+  profile.compute_seconds_per_round =
+      flops_per_round / static_cast<double>(instances) / flop_rate;
+  return profile;
+}
+
+}  // namespace netconst::apps

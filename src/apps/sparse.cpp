@@ -1,0 +1,115 @@
+#include "apps/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace netconst::apps {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+  NETCONST_CHECK(rows > 0 && cols > 0, "empty matrix");
+  for (const Triplet& t : triplets) {
+    NETCONST_CHECK(t.row < rows && t.col < cols,
+                   "triplet index out of range");
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  row_ptr_.assign(rows + 1, 0);
+  for (std::size_t k = 0; k < triplets.size();) {
+    // Merge duplicates.
+    std::size_t end = k + 1;
+    double sum = triplets[k].value;
+    while (end < triplets.size() && triplets[end].row == triplets[k].row &&
+           triplets[end].col == triplets[k].col) {
+      sum += triplets[end].value;
+      ++end;
+    }
+    col_idx_.push_back(triplets[k].col);
+    values_.push_back(sum);
+    ++row_ptr_[triplets[k].row + 1];
+    k = end;
+  }
+  for (std::size_t r = 0; r < rows; ++r) row_ptr_[r + 1] += row_ptr_[r];
+}
+
+void CsrMatrix::multiply(std::span<const double> x,
+                         std::vector<double>& y) const {
+  NETCONST_CHECK(x.size() == cols_, "SpMV dimension mismatch");
+  y.assign(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      sum += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = sum;
+  }
+}
+
+double CsrMatrix::value_at(std::size_t row, std::size_t col) const {
+  NETCONST_CHECK(row < rows_ && col < cols_, "index out of range");
+  for (std::size_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+    if (col_idx_[k] == col) return values_[k];
+  }
+  return 0.0;
+}
+
+bool CsrMatrix::is_symmetric(double tolerance) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (std::abs(values_[k] - value_at(col_idx_[k], r)) > tolerance) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+CsrMatrix laplacian_2d(std::size_t nx, std::size_t ny) {
+  NETCONST_CHECK(nx >= 1 && ny >= 1, "grid must be non-empty");
+  const std::size_t n = nx * ny;
+  std::vector<CsrMatrix::Triplet> triplets;
+  triplets.reserve(5 * n);
+  auto id = [nx](std::size_t x, std::size_t y) { return y * nx + x; };
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      triplets.push_back({id(x, y), id(x, y), 4.0});
+      if (x > 0) triplets.push_back({id(x, y), id(x - 1, y), -1.0});
+      if (x + 1 < nx) triplets.push_back({id(x, y), id(x + 1, y), -1.0});
+      if (y > 0) triplets.push_back({id(x, y), id(x, y - 1), -1.0});
+      if (y + 1 < ny) triplets.push_back({id(x, y), id(x, y + 1), -1.0});
+    }
+  }
+  return CsrMatrix(n, n, std::move(triplets));
+}
+
+CsrMatrix random_spd(std::size_t n, std::size_t offdiag_per_row, Rng& rng) {
+  NETCONST_CHECK(n >= 2, "matrix too small");
+  std::vector<CsrMatrix::Triplet> triplets;
+  std::vector<double> row_abs_sum(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = 0; k < offdiag_per_row; ++k) {
+      auto c = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      if (c == r) continue;
+      const double v = rng.uniform(-1.0, 1.0);
+      // Insert symmetrically so the result stays symmetric.
+      triplets.push_back({r, c, v});
+      triplets.push_back({c, r, v});
+      row_abs_sum[r] += std::abs(v);
+      row_abs_sum[c] += std::abs(v);
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    // Strict diagonal dominance => SPD for a symmetric matrix.
+    triplets.push_back({r, r, row_abs_sum[r] + 1.0});
+  }
+  return CsrMatrix(n, n, std::move(triplets));
+}
+
+}  // namespace netconst::apps

@@ -1,0 +1,53 @@
+// Compressed sparse row matrices and kernels for the CG application.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace netconst::apps {
+
+/// Immutable CSR matrix built from triplets.
+class CsrMatrix {
+ public:
+  struct Triplet {
+    std::size_t row = 0;
+    std::size_t col = 0;
+    double value = 0.0;
+  };
+
+  /// Build from triplets; duplicate (row, col) entries are summed.
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<Triplet> triplets);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzeros() const { return values_.size(); }
+
+  /// y = A x (y is resized).
+  void multiply(std::span<const double> x, std::vector<double>& y) const;
+
+  /// True if the sparsity pattern and values are symmetric.
+  bool is_symmetric(double tolerance = 1e-12) const;
+
+  double value_at(std::size_t row, std::size_t col) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// 5-point Laplacian on an nx x ny grid — symmetric positive definite,
+/// the canonical CG test problem.
+CsrMatrix laplacian_2d(std::size_t nx, std::size_t ny);
+
+/// Random sparse symmetric diagonally dominant (hence SPD) matrix with
+/// about `offdiag_per_row` off-diagonal entries per row.
+CsrMatrix random_spd(std::size_t n, std::size_t offdiag_per_row, Rng& rng);
+
+}  // namespace netconst::apps

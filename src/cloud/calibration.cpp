@@ -1,0 +1,90 @@
+#include "cloud/calibration.hpp"
+
+#include "support/error.hpp"
+
+namespace netconst::cloud {
+
+std::vector<PairList> all_pairs_rounds(std::size_t n) {
+  NETCONST_CHECK(n >= 2, "need at least two VMs");
+  // Circle method on m participants (m = n rounded up to even; index m-1
+  // is the bye when n is odd).
+  const std::size_t m = n % 2 == 0 ? n : n + 1;
+  std::vector<std::size_t> ring(m);
+  for (std::size_t i = 0; i < m; ++i) ring[i] = i;
+
+  std::vector<PairList> rounds;
+  rounds.reserve(2 * (m - 1));
+  for (std::size_t r = 0; r < m - 1; ++r) {
+    PairList forward, backward;
+    for (std::size_t k = 0; k < m / 2; ++k) {
+      const std::size_t a = ring[k];
+      const std::size_t b = ring[m - 1 - k];
+      if (a >= n || b >= n) continue;  // bye slot
+      forward.emplace_back(a, b);
+      backward.emplace_back(b, a);
+    }
+    if (!forward.empty()) {
+      rounds.push_back(std::move(forward));
+      rounds.push_back(std::move(backward));
+    }
+    // Rotate all but the first element.
+    std::size_t last = ring[m - 1];
+    for (std::size_t i = m - 1; i > 1; --i) ring[i] = ring[i - 1];
+    ring[1] = last;
+  }
+  return rounds;
+}
+
+CalibrationResult calibrate_snapshot(NetworkProvider& provider,
+                                     const CalibrationOptions& options) {
+  const std::size_t n = provider.cluster_size();
+  const double start = provider.now();
+  CalibrationResult result;
+  result.matrix = netmodel::PerformanceMatrix(n);
+
+  if (options.concurrent) {
+    for (const PairList& round : all_pairs_rounds(n)) {
+      provider.advance(options.round_setup_overhead);
+      const std::vector<double> small = provider.measure_concurrent(
+          round, options.pingpong.small_bytes);
+      const std::vector<double> large = provider.measure_concurrent(
+          round, options.pingpong.large_bytes);
+      for (std::size_t k = 0; k < round.size(); ++k) {
+        result.matrix.set_link(
+            round[k].first, round[k].second,
+            robust_fit(small[k], options.pingpong.small_bytes, large[k],
+                       options.pingpong.large_bytes));
+      }
+      ++result.rounds;
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        provider.advance(options.round_setup_overhead);
+        result.matrix.set_link(
+            i, j, pingpong_calibrate(provider, i, j, options.pingpong));
+        ++result.rounds;
+      }
+    }
+  }
+  result.elapsed_seconds = provider.now() - start;
+  return result;
+}
+
+SeriesResult calibrate_series(NetworkProvider& provider,
+                              const SeriesOptions& options) {
+  NETCONST_CHECK(options.time_step >= 1, "time step must be >= 1");
+  const double start = provider.now();
+  SeriesResult result;
+  for (std::size_t row = 0; row < options.time_step; ++row) {
+    if (row != 0) provider.advance(options.interval);
+    CalibrationResult snap =
+        calibrate_snapshot(provider, options.calibration);
+    result.series.append(provider.now(), std::move(snap.matrix));
+  }
+  result.elapsed_seconds = provider.now() - start;
+  return result;
+}
+
+}  // namespace netconst::cloud

@@ -1,0 +1,35 @@
+#include "cloud/pingpong.hpp"
+
+#include "support/error.hpp"
+
+namespace netconst::cloud {
+
+netmodel::LinkParams robust_fit(double t_small, std::uint64_t small_bytes,
+                                double t_large, std::uint64_t large_bytes) {
+  NETCONST_CHECK(t_small > 0.0 && t_large > 0.0,
+                 "calibration times must be positive");
+  NETCONST_CHECK(large_bytes > small_bytes,
+                 "large message must be larger than the small one");
+  if (t_large > t_small) {
+    return netmodel::fit_alpha_beta(t_small, small_bytes, t_large,
+                                    large_bytes);
+  }
+  // Jitter swallowed the size difference; attribute everything to
+  // bandwidth so the link still gets a finite, pessimistic-free estimate.
+  netmodel::LinkParams p;
+  p.alpha = t_small;
+  p.beta = static_cast<double>(large_bytes) / t_large;
+  return p;
+}
+
+netmodel::LinkParams pingpong_calibrate(NetworkProvider& provider,
+                                        std::size_t i, std::size_t j,
+                                        const PingpongOptions& options) {
+  NETCONST_CHECK(i != j, "pingpong with self");
+  const double t_small = provider.measure(i, j, options.small_bytes);
+  const double t_large = provider.measure(i, j, options.large_bytes);
+  return robust_fit(t_small, options.small_bytes, t_large,
+                    options.large_bytes);
+}
+
+}  // namespace netconst::cloud

@@ -1,0 +1,31 @@
+// SKaMPI-style pingpong calibration of one link: the latency alpha is the
+// elapsed time of a 1-byte message and the bandwidth beta is fit from the
+// elapsed time of an 8 MB transfer (Section IV-B, "Model calibration").
+#pragma once
+
+#include <cstdint>
+
+#include "cloud/provider.hpp"
+#include "netmodel/alpha_beta.hpp"
+
+namespace netconst::cloud {
+
+struct PingpongOptions {
+  std::uint64_t small_bytes = netmodel::kOneByte;
+  std::uint64_t large_bytes = netmodel::kEightMiB;
+};
+
+/// Measure one directed link and fit alpha-beta. Robust to measurement
+/// noise: if the large transfer is not measurably slower than the small
+/// one (possible under heavy jitter), beta falls back to
+/// large_bytes / t_large with alpha = t_small.
+netmodel::LinkParams pingpong_calibrate(NetworkProvider& provider,
+                                        std::size_t i, std::size_t j,
+                                        const PingpongOptions& options = {});
+
+/// Fit alpha-beta from two already-measured elapsed times with the same
+/// fallback behaviour.
+netmodel::LinkParams robust_fit(double t_small, std::uint64_t small_bytes,
+                                double t_large, std::uint64_t large_bytes);
+
+}  // namespace netconst::cloud

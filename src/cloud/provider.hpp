@@ -1,0 +1,54 @@
+// NetworkProvider — the abstraction behind "a virtual cluster whose
+// pair-wise network performance can be measured".
+//
+// Everything above this interface (calibration, Algorithm 1, the
+// experiment campaigns) is agnostic to whether measurements come from the
+// synthetic EC2-like cloud model or from the flow-level simulator; this
+// is the seam that replaces the paper's physical EC2 deployment.
+//
+// Time is explicit: measuring costs simulated time (the elapsed transfer
+// duration), matching the paper's accounting of calibration overhead.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "netmodel/perf_matrix.hpp"
+
+namespace netconst::cloud {
+
+class NetworkProvider {
+ public:
+  virtual ~NetworkProvider() = default;
+
+  /// Number of virtual machines in the cluster.
+  virtual std::size_t cluster_size() const = 0;
+
+  /// Current simulated time in seconds.
+  virtual double now() const = 0;
+
+  /// Let simulated time pass without measuring (application compute,
+  /// waiting between experimental runs, ...).
+  virtual void advance(double seconds) = 0;
+
+  /// Send `bytes` from VM i to VM j; returns the elapsed transfer time
+  /// and advances the clock by it.
+  virtual double measure(std::size_t i, std::size_t j,
+                         std::uint64_t bytes) = 0;
+
+  /// Start all transfers simultaneously and wait for all of them;
+  /// returns per-pair elapsed times and advances the clock by the
+  /// maximum. Concurrent transfers may interfere (that is the point of
+  /// the paper's N/2-pairs-per-step calibration trade-off).
+  virtual std::vector<double> measure_concurrent(
+      const std::vector<std::pair<std::size_t, std::size_t>>& pairs,
+      std::uint64_t bytes) = 0;
+
+  /// The instantaneous true pair-wise performance right now — the
+  /// experimenter's "offline oracle" used for trace generation and
+  /// accuracy studies. Does not consume simulated time.
+  virtual netmodel::PerformanceMatrix oracle_snapshot() = 0;
+};
+
+}  // namespace netconst::cloud

@@ -1,0 +1,82 @@
+#include "cloud/simnet_provider.hpp"
+
+#include <unordered_set>
+
+#include "support/error.hpp"
+
+namespace netconst::cloud {
+
+SimnetProvider::SimnetProvider(
+    std::shared_ptr<simnet::FlowSimulator> simulator,
+    std::vector<simnet::NodeId> vm_hosts)
+    : simulator_(std::move(simulator)), vm_hosts_(std::move(vm_hosts)) {
+  NETCONST_CHECK(simulator_ != nullptr, "null simulator");
+  NETCONST_CHECK(vm_hosts_.size() >= 2, "cluster needs >= 2 VMs");
+  std::unordered_set<simnet::NodeId> seen;
+  for (simnet::NodeId host : vm_hosts_) {
+    NETCONST_CHECK(host < simulator_->topology().node_count(),
+                   "VM host out of range");
+    NETCONST_CHECK(
+        simulator_->topology().node(host).kind == simnet::NodeKind::Host,
+        "VM mapped to a switch");
+    NETCONST_CHECK(seen.insert(host).second, "duplicate VM host");
+  }
+}
+
+simnet::NodeId SimnetProvider::host_of(std::size_t vm) const {
+  NETCONST_CHECK(vm < vm_hosts_.size(), "VM index out of range");
+  return vm_hosts_[vm];
+}
+
+void SimnetProvider::advance(double seconds) {
+  NETCONST_CHECK(seconds >= 0.0, "cannot advance backwards");
+  simulator_->advance_to(simulator_->now() + seconds);
+}
+
+double SimnetProvider::measure(std::size_t i, std::size_t j,
+                               std::uint64_t bytes) {
+  return simulator_->measure_transfer(host_of(i), host_of(j), bytes);
+}
+
+std::vector<double> SimnetProvider::measure_concurrent(
+    const std::vector<std::pair<std::size_t, std::size_t>>& pairs,
+    std::uint64_t bytes) {
+  std::vector<std::pair<simnet::NodeId, simnet::NodeId>> host_pairs;
+  host_pairs.reserve(pairs.size());
+  for (const auto& [i, j] : pairs) {
+    host_pairs.emplace_back(host_of(i), host_of(j));
+  }
+  return simulator_->measure_concurrent(host_pairs, bytes);
+}
+
+netmodel::PerformanceMatrix SimnetProvider::oracle_snapshot() {
+  const std::size_t n = cluster_size();
+  netmodel::PerformanceMatrix snap(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      netmodel::LinkParams link;
+      link.alpha =
+          simulator_->topology().path_latency(host_of(i), host_of(j));
+      link.beta = simulator_->probe_rate(host_of(i), host_of(j));
+      snap.set_link(i, j, link);
+    }
+  }
+  return snap;
+}
+
+std::vector<simnet::NodeId> pick_random_hosts(
+    const simnet::Topology& topology, std::size_t count, Rng& rng) {
+  const std::vector<simnet::NodeId> hosts = topology.hosts();
+  NETCONST_CHECK(count <= hosts.size(),
+                 "requested more VMs than hosts exist");
+  std::vector<simnet::NodeId> chosen;
+  chosen.reserve(count);
+  for (std::size_t idx :
+       rng.sample_without_replacement(hosts.size(), count)) {
+    chosen.push_back(hosts[idx]);
+  }
+  return chosen;
+}
+
+}  // namespace netconst::cloud

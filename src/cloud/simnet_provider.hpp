@@ -1,0 +1,48 @@
+// NetworkProvider backed by the flow-level simulator: a virtual cluster
+// of VMs mapped onto hosts of a simulated data center with live
+// background traffic. This is the counterpart of the paper's ns-2
+// experiments (Section V-E).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cloud/provider.hpp"
+#include "simnet/simulator.hpp"
+
+namespace netconst::cloud {
+
+class SimnetProvider final : public NetworkProvider {
+ public:
+  /// `vm_hosts[k]` is the simulator host node running VM k. All entries
+  /// must be distinct hosts of the simulator's topology.
+  SimnetProvider(std::shared_ptr<simnet::FlowSimulator> simulator,
+                 std::vector<simnet::NodeId> vm_hosts);
+
+  std::size_t cluster_size() const override { return vm_hosts_.size(); }
+  double now() const override { return simulator_->now(); }
+  void advance(double seconds) override;
+  double measure(std::size_t i, std::size_t j,
+                 std::uint64_t bytes) override;
+  std::vector<double> measure_concurrent(
+      const std::vector<std::pair<std::size_t, std::size_t>>& pairs,
+      std::uint64_t bytes) override;
+
+  /// Oracle: alpha = path latency, beta = the analytic max-min probe rate
+  /// against the currently active background flows.
+  netmodel::PerformanceMatrix oracle_snapshot() override;
+
+  simnet::FlowSimulator& simulator() { return *simulator_; }
+  simnet::NodeId host_of(std::size_t vm) const;
+
+ private:
+  std::shared_ptr<simnet::FlowSimulator> simulator_;
+  std::vector<simnet::NodeId> vm_hosts_;
+};
+
+/// Pick `count` distinct random hosts from the simulator topology
+/// ("machines are randomly selected from the simulated cluster").
+std::vector<simnet::NodeId> pick_random_hosts(
+    const simnet::Topology& topology, std::size_t count, Rng& rng);
+
+}  // namespace netconst::cloud

@@ -1,0 +1,61 @@
+#include "cloud/trace_replay.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace netconst::cloud {
+
+TraceReplayProvider::TraceReplayProvider(netmodel::Trace trace)
+    : trace_(std::move(trace)) {
+  NETCONST_CHECK(trace_.snapshot_count() > 0, "replay of an empty trace");
+  now_ = trace_.series().time_at(0);
+}
+
+std::size_t TraceReplayProvider::cluster_size() const {
+  return trace_.cluster_size();
+}
+
+void TraceReplayProvider::advance(double seconds) {
+  NETCONST_CHECK(seconds >= 0.0, "cannot advance backwards");
+  now_ += seconds;
+}
+
+double TraceReplayProvider::measure(std::size_t i, std::size_t j,
+                                    std::uint64_t bytes) {
+  NETCONST_CHECK(i < cluster_size() && j < cluster_size() && i != j,
+                 "invalid pair");
+  const double elapsed =
+      trace_.series().at_time(now_).transfer_time(i, j, bytes);
+  advance(elapsed);
+  return elapsed;
+}
+
+std::vector<double> TraceReplayProvider::measure_concurrent(
+    const std::vector<std::pair<std::size_t, std::size_t>>& pairs,
+    std::uint64_t bytes) {
+  const netmodel::PerformanceMatrix& snap = trace_.series().at_time(now_);
+  std::vector<double> elapsed;
+  elapsed.reserve(pairs.size());
+  double max_elapsed = 0.0;
+  for (const auto& [i, j] : pairs) {
+    NETCONST_CHECK(i < cluster_size() && j < cluster_size() && i != j,
+                   "invalid pair");
+    const double t = snap.transfer_time(i, j, bytes);
+    elapsed.push_back(t);
+    max_elapsed = std::max(max_elapsed, t);
+  }
+  advance(max_elapsed);
+  return elapsed;
+}
+
+netmodel::PerformanceMatrix TraceReplayProvider::oracle_snapshot() {
+  return trace_.series().at_time(now_);
+}
+
+bool TraceReplayProvider::exhausted() const {
+  return now_ >
+         trace_.series().time_at(trace_.snapshot_count() - 1);
+}
+
+}  // namespace netconst::cloud

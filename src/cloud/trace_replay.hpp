@@ -1,0 +1,49 @@
+// TraceReplayProvider — a NetworkProvider backed by a recorded trace.
+//
+// This is the paper's Section V-D3 trace-replay methodology as a
+// first-class provider: record a calibration trace once (on the
+// synthetic cloud, the simulator, or — in the paper's case — EC2), then
+// replay it deterministically under any optimization strategy. The
+// network "performance" at time t is the latest recorded snapshot, so
+// identical experiments can be re-run bit-for-bit against identical
+// conditions.
+#pragma once
+
+#include "cloud/provider.hpp"
+#include "netmodel/trace.hpp"
+
+namespace netconst::cloud {
+
+class TraceReplayProvider final : public NetworkProvider {
+ public:
+  /// Replay starts at the trace's first snapshot time. The trace must
+  /// be non-empty.
+  explicit TraceReplayProvider(netmodel::Trace trace);
+
+  std::size_t cluster_size() const override;
+  double now() const override { return now_; }
+  void advance(double seconds) override;
+
+  /// Transfer time straight from the snapshot in effect now; the clock
+  /// advances by it. Replay never models measurement interference — the
+  /// recorded trace already embodies the conditions it was taken under.
+  double measure(std::size_t i, std::size_t j,
+                 std::uint64_t bytes) override;
+  std::vector<double> measure_concurrent(
+      const std::vector<std::pair<std::size_t, std::size_t>>& pairs,
+      std::uint64_t bytes) override;
+
+  netmodel::PerformanceMatrix oracle_snapshot() override;
+
+  /// True once the clock has passed the last recorded snapshot (replay
+  /// keeps returning the final snapshot after that).
+  bool exhausted() const;
+
+  const netmodel::Trace& trace() const { return trace_; }
+
+ private:
+  netmodel::Trace trace_;
+  double now_ = 0.0;
+};
+
+}  // namespace netconst::cloud

@@ -1,0 +1,38 @@
+#include "collective/binomial.hpp"
+
+#include <functional>
+
+#include "support/error.hpp"
+
+namespace netconst::collective {
+
+CommTree binomial_tree(std::size_t size, std::size_t root) {
+  NETCONST_CHECK(size >= 1, "tree needs at least one member");
+  NETCONST_CHECK(root < size, "root out of range");
+  CommTree tree(size, root);
+  if (size == 1) return tree;
+
+  // Highest power of two < size (the root's first send offset).
+  std::size_t top = 1;
+  while (top * 2 < size) top *= 2;
+
+  // MPICH convention: relative rank r receives from r - lowbit(r); the
+  // children of p are p + m for powers of two m below p's own receive
+  // offset (below 2*top for the root), attached in decreasing order —
+  // the largest subtree is sent to first.
+  const std::function<void(std::size_t, std::size_t)> attach =
+      [&](std::size_t p, std::size_t max_offset) {
+        for (std::size_t m = max_offset; m >= 1; m /= 2) {
+          if (p + m < size) {
+            tree.add_edge((p + root) % size, (p + m + root) % size);
+            attach(p + m, m / 2);
+          }
+          if (m == 1) break;
+        }
+      };
+  attach(0, top);
+  NETCONST_ASSERT(tree.complete());
+  return tree;
+}
+
+}  // namespace netconst::collective

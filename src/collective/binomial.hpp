@@ -1,0 +1,16 @@
+// Rank-order binomial tree — the MPICH2 default used as the paper's
+// Baseline. Peers are chosen by rank arithmetic only; network
+// performance plays no role.
+#pragma once
+
+#include "collective/comm_tree.hpp"
+
+namespace netconst::collective {
+
+/// Binomial tree over `size` members rooted at `root` using the MPICH
+/// construction: relative rank r receives from r - 2^k where 2^k is the
+/// highest power of two in r; sends go to r + 2^k in decreasing subtree
+/// order (largest subtree first).
+CommTree binomial_tree(std::size_t size, std::size_t root);
+
+}  // namespace netconst::collective

@@ -1,0 +1,69 @@
+#include "collective/comm_tree.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace netconst::collective {
+
+CommTree::CommTree(std::size_t size, std::size_t root)
+    : root_(root),
+      children_(size),
+      parent_(size),
+      attached_(size, false) {
+  NETCONST_CHECK(size >= 1, "tree needs at least one member");
+  NETCONST_CHECK(root < size, "root out of range");
+  attached_[root] = true;
+  attached_count_ = 1;
+}
+
+void CommTree::add_edge(std::size_t parent, std::size_t child) {
+  NETCONST_CHECK(parent < size() && child < size(),
+                 "tree edge endpoint out of range");
+  NETCONST_CHECK(attached_[parent], "parent is not attached yet");
+  NETCONST_CHECK(!attached_[child], "child is already attached");
+  children_[parent].push_back(child);
+  parent_[child] = parent;
+  attached_[child] = true;
+  ++attached_count_;
+}
+
+bool CommTree::attached(std::size_t node) const {
+  NETCONST_CHECK(node < size(), "node out of range");
+  return attached_[node];
+}
+
+std::optional<std::size_t> CommTree::parent(std::size_t node) const {
+  NETCONST_CHECK(node < size(), "node out of range");
+  NETCONST_CHECK(attached_[node], "node is not attached");
+  return parent_[node];
+}
+
+const std::vector<std::size_t>& CommTree::children(std::size_t node) const {
+  NETCONST_CHECK(node < size(), "node out of range");
+  return children_[node];
+}
+
+std::size_t CommTree::subtree_size(std::size_t node) const {
+  NETCONST_CHECK(node < size(), "node out of range");
+  std::size_t total = 1;
+  for (std::size_t child : children_[node]) total += subtree_size(child);
+  return total;
+}
+
+std::size_t CommTree::depth() const {
+  // Iterative DFS carrying depth.
+  std::size_t max_depth = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{root_, 0}};
+  while (!stack.empty()) {
+    const auto [node, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    for (std::size_t child : children_[node]) {
+      stack.push_back({child, d + 1});
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace netconst::collective

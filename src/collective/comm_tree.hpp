@@ -1,0 +1,50 @@
+// Communication tree: the rooted spanning tree over cluster members that
+// drives an MPI collective (who sends to whom, and in which order).
+// Children order matters — a node performs its sends sequentially in the
+// stored order, which is the standard alpha-beta cost model for
+// tree-based collectives.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace netconst::collective {
+
+class CommTree {
+ public:
+  /// Tree over `size` members rooted at `root`; starts with only the
+  /// root attached.
+  CommTree(std::size_t size, std::size_t root);
+
+  std::size_t size() const { return children_.size(); }
+  std::size_t root() const { return root_; }
+
+  /// Attach `child` (not yet attached) under `parent` (already attached).
+  /// The child is appended to the parent's send order.
+  void add_edge(std::size_t parent, std::size_t child);
+
+  bool attached(std::size_t node) const;
+  /// Parent of a node; nullopt for the root. Node must be attached.
+  std::optional<std::size_t> parent(std::size_t node) const;
+  const std::vector<std::size_t>& children(std::size_t node) const;
+
+  /// True when every member is attached (spanning).
+  bool complete() const { return attached_count_ == size(); }
+  std::size_t attached_count() const { return attached_count_; }
+
+  /// Nodes in the subtree rooted at `node`, including itself.
+  std::size_t subtree_size(std::size_t node) const;
+
+  /// Maximum edge depth from the root.
+  std::size_t depth() const;
+
+ private:
+  std::size_t root_;
+  std::vector<std::vector<std::size_t>> children_;
+  std::vector<std::optional<std::size_t>> parent_;
+  std::vector<bool> attached_;
+  std::size_t attached_count_ = 0;
+};
+
+}  // namespace netconst::collective

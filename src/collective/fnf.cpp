@@ -1,0 +1,161 @@
+#include "collective/fnf.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace netconst::collective {
+
+CommTree fnf_tree(const linalg::Matrix& weights, std::size_t root) {
+  NETCONST_CHECK(weights.rows() == weights.cols(),
+                 "weight matrix must be square");
+  const std::size_t n = weights.rows();
+  NETCONST_CHECK(root < n, "root out of range");
+  CommTree tree(n, root);
+
+  std::vector<std::size_t> selected{root};  // S, in selection order
+  std::vector<bool> in_tree(n, false);
+  in_tree[root] = true;
+  std::size_t remaining = n - 1;  // |U|
+
+  while (remaining > 0) {
+    // One iteration: every machine currently in S picks one receiver.
+    std::vector<std::size_t> added_this_iteration;
+    const std::size_t senders = selected.size();
+    for (std::size_t s_idx = 0; s_idx < senders && remaining > 0; ++s_idx) {
+      const std::size_t sender = selected[s_idx];
+      std::size_t best = n;
+      double best_weight = std::numeric_limits<double>::infinity();
+      for (std::size_t u = 0; u < n; ++u) {
+        if (in_tree[u]) continue;
+        if (weights(sender, u) < best_weight) {
+          best_weight = weights(sender, u);
+          best = u;
+        }
+      }
+      NETCONST_ASSERT(best < n);
+      tree.add_edge(sender, best);
+      in_tree[best] = true;  // removed from U immediately
+      added_this_iteration.push_back(best);
+      --remaining;
+    }
+    // New receivers join S after the iteration.
+    selected.insert(selected.end(), added_this_iteration.begin(),
+                    added_this_iteration.end());
+  }
+  NETCONST_ASSERT(tree.complete());
+  return tree;
+}
+
+namespace {
+
+// Optimal-order broadcast completion for a tree given as children lists:
+// for a fixed shape, sending to the child with the larger remaining
+// subtree completion first is optimal (exchange argument), so this value
+// is the true optimum over all send orders of the shape.
+double children_list_cost(const std::vector<std::vector<std::size_t>>& kids,
+                          const linalg::Matrix& weights, std::size_t node) {
+  if (kids[node].empty()) return 0.0;
+  std::vector<std::pair<double, double>> costs;  // {downstream, transfer}
+  costs.reserve(kids[node].size());
+  for (std::size_t child : kids[node]) {
+    costs.push_back({children_list_cost(kids, weights, child),
+                     weights(node, child)});
+  }
+  std::sort(costs.begin(), costs.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  double send_start = 0.0, completion = 0.0;
+  for (const auto& [downstream, transfer] : costs) {
+    send_start += transfer;
+    completion = std::max(completion, send_start + downstream);
+  }
+  return completion;
+}
+
+}  // namespace
+
+namespace {
+
+// Rebuild a children-list shape into a CommTree with every node's
+// children attached in the optimal send order (descending downstream
+// completion), so the stored order realizes the optimized cost.
+void attach_in_optimal_order(
+    const std::vector<std::vector<std::size_t>>& kids,
+    const linalg::Matrix& weights, std::size_t node, CommTree& out) {
+  std::vector<std::pair<double, std::size_t>> order;
+  for (std::size_t child : kids[node]) {
+    order.push_back({children_list_cost(kids, weights, child), child});
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [completion, child] : order) {
+    out.add_edge(node, child);
+    attach_in_optimal_order(kids, weights, child, out);
+  }
+}
+
+}  // namespace
+
+CommTree optimal_broadcast_tree(const linalg::Matrix& weights,
+                                std::size_t root) {
+  NETCONST_CHECK(weights.rows() == weights.cols(),
+                 "weight matrix must be square");
+  const std::size_t n = weights.rows();
+  NETCONST_CHECK(root < n, "root out of range");
+  NETCONST_CHECK(n <= 8, "exhaustive search is limited to n <= 8");
+  NETCONST_ASSERT(n >= 1);
+
+  // Enumerate every parent vector (each non-root node picks any other
+  // node as its parent: (n-1)^(n-1) candidates, <= 7^7 for n = 8) and
+  // keep the acyclic ones — a genuinely exhaustive sweep over rooted
+  // spanning trees.
+  std::vector<std::size_t> non_root;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (v != root) non_root.push_back(v);
+  }
+  std::vector<std::size_t> parent(n, n);
+  std::vector<std::size_t> choice(non_root.size(), 0);
+  std::vector<std::vector<std::size_t>> kids(n);
+  std::vector<std::vector<std::size_t>> best_kids(n);
+  double best_cost = std::numeric_limits<double>::infinity();
+
+  for (;;) {
+    // Decode choices into a parent assignment.
+    for (std::size_t k = 0; k < non_root.size(); ++k) {
+      const std::size_t v = non_root[k];
+      std::size_t p = choice[k];
+      if (p >= v) ++p;  // skip self
+      parent[v] = p;
+    }
+    // Validity: every node must reach the root (no cycles).
+    bool valid = true;
+    for (std::size_t v = 0; v < n && valid; ++v) {
+      std::size_t cursor = v;
+      std::size_t steps = 0;
+      while (cursor != root && steps++ <= n) cursor = parent[cursor];
+      valid = cursor == root;
+    }
+    if (valid) {
+      for (auto& k : kids) k.clear();
+      for (std::size_t v : non_root) kids[parent[v]].push_back(v);
+      const double cost = children_list_cost(kids, weights, root);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_kids = kids;
+      }
+    }
+    // Advance the mixed-radix counter.
+    std::size_t k = 0;
+    while (k < choice.size() && ++choice[k] == n - 1) choice[k++] = 0;
+    if (k == choice.size()) break;
+    if (choice.empty()) break;
+  }
+
+  CommTree ordered(n, root);
+  if (n > 1) attach_in_optimal_order(best_kids, weights, root, ordered);
+  return ordered;
+}
+
+}  // namespace netconst::collective

@@ -1,0 +1,26 @@
+// Fastest-Node-First communication tree (Banikazemi, Moorthy & Panda).
+//
+// Given a pair-wise weight matrix (smaller = better link, e.g. predicted
+// transfer time), FNF grows a binomial-shaped tree: in every iteration
+// each already-selected machine, in selection order, grabs the
+// best-performing link to a not-yet-selected machine. This is the
+// network-performance-aware optimization the paper drives with the
+// RPCA constant component.
+#pragma once
+
+#include "collective/comm_tree.hpp"
+#include "linalg/matrix.hpp"
+
+namespace netconst::collective {
+
+/// Build the FNF tree from an n x n weight matrix (weights(i, j) is the
+/// cost of the link i -> j; the diagonal is ignored).
+CommTree fnf_tree(const linalg::Matrix& weights, std::size_t root);
+
+/// Exhaustive-search optimal tree for tiny clusters (n <= 8): minimizes
+/// the alpha-beta completion time of a broadcast of `bytes`. Used by the
+/// property tests as the near-optimality reference for FNF.
+CommTree optimal_broadcast_tree(const linalg::Matrix& weights,
+                                std::size_t root);
+
+}  // namespace netconst::collective

@@ -1,0 +1,158 @@
+#include "collective/pipelines.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "collective/collective_ops.hpp"
+#include "support/error.hpp"
+
+namespace netconst::collective {
+
+Chain rank_order_chain(std::size_t size, std::size_t root) {
+  NETCONST_CHECK(size >= 1, "chain needs at least one member");
+  NETCONST_CHECK(root < size, "root out of range");
+  Chain chain(size);
+  for (std::size_t k = 0; k < size; ++k) chain[k] = (root + k) % size;
+  return chain;
+}
+
+Chain greedy_chain(const linalg::Matrix& weights, std::size_t root) {
+  NETCONST_CHECK(weights.rows() == weights.cols(),
+                 "weight matrix must be square");
+  const std::size_t n = weights.rows();
+  NETCONST_CHECK(root < n, "root out of range");
+  Chain chain{root};
+  std::vector<bool> used(n, false);
+  used[root] = true;
+  while (chain.size() < n) {
+    const std::size_t tail = chain.back();
+    std::size_t best = n;
+    double best_weight = std::numeric_limits<double>::infinity();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (used[v]) continue;
+      if (weights(tail, v) < best_weight) {
+        best_weight = weights(tail, v);
+        best = v;
+      }
+    }
+    NETCONST_ASSERT(best < n);
+    used[best] = true;
+    chain.push_back(best);
+  }
+  return chain;
+}
+
+bool is_valid_chain(const Chain& chain, std::size_t size,
+                    std::size_t root) {
+  if (chain.size() != size || size == 0 || chain.front() != root) {
+    return false;
+  }
+  std::vector<bool> seen(size, false);
+  for (std::size_t v : chain) {
+    if (v >= size || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+double pipeline_broadcast_time(const Chain& chain,
+                               const netmodel::PerformanceMatrix& performance,
+                               std::uint64_t bytes, std::size_t segments) {
+  NETCONST_CHECK(is_valid_chain(chain, performance.size(), chain.empty()
+                                                               ? 0
+                                                               : chain[0]),
+                 "invalid chain");
+  NETCONST_CHECK(segments >= 1, "need at least one segment");
+  if (chain.size() <= 1) return 0.0;
+  const std::uint64_t segment_bytes =
+      (bytes + segments - 1) / segments;  // last segment padded up
+
+  // Fill phase: the first segment traverses every hop; steady state: the
+  // remaining segments drain through the slowest hop.
+  double fill = 0.0;
+  double slowest_hop = 0.0;
+  for (std::size_t k = 0; k + 1 < chain.size(); ++k) {
+    const double hop =
+        performance.transfer_time(chain[k], chain[k + 1], segment_bytes);
+    fill += hop;
+    slowest_hop = std::max(slowest_hop, hop);
+  }
+  return fill + static_cast<double>(segments - 1) * slowest_hop;
+}
+
+double ring_allgather_time(const Chain& ring,
+                           const netmodel::PerformanceMatrix& performance,
+                           std::uint64_t bytes) {
+  NETCONST_CHECK(
+      is_valid_chain(ring, performance.size(), ring.empty() ? 0 : ring[0]),
+      "invalid ring");
+  const std::size_t n = ring.size();
+  if (n <= 1) return 0.0;
+  // Every round all members forward concurrently; the round is gated by
+  // the slowest ring link (including the closing edge).
+  double slowest = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    slowest = std::max(
+        slowest,
+        performance.transfer_time(ring[k], ring[(k + 1) % n], bytes));
+  }
+  return static_cast<double>(n - 1) * slowest;
+}
+
+double ring_allreduce_time(const Chain& ring,
+                           const netmodel::PerformanceMatrix& performance,
+                           std::uint64_t bytes) {
+  NETCONST_CHECK(
+      is_valid_chain(ring, performance.size(), ring.empty() ? 0 : ring[0]),
+      "invalid ring");
+  const std::size_t n = ring.size();
+  if (n <= 1) return 0.0;
+  const std::uint64_t block =
+      (bytes + n - 1) / static_cast<std::uint64_t>(n);
+  double slowest = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    slowest = std::max(
+        slowest,
+        performance.transfer_time(ring[k], ring[(k + 1) % n], block));
+  }
+  // Reduce-scatter: N-1 rounds; allgather: N-1 rounds.
+  return 2.0 * static_cast<double>(n - 1) * slowest;
+}
+
+double tree_allreduce_time(const CommTree& tree,
+                           const netmodel::PerformanceMatrix& performance,
+                           std::uint64_t bytes) {
+  return collective_time(tree, performance, Collective::Reduce, bytes) +
+         collective_time(tree, performance, Collective::Broadcast, bytes);
+}
+
+double scatter_allgather_broadcast_time(
+    const CommTree& tree, const Chain& ring,
+    const netmodel::PerformanceMatrix& performance, std::uint64_t bytes) {
+  NETCONST_CHECK(tree.size() == performance.size(),
+                 "tree size does not match the performance matrix");
+  const std::uint64_t piece =
+      (bytes + tree.size() - 1) / static_cast<std::uint64_t>(tree.size());
+  const double scatter =
+      collective_time(tree, performance, Collective::Scatter, piece);
+  return scatter + ring_allgather_time(ring, performance, piece);
+}
+
+std::size_t best_segment_count(const Chain& chain,
+                               const netmodel::PerformanceMatrix& performance,
+                               std::uint64_t bytes,
+                               std::size_t max_segments) {
+  NETCONST_CHECK(max_segments >= 1, "need at least one segment");
+  std::size_t best = 1;
+  double best_time = pipeline_broadcast_time(chain, performance, bytes, 1);
+  for (std::size_t s = 2; s <= max_segments; ++s) {
+    const double t = pipeline_broadcast_time(chain, performance, bytes, s);
+    if (t < best_time) {
+      best_time = t;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace netconst::collective

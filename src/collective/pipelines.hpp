@@ -1,0 +1,80 @@
+// Non-tree collective algorithms under the alpha-beta model, as
+// network-performance-aware extensions of the paper's framework:
+//
+//  * pipeline (chain) broadcast — the message is cut into segments that
+//    stream down a Hamiltonian chain; for large messages this approaches
+//    the bandwidth bound instead of the binomial's log(N) factor;
+//  * ring allgather — the classic bandwidth-optimal allgather;
+//  * scatter-allgather broadcast (van de Geijn) — scatter down a tree,
+//    then ring-allgather the pieces.
+//
+// Each has a performance-aware planner (chain/ring order chosen greedily
+// from a guidance matrix) and a rank-order baseline, mirroring the
+// FNF-vs-binomial pairing for trees.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collective/comm_tree.hpp"
+#include "linalg/matrix.hpp"
+#include "netmodel/perf_matrix.hpp"
+
+namespace netconst::collective {
+
+/// A visit order of all members; order[0] is the chain head / ring
+/// start.
+using Chain = std::vector<std::size_t>;
+
+/// Rank-order chain starting at `root` (the baseline).
+Chain rank_order_chain(std::size_t size, std::size_t root);
+
+/// Greedy nearest-neighbour chain on a weight matrix (smaller = better),
+/// starting at `root` — the network-aware planner.
+Chain greedy_chain(const linalg::Matrix& weights, std::size_t root);
+
+/// True if `chain` visits every member of [0, size) exactly once and
+/// starts at `root`.
+bool is_valid_chain(const Chain& chain, std::size_t size,
+                    std::size_t root);
+
+/// Pipelined broadcast of `bytes` cut into `segments` equal parts down
+/// the chain: the last node finishes after the full pipe fill plus the
+/// remaining segments through the slowest hop.
+double pipeline_broadcast_time(const Chain& chain,
+                               const netmodel::PerformanceMatrix& performance,
+                               std::uint64_t bytes, std::size_t segments);
+
+/// Ring allgather: N-1 rounds, each member forwarding `bytes` to its
+/// ring successor; every round is gated by the slowest ring link.
+double ring_allgather_time(const Chain& ring,
+                           const netmodel::PerformanceMatrix& performance,
+                           std::uint64_t bytes);
+
+/// Ring allreduce (reduce-scatter + allgather): 2(N-1) rounds of
+/// bytes/N blocks, each gated by the slowest ring link — the
+/// bandwidth-optimal allreduce that modern frameworks use.
+double ring_allreduce_time(const Chain& ring,
+                           const netmodel::PerformanceMatrix& performance,
+                           std::uint64_t bytes);
+
+/// Tree allreduce: reduce to the root then broadcast back over the same
+/// tree (the latency-optimal small-message variant).
+double tree_allreduce_time(const CommTree& tree,
+                           const netmodel::PerformanceMatrix& performance,
+                           std::uint64_t bytes);
+
+/// van de Geijn broadcast: scatter `bytes` down `tree` (1/N each), then
+/// ring-allgather the pieces along `ring`.
+double scatter_allgather_broadcast_time(
+    const CommTree& tree, const Chain& ring,
+    const netmodel::PerformanceMatrix& performance, std::uint64_t bytes);
+
+/// Segment count minimizing the pipeline time for the given chain
+/// (scans 1..max_segments).
+std::size_t best_segment_count(const Chain& chain,
+                               const netmodel::PerformanceMatrix& performance,
+                               std::uint64_t bytes,
+                               std::size_t max_segments = 64);
+
+}  // namespace netconst::collective

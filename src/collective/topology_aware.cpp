@@ -1,0 +1,92 @@
+#include "collective/topology_aware.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace netconst::collective {
+
+namespace {
+
+std::size_t subtree_size_of(
+    const std::vector<std::vector<std::size_t>>& kids, std::size_t node) {
+  std::size_t total = 1;
+  for (std::size_t child : kids[node]) {
+    total += subtree_size_of(kids, child);
+  }
+  return total;
+}
+
+// Attach children largest-subtree-first so intra-rack and inter-rack
+// sends interleave by importance — without this, rack members queued
+// after every inter-rack send serialize the critical path.
+void attach_largest_first(const std::vector<std::vector<std::size_t>>& kids,
+                          std::size_t node, CommTree& out) {
+  std::vector<std::pair<std::size_t, std::size_t>> order;  // {size, child}
+  for (std::size_t child : kids[node]) {
+    order.push_back({subtree_size_of(kids, child), child});
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [size, child] : order) {
+    out.add_edge(node, child);
+    attach_largest_first(kids, child, out);
+  }
+}
+
+}  // namespace
+
+CommTree topology_aware_tree(const std::vector<std::size_t>& racks,
+                             std::size_t root) {
+  const std::size_t n = racks.size();
+  NETCONST_CHECK(n >= 1, "tree needs at least one member");
+  NETCONST_CHECK(root < n, "root out of range");
+
+  // Members per rack, root's rack first so the inter-rack phase starts
+  // at the root.
+  std::map<std::size_t, std::vector<std::size_t>> by_rack;
+  for (std::size_t k = 0; k < n; ++k) by_rack[racks[k]].push_back(k);
+
+  // Representative of each rack: the root for its own rack, otherwise
+  // the lowest-index member.
+  std::vector<std::size_t> reps;
+  reps.push_back(root);
+  for (auto& [rack, members] : by_rack) {
+    if (rack == racks[root]) continue;
+    reps.push_back(members.front());
+  }
+
+  // Build the edge set as children lists; the final send order is
+  // decided globally (largest subtree first) at the end.
+  std::vector<std::vector<std::size_t>> kids(n);
+  // MPICH-style binomial over an ordered list: element i's parent is
+  // element i - lowbit(i).
+  const auto binomial_edges = [&kids](const std::vector<std::size_t>& list) {
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      const std::size_t low = i & (~i + 1);
+      kids[list[i - low]].push_back(list[i]);
+    }
+  };
+
+  // Phase 1: binomial over rack representatives (reps[0] == root).
+  binomial_edges(reps);
+
+  // Phase 2: binomial within each rack rooted at the representative.
+  for (auto& [rack, members] : by_rack) {
+    const std::size_t rep = rack == racks[root] ? root : members.front();
+    std::vector<std::size_t> ordered{rep};
+    for (std::size_t member : members) {
+      if (member != rep) ordered.push_back(member);
+    }
+    binomial_edges(ordered);
+  }
+
+  CommTree tree(n, root);
+  attach_largest_first(kids, root, tree);
+  NETCONST_ASSERT(tree.complete());
+  return tree;
+}
+
+}  // namespace netconst::collective

@@ -1,0 +1,23 @@
+// Topology-aware communication tree (Kandalla et al. / Subramoni et al.
+// style): exploits known rack membership by broadcasting across racks
+// first (one representative per rack) and then within each rack. Used by
+// the simulator comparison (Figure 13) where the physical topology is
+// known; on the opaque cloud this knowledge is unavailable — which is
+// the paper's point.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "collective/comm_tree.hpp"
+
+namespace netconst::collective {
+
+/// Build a hierarchical tree: binomial over rack representatives (the
+/// lowest-index member of each rack; the root's rack is represented by
+/// the root itself), then binomial within each rack. `racks[k]` is the
+/// rack of member k.
+CommTree topology_aware_tree(const std::vector<std::size_t>& racks,
+                             std::size_t root);
+
+}  // namespace netconst::collective

@@ -1,0 +1,105 @@
+#include "core/advisor.hpp"
+
+#include "support/error.hpp"
+
+namespace netconst::core {
+
+const char* effectiveness_name(Effectiveness level) {
+  switch (level) {
+    case Effectiveness::Stable:
+      return "stable";
+    case Effectiveness::Moderate:
+      return "moderate";
+    case Effectiveness::Dynamic:
+      return "dynamic";
+  }
+  return "unknown";
+}
+
+EffectivenessAdvisor::EffectivenessAdvisor(const AdvisorOptions& options)
+    : options_(options) {
+  NETCONST_CHECK(options_.stable_threshold > 0.0 &&
+                     options_.stable_threshold <
+                         options_.dynamic_threshold &&
+                     options_.dynamic_threshold < 1.0,
+                 "advisor thresholds must be ordered in (0, 1)");
+  NETCONST_CHECK(options_.hysteresis >= 0.0 &&
+                     options_.hysteresis <
+                         options_.dynamic_threshold -
+                             options_.stable_threshold,
+                 "hysteresis too large for the threshold gap");
+}
+
+Effectiveness EffectivenessAdvisor::observe(double norm) {
+  NETCONST_CHECK(norm >= 0.0 && norm <= 1.0, "norm out of range");
+  last_norm_ = norm;
+  if (!seeded_) {
+    // First observation: classify without hysteresis.
+    seeded_ = true;
+    if (norm < options_.stable_threshold) {
+      level_ = Effectiveness::Stable;
+    } else if (norm < options_.dynamic_threshold) {
+      level_ = Effectiveness::Moderate;
+    } else {
+      level_ = Effectiveness::Dynamic;
+    }
+    return level_;
+  }
+  const double h = options_.hysteresis;
+  switch (level_) {
+    case Effectiveness::Stable:
+      if (norm >= options_.dynamic_threshold + h) {
+        level_ = Effectiveness::Dynamic;
+      } else if (norm >= options_.stable_threshold + h) {
+        level_ = Effectiveness::Moderate;
+      }
+      break;
+    case Effectiveness::Moderate:
+      if (norm < options_.stable_threshold - h) {
+        level_ = Effectiveness::Stable;
+      } else if (norm >= options_.dynamic_threshold + h) {
+        level_ = Effectiveness::Dynamic;
+      }
+      break;
+    case Effectiveness::Dynamic:
+      if (norm < options_.stable_threshold - h) {
+        level_ = Effectiveness::Stable;
+      } else if (norm < options_.dynamic_threshold - h) {
+        level_ = Effectiveness::Moderate;
+      }
+      break;
+  }
+  return level_;
+}
+
+std::string EffectivenessAdvisor::advice() const {
+  switch (level_) {
+    case Effectiveness::Stable:
+      return "network is relatively stable: apply network-aware "
+             "optimizations; the constant component will hold for long "
+             "periods";
+    case Effectiveness::Moderate:
+      return "network is moderately dynamic: keep optimizing but expect "
+             "reduced gains; RPCA's robustness over direct measurements "
+             "matters most in this regime";
+    case Effectiveness::Dynamic:
+      return "network is highly dynamic: network-aware optimization "
+             "gains are marginal; prefer baseline algorithms and "
+             "re-examine later";
+  }
+  return "unknown";
+}
+
+double EffectivenessAdvisor::recalibration_interval_factor() const {
+  switch (level_) {
+    case Effectiveness::Stable:
+      return 4.0;
+    case Effectiveness::Moderate:
+      return 1.0;
+    case Effectiveness::Dynamic:
+      return 0.25;
+  }
+  return 1.0;
+}
+
+}  // namespace netconst::core

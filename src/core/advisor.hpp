@@ -1,0 +1,60 @@
+// Effectiveness advisor — the paper's "determining the effectiveness of
+// optimizations" turned into an API: map the measured Norm(N_E) to an
+// actionable recommendation, with hysteresis so a campaign does not
+// flap between strategies on boundary noise.
+//
+// The bands follow the paper's findings (Section V-D3): below ~0.1 the
+// network is "relatively stable" and network-aware optimization pays
+// off fully (>40% improvement observed); between ~0.1 and ~0.2 gains
+// shrink but RPCA still clearly beats direct measurement use; beyond
+// ~0.5 "the improvement of network performance aware optimizations
+// becomes marginal".
+#pragma once
+
+#include <string>
+
+namespace netconst::core {
+
+enum class Effectiveness {
+  Stable,    // Norm(N_E) small: optimize aggressively, long recalibration
+  Moderate,  // gains reduced; RPCA's robustness matters most here
+  Dynamic,   // optimization barely pays; consider baseline algorithms
+};
+
+const char* effectiveness_name(Effectiveness level);
+
+struct AdvisorOptions {
+  double stable_threshold = 0.12;   // below: Stable
+  double dynamic_threshold = 0.45;  // above: Dynamic
+  /// Hysteresis margin: a level only changes when the norm crosses the
+  /// boundary by this much, so boundary noise cannot flap the advice.
+  double hysteresis = 0.03;
+};
+
+/// Stateful advisor fed with successive Norm(N_E) observations.
+class EffectivenessAdvisor {
+ public:
+  explicit EffectivenessAdvisor(const AdvisorOptions& options = {});
+
+  /// Feed a new Norm(N_E) in [0, 1]; returns the (possibly unchanged)
+  /// level.
+  Effectiveness observe(double norm);
+
+  Effectiveness level() const { return level_; }
+  double last_norm() const { return last_norm_; }
+
+  /// Human-readable advice for the current level.
+  std::string advice() const;
+
+  /// Suggested recalibration interval scale: stable networks can hold a
+  /// constant component much longer (multiplier on the base interval).
+  double recalibration_interval_factor() const;
+
+ private:
+  AdvisorOptions options_;
+  Effectiveness level_ = Effectiveness::Stable;
+  double last_norm_ = 0.0;
+  bool seeded_ = false;
+};
+
+}  // namespace netconst::core

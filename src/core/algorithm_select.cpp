@@ -1,0 +1,93 @@
+#include "core/algorithm_select.hpp"
+
+#include "collective/binomial.hpp"
+#include "collective/collective_ops.hpp"
+#include "collective/fnf.hpp"
+#include "support/error.hpp"
+
+namespace netconst::core {
+
+const char* broadcast_algorithm_name(BroadcastAlgorithm algorithm) {
+  switch (algorithm) {
+    case BroadcastAlgorithm::Binomial:
+      return "binomial";
+    case BroadcastAlgorithm::FnfTree:
+      return "fnf-tree";
+    case BroadcastAlgorithm::Pipeline:
+      return "pipeline";
+    case BroadcastAlgorithm::ScatterAllgather:
+      return "scatter-allgather";
+  }
+  return "unknown";
+}
+
+BroadcastPlan plan_broadcast(const netmodel::PerformanceMatrix& guidance,
+                             std::size_t root, std::uint64_t bytes,
+                             std::size_t max_segments) {
+  const std::size_t n = guidance.size();
+  NETCONST_CHECK(n >= 1, "empty cluster");
+  NETCONST_CHECK(root < n, "root out of range");
+  const auto weights = guidance.weight_matrix(bytes);
+
+  BroadcastPlan best;
+  best.algorithm = BroadcastAlgorithm::Binomial;
+  best.tree = collective::binomial_tree(n, root);
+  best.predicted_seconds = collective::collective_time(
+      best.tree, guidance, collective::Collective::Broadcast, bytes);
+
+  auto consider = [&best](BroadcastPlan candidate) {
+    if (candidate.predicted_seconds < best.predicted_seconds) {
+      best = std::move(candidate);
+    }
+  };
+
+  {
+    BroadcastPlan fnf;
+    fnf.algorithm = BroadcastAlgorithm::FnfTree;
+    fnf.tree = collective::fnf_tree(weights, root);
+    fnf.predicted_seconds = collective::collective_time(
+        fnf.tree, guidance, collective::Collective::Broadcast, bytes);
+    consider(std::move(fnf));
+  }
+  if (n >= 2) {
+    BroadcastPlan pipe;
+    pipe.algorithm = BroadcastAlgorithm::Pipeline;
+    pipe.tree = collective::binomial_tree(n, root);  // unused placeholder
+    pipe.chain = collective::greedy_chain(weights, root);
+    pipe.segments = collective::best_segment_count(pipe.chain, guidance,
+                                                   bytes, max_segments);
+    pipe.predicted_seconds = collective::pipeline_broadcast_time(
+        pipe.chain, guidance, bytes, pipe.segments);
+    consider(std::move(pipe));
+
+    BroadcastPlan vdg;
+    vdg.algorithm = BroadcastAlgorithm::ScatterAllgather;
+    vdg.tree = collective::fnf_tree(weights, root);
+    vdg.chain = collective::greedy_chain(weights, root);
+    vdg.predicted_seconds = collective::scatter_allgather_broadcast_time(
+        vdg.tree, vdg.chain, guidance, bytes);
+    consider(std::move(vdg));
+  }
+  return best;
+}
+
+double broadcast_plan_time(const BroadcastPlan& plan,
+                           const netmodel::PerformanceMatrix& performance,
+                           std::uint64_t bytes) {
+  switch (plan.algorithm) {
+    case BroadcastAlgorithm::Binomial:
+    case BroadcastAlgorithm::FnfTree:
+      return collective::collective_time(
+          plan.tree, performance, collective::Collective::Broadcast,
+          bytes);
+    case BroadcastAlgorithm::Pipeline:
+      return collective::pipeline_broadcast_time(plan.chain, performance,
+                                                 bytes, plan.segments);
+    case BroadcastAlgorithm::ScatterAllgather:
+      return collective::scatter_allgather_broadcast_time(
+          plan.tree, plan.chain, performance, bytes);
+  }
+  throw Error("unknown broadcast algorithm");
+}
+
+}  // namespace netconst::core

@@ -1,0 +1,53 @@
+// Broadcast algorithm selection — an extension of the paper's framework:
+// once the constant component is known, don't just pick the best LINKS
+// for a fixed algorithm, pick the best ALGORITHM too. The alpha-beta
+// model predicts every candidate's completion time on N_D; the planner
+// returns the winner and the fully-planned schedule.
+//
+// Candidates: FNF tree (latency regime), segmented greedy-chain pipeline
+// and van de Geijn scatter-allgather (bandwidth regime), and the plain
+// binomial (degenerate guidance).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "collective/comm_tree.hpp"
+#include "collective/pipelines.hpp"
+#include "netmodel/perf_matrix.hpp"
+
+namespace netconst::core {
+
+enum class BroadcastAlgorithm {
+  Binomial,
+  FnfTree,
+  Pipeline,
+  ScatterAllgather,
+};
+
+const char* broadcast_algorithm_name(BroadcastAlgorithm algorithm);
+
+/// A fully planned broadcast: the winning algorithm plus whatever
+/// structure it needs (tree and/or chain), and its predicted time on
+/// the guidance matrix.
+struct BroadcastPlan {
+  BroadcastAlgorithm algorithm = BroadcastAlgorithm::Binomial;
+  collective::CommTree tree{1, 0};
+  collective::Chain chain;
+  std::size_t segments = 1;  // pipeline only
+  double predicted_seconds = 0.0;
+};
+
+/// Plan the fastest broadcast of `bytes` from `root` according to
+/// `guidance` (typically the RPCA constant component).
+BroadcastPlan plan_broadcast(const netmodel::PerformanceMatrix& guidance,
+                             std::size_t root, std::uint64_t bytes,
+                             std::size_t max_segments = 128);
+
+/// Evaluate a plan's completion time on an arbitrary (e.g. oracle)
+/// performance matrix.
+double broadcast_plan_time(const BroadcastPlan& plan,
+                           const netmodel::PerformanceMatrix& performance,
+                           std::uint64_t bytes);
+
+}  // namespace netconst::core

@@ -1,0 +1,51 @@
+#include "core/constant_finder.hpp"
+
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+
+namespace netconst::core {
+
+linalg::Matrix constant_row(const linalg::Matrix& low_rank,
+                            std::size_t cluster_size) {
+  NETCONST_CHECK(low_rank.cols() == cluster_size * cluster_size,
+                 "low-rank width does not match the cluster size");
+  NETCONST_CHECK(low_rank.rows() >= 1, "empty low-rank component");
+  linalg::Matrix row(1, low_rank.cols());
+  for (std::size_t j = 0; j < low_rank.cols(); ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < low_rank.rows(); ++i) sum += low_rank(i, j);
+    row(0, j) = sum / static_cast<double>(low_rank.rows());
+  }
+  return netmodel::TemporalPerformance::unflatten_row(row, 0, cluster_size);
+}
+
+ConstantComponent find_constant(const netmodel::TemporalPerformance& series,
+                                const ConstantFinderOptions& options) {
+  NETCONST_CHECK(series.row_count() >= 2,
+                 "need at least two calibration rows");
+  const std::size_t n = series.cluster_size();
+  const Stopwatch clock;
+
+  const linalg::Matrix lat_data =
+      series.flatten(netmodel::Field::Latency);
+  const linalg::Matrix bw_data =
+      series.flatten(netmodel::Field::Bandwidth);
+
+  const rpca::Result lat =
+      rpca::solve(lat_data, options.solver, options.rpca);
+  const rpca::Result bw = rpca::solve(bw_data, options.solver, options.rpca);
+
+  ConstantComponent component;
+  component.solve_seconds = clock.seconds();
+  component.latency_rank = lat.rank;
+  component.bandwidth_rank = bw.rank;
+  component.latency_error_norm =
+      rpca::relative_l0(lat.sparse, lat_data, options.l0_rel_tolerance);
+  component.error_norm =
+      rpca::relative_l0(bw.sparse, bw_data, options.l0_rel_tolerance);
+  component.constant = netmodel::matrices_to_performance(
+      constant_row(lat.low_rank, n), constant_row(bw.low_rank, n));
+  return component;
+}
+
+}  // namespace netconst::core

@@ -1,0 +1,54 @@
+#include "core/economics.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace netconst::core {
+
+double occupancy_cost(const PricingModel& pricing, std::size_t instances,
+                      double seconds) {
+  NETCONST_CHECK(pricing.price_per_instance_hour >= 0.0,
+                 "price must be non-negative");
+  NETCONST_CHECK(pricing.billing_granularity_seconds > 0.0,
+                 "billing granularity must be positive");
+  NETCONST_CHECK(seconds >= 0.0, "duration must be non-negative");
+  const double billed =
+      std::ceil(seconds / pricing.billing_granularity_seconds) *
+      pricing.billing_granularity_seconds;
+  return static_cast<double>(instances) * billed / 3600.0 *
+         pricing.price_per_instance_hour;
+}
+
+CostReport application_cost(const PricingModel& pricing,
+                            std::size_t instances,
+                            const AppBreakdown& breakdown) {
+  CostReport report;
+  report.runtime_cost = occupancy_cost(
+      pricing, instances,
+      breakdown.compute_seconds + breakdown.communication_seconds);
+  report.overhead_cost =
+      occupancy_cost(pricing, instances, breakdown.overhead_seconds);
+  return report;
+}
+
+BreakEven break_even(const PricingModel& pricing, std::size_t instances,
+                     double baseline_seconds, double optimized_seconds,
+                     double overhead_seconds) {
+  NETCONST_CHECK(baseline_seconds >= 0.0 && optimized_seconds >= 0.0 &&
+                     overhead_seconds >= 0.0,
+                 "durations must be non-negative");
+  BreakEven result;
+  result.saving_per_run =
+      occupancy_cost(pricing, instances, baseline_seconds) -
+      occupancy_cost(pricing, instances, optimized_seconds);
+  result.investment = occupancy_cost(pricing, instances, overhead_seconds);
+  result.runs_to_break_even =
+      result.saving_per_run > 0.0
+          ? result.investment / result.saving_per_run
+          : std::numeric_limits<double>::infinity();
+  return result;
+}
+
+}  // namespace netconst::core

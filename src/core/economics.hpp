@@ -1,0 +1,56 @@
+// Economic impact of network-aware optimization — the paper's stated
+// future work ("we plan to investigate the economic impacts [42] of our
+// approach"). On a pay-as-you-go cloud the bill is instance-hours:
+// every second shaved off a distributed run is money, and calibration
+// overhead is money spent up front. This module turns campaign and
+// application timings into dollars so the break-even point is explicit.
+#pragma once
+
+#include <cstddef>
+
+#include "core/experiment.hpp"
+
+namespace netconst::core {
+
+struct PricingModel {
+  /// Price of one instance-hour (the paper's m1.medium era: ~$0.12/h).
+  double price_per_instance_hour = 0.12;
+  /// Billing granularity in seconds (classic EC2 billed whole hours;
+  /// modern clouds bill per second). Durations are rounded UP to this.
+  double billing_granularity_seconds = 1.0;
+};
+
+/// Cost of occupying `instances` VMs for `seconds`.
+double occupancy_cost(const PricingModel& pricing, std::size_t instances,
+                      double seconds);
+
+/// Money report for one application run under one strategy.
+struct CostReport {
+  double runtime_cost = 0.0;   // compute + communication occupancy
+  double overhead_cost = 0.0;  // calibration + RPCA occupancy
+  double total() const { return runtime_cost + overhead_cost; }
+};
+
+/// Cost of an application breakdown (Figure 9 style) on `instances` VMs.
+CostReport application_cost(const PricingModel& pricing,
+                            std::size_t instances,
+                            const AppBreakdown& breakdown);
+
+/// Break-even analysis: how many runs of an operation amortize the
+/// one-time calibration investment?
+struct BreakEven {
+  double saving_per_run = 0.0;     // dollars saved per optimized run
+  double investment = 0.0;         // calibration + solve cost
+  /// Runs needed before the investment pays for itself; infinity when
+  /// the optimized run is not actually cheaper.
+  double runs_to_break_even = 0.0;
+};
+
+/// `baseline_seconds` / `optimized_seconds` are per-run durations;
+/// `overhead_seconds` is the one-time calibration investment. All on
+/// `instances` VMs.
+BreakEven break_even(const PricingModel& pricing, std::size_t instances,
+                     double baseline_seconds, double optimized_seconds,
+                     double overhead_seconds);
+
+}  // namespace netconst::core

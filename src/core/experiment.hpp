@@ -1,0 +1,129 @@
+// Experiment campaigns: the machinery behind every figure harness.
+//
+// A campaign mirrors the paper's EC2 methodology: calibrate once, then
+// run the operation under every compared strategy at regular intervals
+// (one experimental run every 30 minutes for a week), scoring each run
+// against the *instantaneous* network state — either through the
+// alpha-beta model on the oracle snapshot (trace replay) or by executing
+// inside the flow simulator. RPCA performs Algorithm 1 maintenance along
+// the way.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "apps/cg.hpp"
+#include "cloud/calibration.hpp"
+#include "collective/collective_ops.hpp"
+#include "core/constant_finder.hpp"
+#include "core/heuristics.hpp"
+#include "core/strategy.hpp"
+#include "support/rng.hpp"
+
+namespace netconst::core {
+
+/// Scores a planned tree against the current network. The default
+/// (model) evaluator computes the alpha-beta time on the oracle
+/// snapshot; the simulator evaluator executes the tree for real.
+using TreeTimer = std::function<double(
+    const collective::CommTree& tree,
+    const netmodel::PerformanceMatrix& oracle)>;
+
+struct CampaignOptions {
+  std::vector<Strategy> strategies = {Strategy::Baseline,
+                                      Strategy::Heuristics, Strategy::Rpca};
+  collective::Collective op = collective::Collective::Broadcast;
+  std::uint64_t bytes = 8ull * 1024 * 1024;
+  std::size_t repeats = 100;
+  /// Simulated seconds between experimental runs (paper: 30 minutes).
+  double interval_seconds = 1800.0;
+  cloud::SeriesOptions calibration;
+  ConstantFinderOptions finder;
+  HeuristicKind heuristic = HeuristicKind::Mean;
+  /// Algorithm 1 maintenance threshold (1.0 = the paper's 100%).
+  double maintenance_threshold = 1.0;
+  std::uint64_t seed = 7;
+  /// Rack of each member — enables Strategy::TopologyAware.
+  const std::vector<std::size_t>* racks = nullptr;
+  /// Non-default evaluator (e.g. simulator execution). Null = model.
+  TreeTimer timer;
+};
+
+struct CampaignResult {
+  std::map<Strategy, std::vector<double>> times;  // per-repeat seconds
+  double error_norm = 0.0;             // Norm(N_E) of the last calibration
+  double calibration_seconds = 0.0;    // initial calibration cost
+  double rpca_solve_seconds = 0.0;     // initial RPCA cost
+  std::size_t recalibrations = 0;      // maintenance-triggered
+  double maintenance_seconds = 0.0;    // total re-calibration cost
+
+  /// Mean time of one strategy. Throws if absent/empty.
+  double mean_time(Strategy strategy) const;
+  /// mean(strategy) / mean(reference).
+  double normalized_mean(Strategy strategy, Strategy reference) const;
+  /// 1 - mean(strategy) / mean(reference): the paper's "improvement
+  /// over" metric.
+  double improvement_over(Strategy strategy, Strategy reference) const;
+};
+
+/// Collective-operation campaign (Figures 6, 7, 8, 10, 11, 13).
+CampaignResult run_collective_campaign(cloud::NetworkProvider& provider,
+                                       const CampaignOptions& options);
+
+struct MappingCampaignOptions {
+  std::vector<Strategy> strategies = {Strategy::Baseline,
+                                      Strategy::Heuristics, Strategy::Rpca};
+  std::size_t repeats = 100;
+  double interval_seconds = 1800.0;
+  /// Task-graph volumes (paper: uniform 5-10 MB).
+  double min_volume = 5.0 * 1024 * 1024;
+  double max_volume = 10.0 * 1024 * 1024;
+  /// Fraction of ordered task pairs that communicate. On a complete
+  /// graph every machine talks to every machine and no placement can
+  /// help; sparse graphs are where mapping matters.
+  double density = 0.2;
+  cloud::SeriesOptions calibration;
+  ConstantFinderOptions finder;
+  HeuristicKind heuristic = HeuristicKind::Mean;
+  std::uint64_t seed = 7;
+  const std::vector<std::size_t>* racks = nullptr;
+};
+
+/// Topology-mapping campaign (Figures 7, 13).
+CampaignResult run_mapping_campaign(cloud::NetworkProvider& provider,
+                                    const MappingCampaignOptions& options);
+
+/// Compute/communication/overhead breakdown of one distributed
+/// application run (Figure 9).
+struct AppBreakdown {
+  double compute_seconds = 0.0;
+  double communication_seconds = 0.0;
+  double overhead_seconds = 0.0;  // calibration + RPCA solve
+
+  double total() const {
+    return compute_seconds + communication_seconds + overhead_seconds;
+  }
+};
+
+struct AppCampaignOptions {
+  std::vector<Strategy> strategies = {Strategy::Baseline,
+                                      Strategy::Heuristics, Strategy::Rpca};
+  cloud::SeriesOptions calibration;
+  ConstantFinderOptions finder;
+  HeuristicKind heuristic = HeuristicKind::Mean;
+  std::uint64_t seed = 7;
+  /// Re-sample the oracle every this many rounds (the network drifts
+  /// slowly relative to one round).
+  std::size_t oracle_refresh_rounds = 16;
+};
+
+/// Run a distributed application profile (N-body / CG) under each
+/// strategy. All-to-all = gather + broadcast per round; Baseline needs
+/// no calibration, performance-aware strategies pay it as overhead.
+std::map<Strategy, AppBreakdown> run_app_campaign(
+    cloud::NetworkProvider& provider, const apps::DistributedProfile& profile,
+    const AppCampaignOptions& options);
+
+}  // namespace netconst::core

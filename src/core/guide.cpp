@@ -1,0 +1,51 @@
+#include "core/guide.hpp"
+
+#include <cmath>
+
+#include "collective/fnf.hpp"
+#include "support/error.hpp"
+
+namespace netconst::core {
+
+RpcaGuide::RpcaGuide(cloud::NetworkProvider& provider, GuideOptions options)
+    : provider_(provider), options_(std::move(options)) {
+  NETCONST_CHECK(options_.threshold > 0.0, "threshold must be positive");
+  recalibrate();
+}
+
+double RpcaGuide::recalibrate() {
+  const cloud::SeriesResult series =
+      cloud::calibrate_series(provider_, options_.series);
+  component_ = find_constant(series.series, options_.finder);
+  // RPCA runs on the user's machine but still costs wall-clock time that
+  // the provider clock should reflect.
+  provider_.advance(component_.solve_seconds);
+  const double cost = series.elapsed_seconds + component_.solve_seconds;
+  maintenance_seconds_ += cost;
+  ++calibration_count_;
+  return cost;
+}
+
+RpcaGuide::OperationReport RpcaGuide::run_operation(
+    collective::Collective op, std::size_t root, std::uint64_t bytes,
+    const OperationExecutor& executor) {
+  OperationReport report;
+  const collective::CommTree tree = collective::fnf_tree(
+      component_.constant.weight_matrix(bytes), root);
+  report.expected_seconds =
+      collective::collective_time(tree, component_.constant, op, bytes);
+  report.real_seconds = executor(tree);
+  NETCONST_CHECK(report.expected_seconds > 0.0,
+                 "expected operation time must be positive");
+
+  const double deviation =
+      std::abs(report.real_seconds - report.expected_seconds) /
+      report.expected_seconds;
+  if (deviation >= options_.threshold) {
+    report.recalibrated = true;
+    report.maintenance_seconds = recalibrate();
+  }
+  return report;
+}
+
+}  // namespace netconst::core

@@ -1,0 +1,77 @@
+// Algorithm 1: the adaptive RPCA-based guide.
+//
+//  1. Calibrate a TP-matrix N_A on the virtual cluster.
+//  2. Run RPCA -> N_D (constant component), N_E (error).
+//  3. Plan the network communication operation with N_D.
+//  4. Measure the real performance t; compare with the expected t'
+//     estimated from N_D via the alpha-beta model.
+//  5. If |t - t'| / t' >= threshold -> significant change: re-calibrate
+//     (go to 1); otherwise keep using the same N_D.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cloud/calibration.hpp"
+#include "collective/collective_ops.hpp"
+#include "core/constant_finder.hpp"
+
+namespace netconst::core {
+
+struct GuideOptions {
+  /// Calibration series parameters (the time step lives here).
+  cloud::SeriesOptions series;
+  ConstantFinderOptions finder;
+  /// Maintenance threshold on |t - t'| / t'; the paper's default is 100%.
+  double threshold = 1.0;
+};
+
+/// Measures the real elapsed time of running the planned operation; the
+/// campaign code supplies either an oracle-model evaluator (trace
+/// replay) or a simulator executor.
+using OperationExecutor =
+    std::function<double(const collective::CommTree& tree)>;
+
+class RpcaGuide {
+ public:
+  /// Calibrates immediately (Algorithm 1 line 1-2), consuming provider
+  /// time.
+  RpcaGuide(cloud::NetworkProvider& provider, GuideOptions options);
+
+  const ConstantComponent& component() const { return component_; }
+  const netmodel::PerformanceMatrix& constant() const {
+    return component_.constant;
+  }
+  double error_norm() const { return component_.error_norm; }
+
+  /// Cumulative provider time spent calibrating + solving (the
+  /// "update maintenance overhead" of Figure 6b).
+  double maintenance_seconds() const { return maintenance_seconds_; }
+  std::size_t calibration_count() const { return calibration_count_; }
+
+  struct OperationReport {
+    double real_seconds = 0.0;
+    double expected_seconds = 0.0;
+    bool recalibrated = false;
+    double maintenance_seconds = 0.0;  // spent by this operation's check
+  };
+
+  /// Lines 3-9 for one collective operation: plan with N_D, execute,
+  /// compare against the expectation, re-calibrate when the deviation
+  /// crosses the threshold.
+  OperationReport run_operation(collective::Collective op, std::size_t root,
+                                std::uint64_t bytes,
+                                const OperationExecutor& executor);
+
+  /// Force a re-calibration (line 1); returns its provider-time cost.
+  double recalibrate();
+
+ private:
+  cloud::NetworkProvider& provider_;
+  GuideOptions options_;
+  ConstantComponent component_;
+  double maintenance_seconds_ = 0.0;
+  std::size_t calibration_count_ = 0;
+};
+
+}  // namespace netconst::core

@@ -1,0 +1,78 @@
+#include "core/heuristics.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace netconst::core {
+
+const char* heuristic_name(HeuristicKind kind) {
+  switch (kind) {
+    case HeuristicKind::Mean:
+      return "mean";
+    case HeuristicKind::Min:
+      return "min";
+    case HeuristicKind::Ewa:
+      return "ewa";
+    case HeuristicKind::LastValue:
+      return "last";
+  }
+  return "unknown";
+}
+
+netmodel::PerformanceMatrix heuristic_matrix(
+    const netmodel::TemporalPerformance& series, HeuristicKind kind,
+    double ewa_alpha) {
+  NETCONST_CHECK(!series.empty(), "empty series");
+  NETCONST_CHECK(ewa_alpha > 0.0 && ewa_alpha <= 1.0,
+                 "ewa_alpha must be in (0, 1]");
+  const std::size_t n = series.cluster_size();
+  const std::size_t rows = series.row_count();
+  netmodel::PerformanceMatrix out(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      netmodel::LinkParams link;
+      switch (kind) {
+        case HeuristicKind::Mean: {
+          double alpha = 0.0, beta = 0.0;
+          for (std::size_t r = 0; r < rows; ++r) {
+            const auto p = series.snapshot(r).link(i, j);
+            alpha += p.alpha;
+            beta += p.beta;
+          }
+          link.alpha = alpha / static_cast<double>(rows);
+          link.beta = beta / static_cast<double>(rows);
+          break;
+        }
+        case HeuristicKind::Min: {
+          // "Best observed": smallest latency, largest bandwidth.
+          link = series.snapshot(0).link(i, j);
+          for (std::size_t r = 1; r < rows; ++r) {
+            const auto p = series.snapshot(r).link(i, j);
+            link.alpha = std::min(link.alpha, p.alpha);
+            link.beta = std::max(link.beta, p.beta);
+          }
+          break;
+        }
+        case HeuristicKind::Ewa: {
+          link = series.snapshot(0).link(i, j);
+          for (std::size_t r = 1; r < rows; ++r) {
+            const auto p = series.snapshot(r).link(i, j);
+            link.alpha = (1.0 - ewa_alpha) * link.alpha + ewa_alpha * p.alpha;
+            link.beta = (1.0 - ewa_alpha) * link.beta + ewa_alpha * p.beta;
+          }
+          break;
+        }
+        case HeuristicKind::LastValue:
+          link = series.snapshot(rows - 1).link(i, j);
+          break;
+      }
+      out.set_link(i, j, link);
+    }
+  }
+  return out;
+}
+
+}  // namespace netconst::core

@@ -1,0 +1,28 @@
+// The paper's "Heuristics" comparison: direct use of the raw calibration
+// measurements, summarizing each link independently (per-column mean of
+// the TP-matrix by default; minimum and exponentially weighted average
+// behave similarly per the paper and are provided for the ablation).
+// Unlike RPCA, these treat every link separately and cannot exploit the
+// joint low-rank structure.
+#pragma once
+
+#include "netmodel/tp_matrix.hpp"
+
+namespace netconst::core {
+
+enum class HeuristicKind {
+  Mean,       // per-link arithmetic mean over the calibration rows
+  Min,        // per-link best observed value (max bandwidth, min latency)
+  Ewa,        // exponentially weighted average, newest row heaviest
+  LastValue,  // most recent snapshot only (pure ad-hoc measurement)
+};
+
+const char* heuristic_name(HeuristicKind kind);
+
+/// Summarize the series into one PerformanceMatrix. `ewa_alpha` is the
+/// smoothing factor for HeuristicKind::Ewa (weight of the newest row).
+netmodel::PerformanceMatrix heuristic_matrix(
+    const netmodel::TemporalPerformance& series, HeuristicKind kind,
+    double ewa_alpha = 0.3);
+
+}  // namespace netconst::core

@@ -1,0 +1,92 @@
+#include "core/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace netconst::core {
+namespace {
+
+// Perturb `fraction` of the (row, link) cells of a copy of the series.
+netmodel::TemporalPerformance perturb(
+    const netmodel::TemporalPerformance& series, double fraction, Rng rng,
+    const NoiseOptions& options) {
+  const std::size_t n = series.cluster_size();
+  const std::size_t links = n * (n - 1);
+  netmodel::TemporalPerformance out;
+  for (std::size_t r = 0; r < series.row_count(); ++r) {
+    netmodel::PerformanceMatrix snap = series.snapshot(r);
+    const auto cells = static_cast<std::size_t>(
+        std::llround(fraction * static_cast<double>(links)));
+    for (std::size_t pick : rng.sample_without_replacement(links, cells)) {
+      // pick indexes the off-diagonal cells row-major.
+      const std::size_t i = pick / (n - 1);
+      std::size_t j = pick % (n - 1);
+      if (j >= i) ++j;
+      netmodel::LinkParams link = snap.link(i, j);
+      const double factor =
+          rng.uniform(options.min_factor, options.max_factor);
+      if (options.symmetric && rng.bernoulli(0.5)) {
+        link.beta *= factor;  // transiently looks better than it is
+      } else {
+        link.beta /= factor;
+        link.alpha *= rng.uniform(1.0, options.max_factor);
+      }
+      snap.set_link(i, j, link);
+    }
+    out.append(series.time_at(r), std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace
+
+NoiseInjectionResult inject_noise_to_norm(
+    const netmodel::TemporalPerformance& series, double target_norm,
+    Rng& rng, const NoiseOptions& options) {
+  NETCONST_CHECK(target_norm >= 0.0 && target_norm <= 0.9,
+                 "target norm out of range");
+  NETCONST_CHECK(series.row_count() >= 2, "series too short");
+
+  NoiseInjectionResult result;
+  const ConstantComponent base = find_constant(series, options.finder);
+  ++result.rpca_evaluations;
+  if (base.error_norm >= target_norm - options.tolerance) {
+    // Already at (or beyond) the target.
+    result.series = series;
+    result.achieved_norm = base.error_norm;
+    return result;
+  }
+
+  // The perturbed fraction translates nearly one-to-one into Norm(N_E);
+  // start there and refine with a secant step.
+  double fraction =
+      std::clamp(target_norm - base.error_norm, 0.0, 0.95);
+  double best_gap = 1.0;
+  for (int it = 0; it < options.max_evaluations; ++it) {
+    const Rng attempt_rng = rng.split();
+    netmodel::TemporalPerformance candidate =
+        perturb(series, fraction, attempt_rng, options);
+    const ConstantComponent component =
+        find_constant(candidate, options.finder);
+    ++result.rpca_evaluations;
+    const double gap = std::abs(component.error_norm - target_norm);
+    if (gap < best_gap) {
+      best_gap = gap;
+      result.series = std::move(candidate);
+      result.achieved_norm = component.error_norm;
+    }
+    if (gap <= options.tolerance) break;
+    // Secant-style scaling of the fraction towards the target.
+    if (component.error_norm > 1e-9) {
+      fraction = std::clamp(
+          fraction * target_norm / component.error_norm, 0.001, 0.95);
+    } else {
+      fraction = std::min(fraction * 2.0, 0.95);
+    }
+  }
+  return result;
+}
+
+}  // namespace netconst::core

@@ -1,0 +1,91 @@
+#include "core/strategy.hpp"
+
+#include "collective/binomial.hpp"
+#include "collective/fnf.hpp"
+#include "collective/topology_aware.hpp"
+#include "support/error.hpp"
+
+namespace netconst::core {
+
+const char* strategy_name(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::Baseline:
+      return "Baseline";
+    case Strategy::Heuristics:
+      return "Heuristics";
+    case Strategy::Rpca:
+      return "RPCA";
+    case Strategy::TopologyAware:
+      return "Topology-aware";
+    case Strategy::Oracle:
+      return "Oracle";
+  }
+  return "unknown";
+}
+
+collective::CommTree plan_tree(Strategy strategy, std::size_t size,
+                               std::size_t root,
+                               const PlanContext& context) {
+  switch (strategy) {
+    case Strategy::Baseline:
+      return collective::binomial_tree(size, root);
+    case Strategy::TopologyAware:
+      NETCONST_CHECK(context.racks != nullptr,
+                     "TopologyAware planning needs rack information");
+      NETCONST_CHECK(context.racks->size() == size,
+                     "rack list size mismatch");
+      return collective::topology_aware_tree(*context.racks, root);
+    case Strategy::Heuristics:
+    case Strategy::Rpca:
+    case Strategy::Oracle: {
+      NETCONST_CHECK(context.guidance != nullptr,
+                     "performance-aware planning needs a guidance matrix");
+      NETCONST_CHECK(context.guidance->size() == size,
+                     "guidance matrix size mismatch");
+      return collective::fnf_tree(
+          context.guidance->weight_matrix(context.bytes), root);
+    }
+  }
+  throw Error("unknown strategy");
+}
+
+mapping::Mapping plan_mapping(Strategy strategy,
+                              const mapping::TaskGraph& tasks,
+                              const PlanContext& context) {
+  switch (strategy) {
+    case Strategy::Baseline:
+      return mapping::ring_mapping(tasks.size());
+    case Strategy::TopologyAware: {
+      NETCONST_CHECK(context.racks != nullptr,
+                     "TopologyAware mapping needs rack information");
+      NETCONST_CHECK(context.racks->size() == tasks.size(),
+                     "rack list size mismatch");
+      // Synthetic machine graph: strong intra-rack links, weak
+      // cross-rack links; the greedy heuristic then packs heavy task
+      // neighbourhoods into racks.
+      mapping::MachineGraph machines(tasks.size());
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        for (std::size_t j = 0; j < tasks.size(); ++j) {
+          if (i == j) continue;
+          const bool same =
+              (*context.racks)[i] == (*context.racks)[j];
+          machines.set_bandwidth(i, j, same ? 1e9 : 1e8);
+        }
+      }
+      return mapping::greedy_mapping(tasks, machines);
+    }
+    case Strategy::Heuristics:
+    case Strategy::Rpca:
+    case Strategy::Oracle: {
+      NETCONST_CHECK(context.guidance != nullptr,
+                     "performance-aware mapping needs a guidance matrix");
+      NETCONST_CHECK(context.guidance->size() == tasks.size(),
+                     "guidance matrix size mismatch");
+      return mapping::greedy_mapping(
+          tasks, mapping::MachineGraph::from_performance(*context.guidance));
+    }
+  }
+  throw Error("unknown strategy");
+}
+
+}  // namespace netconst::core

@@ -1,0 +1,55 @@
+// Optimization strategies compared throughout the evaluation, and the
+// planners that turn a strategy + guidance into a communication tree or
+// a topology mapping.
+//
+//  Baseline       — MPICH2 binomial tree / ring mapping, no network
+//                   awareness;
+//  Heuristics     — FNF / greedy mapping on the raw measurement average;
+//  Rpca           — FNF / greedy mapping on the RPCA constant component;
+//  TopologyAware  — rack-hierarchical tree (needs topology knowledge;
+//                   only available in the simulator);
+//  Oracle         — FNF / greedy mapping on the instantaneous true
+//                   matrix (the offline upper bound).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "collective/comm_tree.hpp"
+#include "mapping/mapping.hpp"
+#include "netmodel/perf_matrix.hpp"
+
+namespace netconst::core {
+
+enum class Strategy { Baseline, Heuristics, Rpca, TopologyAware, Oracle };
+
+const char* strategy_name(Strategy strategy);
+
+/// Everything a planner might need; strategies use the parts they need
+/// and ignore the rest.
+struct PlanContext {
+  /// Guidance matrix (RPCA constant / heuristic summary / oracle truth).
+  /// Required for Heuristics, Rpca and Oracle.
+  const netmodel::PerformanceMatrix* guidance = nullptr;
+  /// Rack of each member. Required for TopologyAware.
+  const std::vector<std::size_t>* racks = nullptr;
+  /// Message size used to convert alpha-beta guidance into FNF weights.
+  std::uint64_t bytes = 8ull * 1024 * 1024;
+};
+
+/// Communication tree for a collective rooted at `root` over `size`
+/// members. Throws ContractViolation when the context lacks what the
+/// strategy needs.
+collective::CommTree plan_tree(Strategy strategy, std::size_t size,
+                               std::size_t root, const PlanContext& context);
+
+/// Task-to-machine mapping. TopologyAware is not defined for mapping on
+/// the opaque cloud; it falls back to rack-aware greedy when racks are
+/// available (tasks mapped via guidance = infinite intra-rack preference)
+/// and is rejected otherwise.
+mapping::Mapping plan_mapping(Strategy strategy,
+                              const mapping::TaskGraph& tasks,
+                              const PlanContext& context);
+
+}  // namespace netconst::core

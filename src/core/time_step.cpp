@@ -1,0 +1,71 @@
+#include "core/time_step.hpp"
+
+#include <cmath>
+
+#include "linalg/norms.hpp"
+#include "support/error.hpp"
+
+namespace netconst::core {
+namespace {
+
+netmodel::TemporalPerformance prefix(
+    const netmodel::TemporalPerformance& full, std::size_t rows) {
+  netmodel::TemporalPerformance out;
+  for (std::size_t r = 0; r < rows; ++r) {
+    out.append(full.time_at(r), full.snapshot(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+TimeStepDifference long_term_difference(
+    const netmodel::TemporalPerformance& full, std::size_t time_step,
+    const TimeStepOptions& options) {
+  NETCONST_CHECK(time_step >= 2, "time step must be >= 2");
+  NETCONST_CHECK(time_step <= full.row_count(),
+                 "time step exceeds the trace length");
+
+  const ConstantComponent estimate =
+      find_constant(prefix(full, time_step), options.finder);
+  const ConstantComponent oracle = find_constant(full, options.finder);
+
+  // Compare the bandwidth constant (the layer Norm(N_E) is defined on).
+  const std::size_t n = full.cluster_size();
+  std::size_t different = 0, total = 0;
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double est = estimate.constant.link(i, j).beta;
+      const double ref = oracle.constant.link(i, j).beta;
+      ++total;
+      if (std::abs(est - ref) > options.rel_entry_tolerance * std::abs(ref)) {
+        ++different;
+      }
+      num += (est - ref) * (est - ref);
+      den += ref * ref;
+    }
+  }
+  TimeStepDifference diff;
+  diff.l0_difference =
+      total == 0 ? 0.0
+                 : static_cast<double>(different) / static_cast<double>(total);
+  diff.frobenius_difference = den == 0.0 ? 0.0 : std::sqrt(num / den);
+  return diff;
+}
+
+std::size_t select_time_step(const netmodel::TemporalPerformance& full,
+                             std::size_t max_time_step, double target,
+                             const TimeStepOptions& options) {
+  NETCONST_CHECK(max_time_step >= 2, "max time step must be >= 2");
+  const std::size_t limit = std::min(max_time_step, full.row_count());
+  for (std::size_t step = 2; step <= limit; ++step) {
+    if (long_term_difference(full, step, options).l0_difference <= target) {
+      return step;
+    }
+  }
+  return limit;
+}
+
+}  // namespace netconst::core

@@ -1,0 +1,40 @@
+// Time-step accuracy study (Figure 5): how close is the constant
+// component estimated from the first `time_step` calibration rows to the
+// oracle constant component computed from the whole trace?
+//
+// The paper's metric is Norm(P_D) = ||P_D - P'_D||_0 / ||P'_D||_0. In
+// floating point an exact zero-count is meaningless, so an entry counts
+// as "different" when it deviates from the oracle by more than
+// `rel_entry_tolerance` of the oracle value (default 5%); the relative
+// Frobenius distance is reported alongside as a smooth cross-check.
+#pragma once
+
+#include "core/constant_finder.hpp"
+
+namespace netconst::core {
+
+struct TimeStepDifference {
+  double l0_difference = 0.0;         // the paper's Norm(P_D)
+  double frobenius_difference = 0.0;  // smooth cross-check
+};
+
+struct TimeStepOptions {
+  double rel_entry_tolerance = 0.05;
+  ConstantFinderOptions finder;
+};
+
+/// Compare the constant component from the first `time_step` rows of
+/// `full` against the one from all rows. Requires
+/// 2 <= time_step <= full.row_count().
+TimeStepDifference long_term_difference(
+    const netmodel::TemporalPerformance& full, std::size_t time_step,
+    const TimeStepOptions& options = {});
+
+/// The paper's selection rule: the smallest time step whose difference
+/// is within `target` (10% by default). Scans 2..max_time_step.
+std::size_t select_time_step(const netmodel::TemporalPerformance& full,
+                             std::size_t max_time_step,
+                             double target = 0.10,
+                             const TimeStepOptions& options = {});
+
+}  // namespace netconst::core

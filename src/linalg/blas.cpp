@@ -1,0 +1,121 @@
+#include "linalg/blas.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/parallel_for.hpp"
+
+namespace netconst::linalg {
+namespace {
+
+// Row-panel kernel: computes rows [r0, r1) of C = A * B using an ikj loop
+// order that streams B rows sequentially (row-major friendly).
+void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
+               std::size_t r1) {
+  const std::size_t k_dim = a.cols();
+  const std::size_t n = b.cols();
+  for (std::size_t i = r0; i < r1; ++i) {
+    auto ci = c.row(i);
+    for (std::size_t k = 0; k < k_dim; ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const auto bk = b.row(k);
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+}  // namespace
+
+Matrix multiply(const Matrix& a, const Matrix& b) {
+  NETCONST_CHECK(a.cols() == b.rows(), "gemm inner dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  // Parallel over row panels; the per-row work is O(k*n), so a grain of 1
+  // row is already coarse for the matrix sizes RPCA produces.
+  parallel_for_chunked(
+      0, a.rows(),
+      [&](std::size_t lo, std::size_t hi) { gemm_rows(a, b, c, lo, hi); },
+      /*grain=*/1);
+  return c;
+}
+
+Matrix gram(const Matrix& a) {
+  const std::size_t n = a.cols();
+  Matrix g(n, n);
+  // G(j1, j2) = sum_i a(i, j1) * a(i, j2); parallel over j1.
+  parallel_for_chunked(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t j1 = lo; j1 < hi; ++j1) {
+          for (std::size_t j2 = j1; j2 < n; ++j2) {
+            double s = 0.0;
+            for (std::size_t i = 0; i < a.rows(); ++i) {
+              s += a(i, j1) * a(i, j2);
+            }
+            g(j1, j2) = s;
+            g(j2, j1) = s;
+          }
+        }
+      },
+      /*grain=*/1);
+  return g;
+}
+
+Matrix outer_gram(const Matrix& a) {
+  const std::size_t m = a.rows();
+  Matrix g(m, m);
+  parallel_for_chunked(
+      0, m,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i1 = lo; i1 < hi; ++i1) {
+          const auto r1 = a.row(i1);
+          for (std::size_t i2 = i1; i2 < m; ++i2) {
+            const double s = dot(r1, a.row(i2));
+            g(i1, i2) = s;
+            g(i2, i1) = s;
+          }
+        }
+      },
+      /*grain=*/1);
+  return g;
+}
+
+std::vector<double> multiply(const Matrix& a, std::span<const double> x) {
+  NETCONST_CHECK(a.cols() == x.size(), "gemv dimension mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) y[i] = dot(a.row(i), x);
+  return y;
+}
+
+std::vector<double> multiply_transposed(const Matrix& a,
+                                        std::span<const double> x) {
+  NETCONST_CHECK(a.rows() == x.size(), "gemv^T dimension mismatch");
+  std::vector<double> y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const auto ri = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * ri[j];
+  }
+  return y;
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  NETCONST_CHECK(x.size() == y.size(), "dot dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  NETCONST_CHECK(x.size() == y.size(), "axpy dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(double alpha, std::span<double> x) {
+  for (auto& v : x) v *= alpha;
+}
+
+}  // namespace netconst::linalg

@@ -1,0 +1,41 @@
+// Level-2/3 kernels on Matrix. gemm is cache-blocked and parallelized
+// over row panels via the shared thread pool; everything downstream
+// (Gram matrices for the SVD fast path, RPCA iterations) sits on top.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace netconst::linalg {
+
+/// C = A * B. Shapes: (m x k) * (k x n) -> (m x n).
+Matrix multiply(const Matrix& a, const Matrix& b);
+
+/// C = A^T * A (n x n), exploiting symmetry.
+Matrix gram(const Matrix& a);
+
+/// C = A * A^T (m x m), exploiting symmetry.
+Matrix outer_gram(const Matrix& a);
+
+/// y = A * x.
+std::vector<double> multiply(const Matrix& a, std::span<const double> x);
+
+/// y = A^T * x.
+std::vector<double> multiply_transposed(const Matrix& a,
+                                        std::span<const double> x);
+
+/// Dot product.
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean norm of a vector.
+double norm2(std::span<const double> x);
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void scale(double alpha, std::span<double> x);
+
+}  // namespace netconst::linalg

@@ -1,0 +1,113 @@
+#include "linalg/eigen_sym.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace netconst::linalg {
+namespace {
+
+double off_diagonal_norm(const Matrix& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) s += a(i, j) * a(i, j);
+  }
+  return std::sqrt(2.0 * s);
+}
+
+double frobenius(const Matrix& a) {
+  double s = 0.0;
+  for (double v : a.data()) s += v * v;
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+SymmetricEigen eigen_symmetric(const Matrix& a,
+                               const JacobiOptions& options) {
+  NETCONST_CHECK(a.rows() == a.cols(), "eigen_symmetric needs square input");
+  const std::size_t n = a.rows();
+  // Loose symmetry check: tolerate roundoff from Gram accumulation.
+  double asym = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      asym = std::max(asym, std::abs(a(i, j) - a(j, i)));
+    }
+  }
+  const double scale = std::max(frobenius(a), 1.0);
+  NETCONST_CHECK(asym <= 1e-8 * scale, "input is not symmetric");
+
+  Matrix w = a;  // working copy, symmetrized
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double avg = 0.5 * (w(i, j) + w(j, i));
+      w(i, j) = avg;
+      w(j, i) = avg;
+    }
+  }
+  Matrix v = Matrix::identity(n);
+
+  SymmetricEigen result;
+  const double stop = options.tolerance * scale;
+  int sweep = 0;
+  for (; sweep < options.max_sweeps; ++sweep) {
+    if (off_diagonal_norm(w) <= stop) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = w(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double app = w(p, p);
+        const double aqq = w(q, q);
+        // Classic Jacobi rotation annihilating w(p, q).
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double wkp = w(k, p);
+          const double wkq = w(k, q);
+          w(k, p) = c * wkp - s * wkq;
+          w(k, q) = s * wkp + c * wkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double wpk = w(p, k);
+          const double wqk = w(q, k);
+          w(p, k) = c * wpk - s * wqk;
+          w(q, k) = s * wpk + c * wqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  result.sweeps = sweep;
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = w(i, i);
+  std::sort(order.begin(), order.end(),
+            [&diag](std::size_t x, std::size_t y) {
+              return diag[x] > diag[y];
+            });
+  result.eigenvalues.resize(n);
+  result.eigenvectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    result.eigenvalues[k] = diag[order[k]];
+    for (std::size_t i = 0; i < n; ++i) {
+      result.eigenvectors(i, k) = v(i, order[k]);
+    }
+  }
+  return result;
+}
+
+}  // namespace netconst::linalg

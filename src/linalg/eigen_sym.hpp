@@ -1,0 +1,32 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//
+// Used by the SVD Gram fast path: the TP-matrices RPCA decomposes are
+// extremely rectangular (time-step rows x N^2 columns, e.g. 10 x 38416),
+// so the m x m Gram matrix is tiny and Jacobi converges in a handful of
+// sweeps with excellent accuracy.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace netconst::linalg {
+
+/// Result of a symmetric eigendecomposition A = V diag(w) V^T.
+struct SymmetricEigen {
+  std::vector<double> eigenvalues;  // descending order
+  Matrix eigenvectors;              // columns match eigenvalues
+  int sweeps = 0;                   // Jacobi sweeps used
+};
+
+/// Options for the Jacobi eigensolver.
+struct JacobiOptions {
+  int max_sweeps = 50;
+  double tolerance = 1e-12;  // relative off-diagonal norm stop criterion
+};
+
+/// Eigendecomposition of a symmetric matrix. The input must be square and
+/// numerically symmetric (max asymmetry is checked against a loose bound).
+SymmetricEigen eigen_symmetric(const Matrix& a, const JacobiOptions& options = {});
+
+}  // namespace netconst::linalg

@@ -1,0 +1,121 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace netconst::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double value)
+    : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ == 0 ? 0 : init.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    NETCONST_CHECK(row.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::from_rows(std::size_t rows, std::size_t cols,
+                         std::vector<double> data) {
+  NETCONST_CHECK(data.size() == rows * cols,
+                 "buffer size does not match matrix shape");
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(data);
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t i, std::size_t j) {
+  NETCONST_CHECK(i < rows_ && j < cols_, "matrix index out of range");
+  return (*this)(i, j);
+}
+
+double Matrix::at(std::size_t i, std::size_t j) const {
+  NETCONST_CHECK(i < rows_ && j < cols_, "matrix index out of range");
+  return (*this)(i, j);
+}
+
+std::vector<double> Matrix::column(std::size_t j) const {
+  NETCONST_CHECK(j < cols_, "column index out of range");
+  std::vector<double> col(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) col[i] = (*this)(i, j);
+  return col;
+}
+
+void Matrix::set_column(std::size_t j, std::span<const double> values) {
+  NETCONST_CHECK(j < cols_, "column index out of range");
+  NETCONST_CHECK(values.size() == rows_, "column length mismatch");
+  for (std::size_t i = 0; i < rows_; ++i) (*this)(i, j) = values[i];
+}
+
+void Matrix::set_row(std::size_t i, std::span<const double> values) {
+  NETCONST_CHECK(i < rows_, "row index out of range");
+  NETCONST_CHECK(values.size() == cols_, "row length mismatch");
+  std::copy(values.begin(), values.end(), data_.begin() + i * cols_);
+}
+
+void Matrix::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t rows,
+                     std::size_t cols) const {
+  NETCONST_CHECK(r0 + rows <= rows_ && c0 + cols <= cols_,
+                 "block out of range");
+  Matrix b(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) b(i, j) = (*this)(r0 + i, c0 + j);
+  }
+  return b;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  NETCONST_CHECK(same_shape(other), "shape mismatch in +=");
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += other.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  NETCONST_CHECK(same_shape(other), "shape mismatch in -=");
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= other.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  NETCONST_CHECK(same_shape(other), "shape mismatch in max_abs_diff");
+  double m = 0.0;
+  for (std::size_t k = 0; k < data_.size(); ++k) {
+    m = std::max(m, std::abs(data_[k] - other.data_[k]));
+  }
+  return m;
+}
+
+}  // namespace netconst::linalg

@@ -1,0 +1,95 @@
+// Dense row-major double matrix — the numeric workhorse under the RPCA
+// solvers. Kept deliberately small: storage, element access, shape, and
+// elementwise algebra. Kernels with interesting cost (gemm, factorizations)
+// live in blas.hpp / qr.hpp / svd.hpp.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace netconst::linalg {
+
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// rows x cols matrix filled with `value`.
+  Matrix(std::size_t rows, std::size_t cols, double value);
+
+  /// From nested initializer list; all rows must have equal width.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  /// Build from a flat row-major buffer (copied). size must be rows*cols.
+  static Matrix from_rows(std::size_t rows, std::size_t cols,
+                          std::vector<double> data);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  /// Checked element access (throws ContractViolation when out of range).
+  double& at(std::size_t i, std::size_t j);
+  double at(std::size_t i, std::size_t j) const;
+
+  std::span<double> row(std::size_t i) {
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t i) const {
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  /// Copy one column out / in.
+  std::vector<double> column(std::size_t j) const;
+  void set_column(std::size_t j, std::span<const double> values);
+  void set_row(std::size_t i, std::span<const double> values);
+
+  void fill(double value);
+
+  Matrix transposed() const;
+
+  /// Contiguous sub-block copy [r0, r0+rows) x [c0, c0+cols).
+  Matrix block(std::size_t r0, std::size_t c0, std::size_t rows,
+               std::size_t cols) const;
+
+  // Elementwise algebra. Shapes must match.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Max |a_ij - b_ij|; shapes must match.
+  double max_abs_diff(const Matrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace netconst::linalg

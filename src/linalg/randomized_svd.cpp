@@ -1,0 +1,64 @@
+#include "linalg/randomized_svd.hpp"
+
+#include <algorithm>
+
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+#include "support/error.hpp"
+
+namespace netconst::linalg {
+
+SvdResult randomized_svd(const Matrix& a, std::size_t target_rank,
+                         Rng& rng, const RandomizedSvdOptions& options) {
+  NETCONST_CHECK(!a.empty(), "randomized SVD of an empty matrix");
+  NETCONST_CHECK(target_rank >= 1, "target rank must be >= 1");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  // Keep the sketched side the tall one: recurse on the transpose and
+  // swap the factors.
+  if (m > n) {
+    SvdResult t = randomized_svd(a.transposed(), target_rank, rng, options);
+    SvdResult result;
+    result.u = std::move(t.v);
+    result.v = std::move(t.u);
+    result.singular_values = std::move(t.singular_values);
+    return result;
+  }
+
+  const std::size_t k = std::min(target_rank, m);
+  const std::size_t sketch = std::min(k + options.oversampling, m);
+
+  // Gaussian sketch of the row space: Y = A * Omega, m x sketch.
+  Matrix omega(n, sketch);
+  for (auto& v : omega.data()) v = rng.normal();
+  Matrix y = multiply(a, omega);
+
+  // Power iterations (A A^T)^q Y with re-orthonormalization.
+  for (int q = 0; q < options.power_iterations; ++q) {
+    y = qr_decompose(y).q;
+    Matrix z = multiply(a.transposed(), y);  // n x sketch
+    z = qr_decompose(z).q;
+    y = multiply(a, z);
+  }
+  const Matrix q = qr_decompose(y).q;  // m x sketch, orthonormal
+
+  // Small problem: B = Q^T A, sketch x n.
+  const SvdResult small = svd(multiply(q.transposed(), a));
+  const Matrix qu = multiply(q, small.u);
+
+  const std::size_t kept = std::min(k, small.singular_values.size());
+  SvdResult result;
+  result.singular_values.assign(
+      small.singular_values.begin(),
+      small.singular_values.begin() + static_cast<std::ptrdiff_t>(kept));
+  result.u = Matrix(m, kept);
+  result.v = Matrix(n, kept);
+  for (std::size_t c = 0; c < kept; ++c) {
+    for (std::size_t i = 0; i < m; ++i) result.u(i, c) = qu(i, c);
+    for (std::size_t i = 0; i < n; ++i) result.v(i, c) = small.v(i, c);
+  }
+  return result;
+}
+
+}  // namespace netconst::linalg

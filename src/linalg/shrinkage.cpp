@@ -1,0 +1,43 @@
+#include "linalg/shrinkage.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace netconst::linalg {
+
+Matrix soft_threshold(const Matrix& a, double tau) {
+  Matrix out = a;
+  soft_threshold_inplace(out, tau);
+  return out;
+}
+
+void soft_threshold_inplace(Matrix& a, double tau) {
+  NETCONST_CHECK(tau >= 0.0, "soft threshold must be non-negative");
+  for (auto& v : a.data()) {
+    if (v > tau) {
+      v -= tau;
+    } else if (v < -tau) {
+      v += tau;
+    } else {
+      v = 0.0;
+    }
+  }
+}
+
+SvtResult singular_value_threshold(const Matrix& a, double tau,
+                                   const SvdOptions& options) {
+  NETCONST_CHECK(tau >= 0.0, "SVT threshold must be non-negative");
+  SvdResult dec = svd(a, options);
+  SvtResult result;
+  result.top_singular_value =
+      dec.singular_values.empty() ? 0.0 : dec.singular_values.front();
+  for (auto& s : dec.singular_values) {
+    s = s > tau ? s - tau : 0.0;
+    if (s > 0.0) ++result.rank;
+  }
+  result.value = dec.reconstruct();
+  return result;
+}
+
+}  // namespace netconst::linalg

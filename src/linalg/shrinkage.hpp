@@ -1,0 +1,28 @@
+// Proximal operators for the RPCA convex surrogate:
+//  * soft_threshold        — prox of tau * ||.||_1 (elementwise shrinkage)
+//  * singular_value_threshold — prox of tau * ||.||_* (shrink the spectrum)
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/svd.hpp"
+
+namespace netconst::linalg {
+
+/// Elementwise soft thresholding: sign(a) * max(|a| - tau, 0).
+Matrix soft_threshold(const Matrix& a, double tau);
+
+/// In-place variant.
+void soft_threshold_inplace(Matrix& a, double tau);
+
+/// Result of the singular value thresholding operator.
+struct SvtResult {
+  Matrix value;         // U * max(Sigma - tau, 0) * V^T
+  std::size_t rank = 0; // number of singular values that survived
+  double top_singular_value = 0.0;
+};
+
+/// Singular value thresholding D_tau(A) = U shrink(Sigma, tau) V^T.
+SvtResult singular_value_threshold(const Matrix& a, double tau,
+                                   const SvdOptions& options = {});
+
+}  // namespace netconst::linalg

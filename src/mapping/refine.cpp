@@ -1,0 +1,67 @@
+#include "mapping/refine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace netconst::mapping {
+
+RefineResult refine_mapping(const Mapping& seed, const TaskGraph& tasks,
+                            const netmodel::PerformanceMatrix& performance,
+                            const MappingCost& cost,
+                            std::size_t max_rounds) {
+  NETCONST_CHECK(
+      is_valid_mapping(seed, tasks.size(), performance.size()),
+      "refinement needs a valid seed mapping");
+  RefineResult result;
+  result.mapping = seed;
+  result.cost = cost(result.mapping, tasks, performance);
+
+  const std::size_t n = seed.size();
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    double best_cost = result.cost;
+    std::size_t best_u = n, best_v = n;
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = u + 1; v < n; ++v) {
+        std::swap(result.mapping[u], result.mapping[v]);
+        const double c = cost(result.mapping, tasks, performance);
+        std::swap(result.mapping[u], result.mapping[v]);
+        if (c < best_cost) {
+          best_cost = c;
+          best_u = u;
+          best_v = v;
+        }
+      }
+    }
+    if (best_u == n) break;  // local optimum
+    std::swap(result.mapping[best_u], result.mapping[best_v]);
+    result.cost = best_cost;
+    ++result.swaps;
+  }
+  return result;
+}
+
+Mapping optimal_mapping(const TaskGraph& tasks,
+                        const netmodel::PerformanceMatrix& performance,
+                        const MappingCost& cost) {
+  const std::size_t n = tasks.size();
+  NETCONST_CHECK(n == performance.size(),
+                 "task and machine counts must match");
+  NETCONST_CHECK(n <= 8, "exhaustive mapping is limited to n <= 8");
+  Mapping current(n);
+  std::iota(current.begin(), current.end(), std::size_t{0});
+  Mapping best = current;
+  double best_cost = std::numeric_limits<double>::infinity();
+  do {
+    const double c = cost(current, tasks, performance);
+    if (c < best_cost) {
+      best_cost = c;
+      best = current;
+    }
+  } while (std::next_permutation(current.begin(), current.end()));
+  return best;
+}
+
+}  // namespace netconst::mapping

@@ -1,0 +1,42 @@
+// Mapping refinement and exact reference.
+//
+//  * refine_mapping — pairwise-swap hill climbing on top of any seed
+//    mapping (typically the greedy heuristic's output): keep applying
+//    the best improving swap of two tasks' machines until a local
+//    optimum. A cheap, classic post-pass that the paper's greedy lacks.
+//  * optimal_mapping — exhaustive search over all bijections for tiny
+//    clusters (n <= 8); the ground-truth reference the property tests
+//    compare the heuristics against.
+#pragma once
+
+#include <functional>
+
+#include "mapping/mapping.hpp"
+
+namespace netconst::mapping {
+
+/// Cost function used by the refinement/search (smaller is better).
+using MappingCost =
+    std::function<double(const Mapping&, const TaskGraph&,
+                         const netmodel::PerformanceMatrix&)>;
+
+struct RefineResult {
+  Mapping mapping;
+  double cost = 0.0;
+  std::size_t swaps = 0;  // improving swaps applied
+};
+
+/// Hill-climb from `seed` by the best improving 2-swap per round; stops
+/// at a local optimum or after `max_rounds`.
+RefineResult refine_mapping(const Mapping& seed, const TaskGraph& tasks,
+                            const netmodel::PerformanceMatrix& performance,
+                            const MappingCost& cost = mapping_volume_cost,
+                            std::size_t max_rounds = 100);
+
+/// Exhaustive optimum over all task->machine bijections. Requires
+/// tasks.size() == performance.size() <= 8.
+Mapping optimal_mapping(const TaskGraph& tasks,
+                        const netmodel::PerformanceMatrix& performance,
+                        const MappingCost& cost = mapping_volume_cost);
+
+}  // namespace netconst::mapping

@@ -1,0 +1,27 @@
+#include "netmodel/alpha_beta.hpp"
+
+#include "support/error.hpp"
+
+namespace netconst::netmodel {
+
+double transfer_time(double alpha, double beta, std::uint64_t bytes) {
+  NETCONST_CHECK(beta > 0.0, "bandwidth must be positive");
+  return alpha + static_cast<double>(bytes) / beta;
+}
+
+LinkParams fit_alpha_beta(double t_small, std::uint64_t small_bytes,
+                          double t_large, std::uint64_t large_bytes) {
+  NETCONST_CHECK(t_small > 0.0 && t_large > 0.0,
+                 "calibration times must be positive");
+  NETCONST_CHECK(large_bytes > small_bytes,
+                 "large message must be larger than the small one");
+  NETCONST_CHECK(t_large > t_small,
+                 "large-message time must exceed small-message time");
+  LinkParams p;
+  p.alpha = t_small;  // n/beta is negligible for the tiny message
+  p.beta = static_cast<double>(large_bytes - small_bytes) /
+           (t_large - t_small);
+  return p;
+}
+
+}  // namespace netconst::netmodel

@@ -1,0 +1,39 @@
+// The alpha-beta point-to-point network model (Thakur & Rabenseifner):
+// sending n bytes over a link costs  alpha + n / beta  seconds, where
+// alpha is the latency and beta the bandwidth. Every cost estimate in the
+// library — collective schedules, mapping costs, application communication
+// — goes through this model, exactly as the paper's evaluation does.
+#pragma once
+
+#include <cstdint>
+
+namespace netconst::netmodel {
+
+/// Parameters of one directed link.
+struct LinkParams {
+  double alpha = 0.0;  // latency in seconds
+  double beta = 1.0;   // bandwidth in bytes per second
+
+  /// Estimated transfer time of `bytes` over this link.
+  double transfer_time(std::uint64_t bytes) const {
+    return alpha + static_cast<double>(bytes) / beta;
+  }
+};
+
+/// Transfer time of `bytes` given explicit parameters.
+double transfer_time(double alpha, double beta, std::uint64_t bytes);
+
+/// Fit alpha-beta from two measurements (the SKaMPI calibration recipe):
+/// alpha = time of a tiny message, beta = large_bytes / (t_large - alpha).
+/// Throws ContractViolation if the measurements are inconsistent
+/// (t_large <= t_small) or non-positive.
+LinkParams fit_alpha_beta(double t_small_bytes, std::uint64_t small_bytes,
+                          double t_large, std::uint64_t large_bytes);
+
+/// Common message sizes used throughout the evaluation.
+inline constexpr std::uint64_t kOneByte = 1;
+inline constexpr std::uint64_t kOneKiB = 1024;
+inline constexpr std::uint64_t kOneMiB = 1024 * 1024;
+inline constexpr std::uint64_t kEightMiB = 8 * kOneMiB;
+
+}  // namespace netconst::netmodel

@@ -1,0 +1,92 @@
+#include "netmodel/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace netconst::netmodel {
+namespace {
+
+template <typename Getter>
+LinkSpread spread_of(const PerformanceMatrix& performance, Getter get) {
+  const std::size_t n = performance.size();
+  NETCONST_CHECK(n >= 2, "spread needs at least two members");
+  LinkSpread spread;
+  spread.min = std::numeric_limits<double>::infinity();
+  spread.max = 0.0;
+  double sum = 0.0, sum2 = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double value = get(performance.link(i, j));
+      sum += value;
+      sum2 += value * value;
+      spread.min = std::min(spread.min, value);
+      spread.max = std::max(spread.max, value);
+      ++count;
+    }
+  }
+  spread.mean = sum / static_cast<double>(count);
+  const double variance =
+      std::max(sum2 / static_cast<double>(count) -
+                   spread.mean * spread.mean,
+               0.0);
+  spread.coefficient_of_variation =
+      spread.mean > 0.0 ? std::sqrt(variance) / spread.mean : 0.0;
+  spread.dispersion_ratio =
+      spread.min > 0.0 ? spread.max / spread.min : 0.0;
+  return spread;
+}
+
+}  // namespace
+
+LinkSpread bandwidth_spread(const PerformanceMatrix& performance) {
+  return spread_of(performance,
+                   [](const LinkParams& link) { return link.beta; });
+}
+
+LinkSpread latency_spread(const PerformanceMatrix& performance) {
+  return spread_of(performance,
+                   [](const LinkParams& link) { return link.alpha; });
+}
+
+double link_bandwidth_variability(const TemporalPerformance& series,
+                                  std::size_t i, std::size_t j) {
+  NETCONST_CHECK(!series.empty(), "variability of an empty series");
+  NETCONST_CHECK(i != j, "self-links have no variability");
+  NETCONST_CHECK(i < series.cluster_size() && j < series.cluster_size(),
+                 "link out of range");
+  double sum = 0.0, sum2 = 0.0;
+  const std::size_t rows = series.row_count();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double beta = series.snapshot(r).link(i, j).beta;
+    sum += beta;
+    sum2 += beta * beta;
+  }
+  const double mean = sum / static_cast<double>(rows);
+  if (mean <= 0.0) return 0.0;
+  const double variance = std::max(
+      sum2 / static_cast<double>(rows) - mean * mean, 0.0);
+  return std::sqrt(variance) / mean;
+}
+
+double mean_bandwidth_variability(const TemporalPerformance& series) {
+  NETCONST_CHECK(!series.empty(), "variability of an empty series");
+  const std::size_t n = series.cluster_size();
+  NETCONST_CHECK(n >= 2, "variability needs at least two members");
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      total += link_bandwidth_variability(series, i, j);
+      ++count;
+    }
+  }
+  return total / static_cast<double>(count);
+}
+
+}  // namespace netconst::netmodel

@@ -1,0 +1,39 @@
+// Descriptive statistics over performance matrices — the numbers a
+// practitioner wants before deciding whether link selection can help at
+// all: how heterogeneous are the links, and how much do they move over
+// a calibration series?
+#pragma once
+
+#include <cstddef>
+
+#include "netmodel/tp_matrix.hpp"
+
+namespace netconst::netmodel {
+
+/// Spread of the off-diagonal links of one snapshot.
+struct LinkSpread {
+  double mean = 0.0;
+  double coefficient_of_variation = 0.0;  // stddev / mean
+  double min = 0.0;
+  double max = 0.0;
+  /// max / min — the paper's motivation: if all links were equal, no
+  /// link selection could ever help.
+  double dispersion_ratio = 0.0;
+};
+
+/// Spread of the bandwidth (beta) layer. Requires size >= 2.
+LinkSpread bandwidth_spread(const PerformanceMatrix& performance);
+
+/// Spread of the latency (alpha) layer. Requires size >= 2.
+LinkSpread latency_spread(const PerformanceMatrix& performance);
+
+/// Temporal variability of one link across a series: stddev/mean of its
+/// bandwidth over the rows. Requires a non-empty series and i != j.
+double link_bandwidth_variability(const TemporalPerformance& series,
+                                  std::size_t i, std::size_t j);
+
+/// Mean temporal variability over all links — a cheap pre-RPCA signal
+/// of how dynamic the network is.
+double mean_bandwidth_variability(const TemporalPerformance& series);
+
+}  // namespace netconst::netmodel

@@ -1,0 +1,71 @@
+// Temporal performance matrices.
+//
+// A TemporalPerformance object is the paper's TP-matrix N_A[T0, T1]: a
+// time-ordered series of PerformanceMatrix snapshots. For RPCA each
+// snapshot's chosen layer (latency, bandwidth, or alpha-beta transfer
+// time at a reference size) is flattened row-major into one row of an
+// n x N^2 linalg::Matrix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "netmodel/perf_matrix.hpp"
+
+namespace netconst::netmodel {
+
+/// Which per-link scalar is flattened into the RPCA data matrix.
+enum class Field {
+  Latency,       // alpha (seconds)
+  Bandwidth,     // beta (bytes/second)
+  TransferTime,  // alpha + bytes/beta at a reference message size
+};
+
+class TemporalPerformance {
+ public:
+  TemporalPerformance() = default;
+
+  /// Append a snapshot taken at `time` (seconds; must be non-decreasing).
+  /// All snapshots must share the same cluster size.
+  void append(double time, PerformanceMatrix snapshot);
+
+  std::size_t row_count() const { return snapshots_.size(); }
+  std::size_t cluster_size() const;
+  bool empty() const { return snapshots_.empty(); }
+
+  double time_at(std::size_t row) const;
+  const PerformanceMatrix& snapshot(std::size_t row) const;
+
+  /// Snapshot in effect at time `t`: the latest snapshot with
+  /// time_at <= t (the first one if t precedes all). Requires non-empty.
+  const PerformanceMatrix& at_time(double t) const;
+
+  /// Flatten to the n x N^2 RPCA input. `reference_bytes` only matters
+  /// for Field::TransferTime.
+  linalg::Matrix flatten(Field field,
+                         std::uint64_t reference_bytes = kEightMiB) const;
+
+  /// Rebuild an N x N matrix from one flattened row (inverse of the
+  /// row-major layout used by flatten). The diagonal entries are restored
+  /// as self-link values for the given field.
+  static linalg::Matrix unflatten_row(const linalg::Matrix& flat,
+                                      std::size_t row,
+                                      std::size_t cluster_size);
+
+  /// Keep only the last `rows` snapshots (used by sliding calibration).
+  void keep_last(std::size_t rows);
+
+ private:
+  std::vector<double> times_;
+  std::vector<PerformanceMatrix> snapshots_;
+};
+
+/// Build a PerformanceMatrix from constant-component rows of latency and
+/// bandwidth (each a flattened 1 x N^2 row or an N x N matrix). Values
+/// are clamped to physical ranges (alpha >= 0, beta > 0) since RPCA's
+/// low-rank output can slightly undershoot.
+PerformanceMatrix matrices_to_performance(const linalg::Matrix& latency,
+                                          const linalg::Matrix& bandwidth);
+
+}  // namespace netconst::netmodel

@@ -1,0 +1,98 @@
+#include "netmodel/trace.hpp"
+
+#include <algorithm>
+
+#include "support/csv.hpp"
+#include "support/error.hpp"
+
+namespace netconst::netmodel {
+
+double Trace::duration() const {
+  if (series_.row_count() < 2) return 0.0;
+  return series_.time_at(series_.row_count() - 1) - series_.time_at(0);
+}
+
+void Trace::save_csv(const std::string& path) const {
+  CsvTable table;
+  table.header = {"time", "i", "j", "alpha", "beta"};
+  const std::size_t n = cluster_size();
+  for (std::size_t r = 0; r < series_.row_count(); ++r) {
+    const auto& snap = series_.snapshot(r);
+    const std::string time = format_double(series_.time_at(r));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const LinkParams link = snap.link(i, j);
+        table.rows.push_back({time, std::to_string(i), std::to_string(j),
+                              format_double(link.alpha),
+                              format_double(link.beta)});
+      }
+    }
+  }
+  write_csv_file(path, table);
+}
+
+Trace Trace::load_csv(const std::string& path) {
+  const CsvTable table = read_csv_file(path);
+  const std::size_t ct = table.column_index("time");
+  const std::size_t ci = table.column_index("i");
+  const std::size_t cj = table.column_index("j");
+  const std::size_t ca = table.column_index("alpha");
+  const std::size_t cb = table.column_index("beta");
+
+  // Group rows by timestamp, preserving order, and find the cluster size.
+  std::size_t max_index = 0;
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    max_index = std::max({max_index,
+                          static_cast<std::size_t>(table.number(r, ci)),
+                          static_cast<std::size_t>(table.number(r, cj))});
+  }
+  const std::size_t n = max_index + 1;
+
+  TemporalPerformance series;
+  std::size_t r = 0;
+  while (r < table.row_count()) {
+    const double time = table.number(r, ct);
+    PerformanceMatrix snap(n);
+    while (r < table.row_count() && table.number(r, ct) == time) {
+      const auto i = static_cast<std::size_t>(table.number(r, ci));
+      const auto j = static_cast<std::size_t>(table.number(r, cj));
+      NETCONST_CHECK(i != j, "trace contains a self-link row");
+      snap.set_link(i, j, {table.number(r, ca), table.number(r, cb)});
+      ++r;
+    }
+    series.append(time, std::move(snap));
+  }
+  return Trace(std::move(series));
+}
+
+Trace Trace::window(double t0, double t1) const {
+  NETCONST_CHECK(t0 <= t1, "window bounds reversed");
+  TemporalPerformance out;
+  for (std::size_t r = 0; r < series_.row_count(); ++r) {
+    const double t = series_.time_at(r);
+    if (t >= t0 && t <= t1) out.append(t, series_.snapshot(r));
+  }
+  return Trace(std::move(out));
+}
+
+Trace Trace::prefix(std::size_t rows) const {
+  TemporalPerformance out;
+  const std::size_t limit = std::min(rows, series_.row_count());
+  for (std::size_t r = 0; r < limit; ++r) {
+    out.append(series_.time_at(r), series_.snapshot(r));
+  }
+  return Trace(std::move(out));
+}
+
+ReplayCursor::ReplayCursor(const Trace& trace) : trace_(&trace) {
+  NETCONST_CHECK(trace.snapshot_count() > 0, "replay of an empty trace");
+  start_ = trace.series().time_at(0);
+  end_ = trace.series().time_at(trace.snapshot_count() - 1);
+}
+
+const PerformanceMatrix& ReplayCursor::at(double t) const {
+  return trace_->series().at_time(t);
+}
+
+}  // namespace netconst::netmodel

@@ -1,0 +1,65 @@
+// Trace recording and replay.
+//
+// The paper validates its approach by recording week-long calibration
+// traces of a virtual cluster on EC2 and replaying them under different
+// optimization strategies ("trace-replay approach", Section V-D3). Trace
+// wraps a TemporalPerformance series with CSV persistence and a replay
+// cursor, and is the exchange format between the cloud substrate and the
+// experiment harnesses.
+#pragma once
+
+#include <string>
+
+#include "netmodel/tp_matrix.hpp"
+
+namespace netconst::netmodel {
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(TemporalPerformance series) : series_(std::move(series)) {}
+
+  const TemporalPerformance& series() const { return series_; }
+  TemporalPerformance& series() { return series_; }
+
+  std::size_t snapshot_count() const { return series_.row_count(); }
+  std::size_t cluster_size() const { return series_.cluster_size(); }
+
+  /// Duration covered by the trace (last time - first time; 0 for < 2
+  /// snapshots).
+  double duration() const;
+
+  /// CSV persistence. Format: one row per directed link per snapshot:
+  /// time,i,j,alpha,beta. Throws Error on I/O failure or malformed data.
+  void save_csv(const std::string& path) const;
+  static Trace load_csv(const std::string& path);
+
+  /// Sub-trace restricted to a time window [t0, t1].
+  Trace window(double t0, double t1) const;
+
+  /// Sub-trace of the first `rows` snapshots.
+  Trace prefix(std::size_t rows) const;
+
+ private:
+  TemporalPerformance series_;
+};
+
+/// Forward-only replay over a trace, used by experiment campaigns that
+/// "run" an operation every 30 simulated minutes.
+class ReplayCursor {
+ public:
+  explicit ReplayCursor(const Trace& trace);
+
+  /// Snapshot in effect at simulated time `t`.
+  const PerformanceMatrix& at(double t) const;
+
+  double start_time() const { return start_; }
+  double end_time() const { return end_; }
+
+ private:
+  const Trace* trace_;
+  double start_ = 0.0;
+  double end_ = 0.0;
+};
+
+}  // namespace netconst::netmodel

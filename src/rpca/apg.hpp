@@ -1,0 +1,17 @@
+// Accelerated proximal gradient RPCA solver (Ji & Ye's accelerated
+// gradient method for trace-norm minimization, the algorithm the paper
+// uses via the reference APG sample code).
+//
+// Solves the relaxed problem
+//   min_{D,E}  mu ||D||_* + mu lambda ||E||_1 + 1/2 ||A - D - E||_F^2
+// with Nesterov acceleration and a continuation schedule mu_k -> mu_bar.
+#pragma once
+
+#include "rpca/rpca.hpp"
+
+namespace netconst::rpca {
+
+/// See rpca::solve with Solver::Apg. `options.lambda` must be positive.
+Result solve_apg(const linalg::Matrix& a, const Options& options);
+
+}  // namespace netconst::rpca

@@ -1,0 +1,87 @@
+#include "rpca/ialm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/norms.hpp"
+#include "linalg/shrinkage.hpp"
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+
+namespace netconst::rpca {
+
+Result solve_ialm(const linalg::Matrix& a, const Options& options) {
+  NETCONST_CHECK(options.lambda > 0.0, "IALM requires lambda > 0");
+  const Stopwatch clock;
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const double lambda = options.lambda;
+  const double a_fro = linalg::frobenius_norm(a);
+  NETCONST_CHECK(a_fro > 0.0, "IALM of an all-zero matrix is trivial");
+
+  const double a_spec = std::max(linalg::spectral_norm(a), 1e-300);
+  // Multiplier initialization of the reference IALM implementation:
+  // Y = A / max(||A||_2, ||A||_inf / lambda).
+  const double dual_scale =
+      std::max(a_spec, linalg::max_abs(a) / lambda);
+  linalg::Matrix y = a;
+  y *= 1.0 / dual_scale;
+
+  double mu = 1.25 / a_spec;
+  const double mu_max = mu * 1e7;
+  const double rho = 1.5;
+
+  linalg::Matrix d(m, n);
+  linalg::Matrix e(m, n);
+
+  Result result;
+  for (int k = 0; k < options.max_iterations; ++k) {
+    // D-step: SVT of A - E + Y/mu at threshold 1/mu.
+    linalg::Matrix target = a;
+    target -= e;
+    {
+      linalg::Matrix yscaled = y;
+      yscaled *= 1.0 / mu;
+      target += yscaled;
+    }
+    const auto svt =
+        linalg::singular_value_threshold(target, 1.0 / mu, options.svd);
+    d = svt.value;
+    result.rank = svt.rank;
+
+    // E-step: soft threshold of A - D + Y/mu at lambda/mu.
+    linalg::Matrix etarget = a;
+    etarget -= d;
+    {
+      linalg::Matrix yscaled = y;
+      yscaled *= 1.0 / mu;
+      etarget += yscaled;
+    }
+    e = linalg::soft_threshold(etarget, lambda / mu);
+
+    // Multiplier update on the primal residual.
+    linalg::Matrix residual = a;
+    residual -= d;
+    residual -= e;
+    {
+      linalg::Matrix scaled = residual;
+      scaled *= mu;
+      y += scaled;
+    }
+    mu = std::min(mu * rho, mu_max);
+    result.iterations = k + 1;
+
+    result.residual = linalg::frobenius_norm(residual) / a_fro;
+    if (result.residual <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.low_rank = std::move(d);
+  result.sparse = std::move(e);
+  result.solve_seconds = clock.seconds();
+  return result;
+}
+
+}  // namespace netconst::rpca

@@ -1,0 +1,28 @@
+// Rank-1 constrained robust decomposition.
+//
+// The paper's problem statement constrains the TC-matrix to rank exactly
+// one (all calibration rows share the same constant component). This
+// solver enforces that directly by alternating
+//   D <- best rank-1 approximation of (A - E)      (power iteration)
+//   E <- soft-threshold of (A - D)                 (prox of lambda||.||_1)
+// which is a projected block-coordinate descent on the nonconvex set
+// {rank(D) <= 1}. It is cheap (no full SVD) and serves as the ablation
+// for "nuclear-norm surrogate vs hard rank-1 constraint".
+#pragma once
+
+#include "rpca/rpca.hpp"
+
+namespace netconst::rpca {
+
+/// See rpca::solve with Solver::RankOne. `options.lambda` is the sparse
+/// weight; the effective elementwise threshold is scaled by the mean
+/// absolute value of `a` so that lambda is comparable across solvers.
+Result solve_rank1(const linalg::Matrix& a, const Options& options);
+
+/// Best rank-1 approximation sigma * u * v^T of `a` via power iteration.
+/// Returns the approximation as a matrix.
+linalg::Matrix rank1_approximation(const linalg::Matrix& a,
+                                   int max_iterations = 200,
+                                   double tolerance = 1e-12);
+
+}  // namespace netconst::rpca

@@ -1,0 +1,67 @@
+#include "rpca/rpca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/norms.hpp"
+#include "rpca/apg.hpp"
+#include "rpca/ialm.hpp"
+#include "rpca/rank1.hpp"
+#include "rpca/stable_pcp.hpp"
+#include "support/error.hpp"
+
+namespace netconst::rpca {
+
+std::string solver_name(Solver solver) {
+  switch (solver) {
+    case Solver::Apg:
+      return "APG";
+    case Solver::Ialm:
+      return "IALM";
+    case Solver::RankOne:
+      return "Rank1";
+    case Solver::StablePcp:
+      return "StablePCP";
+  }
+  return "unknown";
+}
+
+double default_lambda(std::size_t rows, std::size_t cols) {
+  NETCONST_CHECK(rows > 0 && cols > 0, "lambda of an empty matrix");
+  return 1.0 / std::sqrt(static_cast<double>(std::max(rows, cols)));
+}
+
+Result solve(const linalg::Matrix& a, Solver solver,
+             const Options& options) {
+  NETCONST_CHECK(!a.empty(), "RPCA of an empty matrix");
+  Options opts = options;
+  if (opts.lambda <= 0.0) opts.lambda = default_lambda(a.rows(), a.cols());
+  switch (solver) {
+    case Solver::Apg:
+      return solve_apg(a, opts);
+    case Solver::Ialm:
+      return solve_ialm(a, opts);
+    case Solver::RankOne:
+      return solve_rank1(a, opts);
+    case Solver::StablePcp: {
+      StablePcpOptions stable;
+      stable.base = opts;
+      return solve_stable_pcp(a, stable);
+    }
+  }
+  throw Error("unknown RPCA solver");
+}
+
+double relative_l0(const linalg::Matrix& e, const linalg::Matrix& a,
+                   double rel_tol) {
+  NETCONST_CHECK(e.same_shape(a), "relative_l0 shape mismatch");
+  const double cutoff = rel_tol * linalg::max_abs(a);
+  const auto e_count = linalg::l0_count(e, cutoff);
+  const auto a_count = linalg::l0_count(a, cutoff);
+  if (a_count == 0) return 0.0;
+  const double ratio =
+      static_cast<double>(e_count) / static_cast<double>(a_count);
+  return std::clamp(ratio, 0.0, 1.0);
+}
+
+}  // namespace netconst::rpca

@@ -1,0 +1,67 @@
+// Robust Principal Component Analysis: A = D + E with D low-rank and E
+// sparse, solved through the convex surrogate
+//     minimize ||D||_* + lambda ||E||_1   s.t.  A = D + E.
+//
+// This is the mathematical core of the paper: the TP-matrix of a virtual
+// cluster is decomposed into the rank-one constant component (TC-matrix)
+// and the sparse error component (TE-matrix). Three solvers are provided:
+//
+//  * Apg     — accelerated proximal gradient (Ji & Ye), the paper's choice;
+//  * Ialm    — inexact augmented Lagrange multipliers, a faster alternative
+//              used as an ablation;
+//  * RankOne — alternating projection with a hard rank-1 constraint,
+//              matching the paper's problem statement (rank(N_D) = 1)
+//              exactly rather than through the nuclear-norm surrogate;
+//  * StablePcp — stable principal component pursuit, which additionally
+//              tolerates dense small noise (the volatility band) in the
+//              residual instead of forcing it into E.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "linalg/svd.hpp"
+
+namespace netconst::rpca {
+
+enum class Solver { Apg, Ialm, RankOne, StablePcp };
+
+/// Human-readable solver name (for bench output).
+std::string solver_name(Solver solver);
+
+struct Options {
+  /// Sparsity weight. <= 0 selects the standard 1/sqrt(max(m, n)).
+  double lambda = 0.0;
+  int max_iterations = 500;
+  /// Relative convergence tolerance on ||A - D - E||_F / ||A||_F
+  /// (Ialm/RankOne) or on the iterate change (Apg).
+  double tolerance = 1e-7;
+  linalg::SvdOptions svd;
+};
+
+struct Result {
+  linalg::Matrix low_rank;  // D
+  linalg::Matrix sparse;    // E
+  int iterations = 0;
+  bool converged = false;
+  std::size_t rank = 0;          // numerical rank of D
+  double residual = 0.0;         // ||A - D - E||_F / ||A||_F
+  double solve_seconds = 0.0;    // wall-clock time of the solve
+};
+
+/// Decompose `a` with the chosen solver. Throws ContractViolation on an
+/// empty input.
+Result solve(const linalg::Matrix& a, Solver solver,
+             const Options& options = {});
+
+/// Standard lambda = 1 / sqrt(max(m, n)).
+double default_lambda(std::size_t rows, std::size_t cols);
+
+/// The paper's effectiveness metric Norm(E) = ||E||_0 / ||A||_0 with the
+/// zero-count taken at `rel_tol * max|A|` (exact zero tests are
+/// meaningless in floating point). Result is clamped to [0, 1].
+double relative_l0(const linalg::Matrix& e, const linalg::Matrix& a,
+                   double rel_tol = 1e-3);
+
+}  // namespace netconst::rpca

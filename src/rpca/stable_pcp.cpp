@@ -1,0 +1,125 @@
+#include "rpca/stable_pcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/norms.hpp"
+#include "linalg/shrinkage.hpp"
+#include "rpca/rank1.hpp"
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+
+namespace netconst::rpca {
+
+double estimate_noise_sigma(const linalg::Matrix& a) {
+  NETCONST_CHECK(!a.empty(), "noise estimate of an empty matrix");
+  linalg::Matrix residual = a;
+  residual -= rank1_approximation(a);
+  std::vector<double> magnitudes;
+  magnitudes.reserve(residual.size());
+  for (double v : residual.data()) magnitudes.push_back(std::abs(v));
+  const std::size_t mid = magnitudes.size() / 2;
+  std::nth_element(magnitudes.begin(), magnitudes.begin() + mid,
+                   magnitudes.end());
+  // MAD -> sigma for Gaussian noise.
+  return 1.4826 * magnitudes[mid];
+}
+
+Result solve_stable_pcp(const linalg::Matrix& a,
+                        const StablePcpOptions& options) {
+  NETCONST_CHECK(!a.empty(), "stable PCP of an empty matrix");
+  const Stopwatch clock;
+  Options opts = options.base;
+  if (opts.lambda <= 0.0) opts.lambda = default_lambda(a.rows(), a.cols());
+  double sigma = options.noise_sigma;
+  if (sigma <= 0.0) sigma = estimate_noise_sigma(a);
+  NETCONST_CHECK(sigma >= 0.0, "noise sigma must be non-negative");
+
+  const double a_fro = linalg::frobenius_norm(a);
+  NETCONST_CHECK(a_fro > 0.0, "stable PCP of an all-zero matrix");
+  // Zhou et al.'s recommended Lagrangian weight.
+  const double mu =
+      std::sqrt(2.0 * static_cast<double>(std::max(a.rows(), a.cols()))) *
+      std::max(sigma, 1e-12 * linalg::max_abs(a));
+  const double inv_lf = 0.5;  // gradient Lipschitz constant is 2
+
+  linalg::Matrix d(a.rows(), a.cols()), d_prev = d;
+  linalg::Matrix e(a.rows(), a.cols()), e_prev = e;
+  double t = 1.0, t_prev = 1.0;
+
+  Result result;
+  for (int k = 0; k < opts.max_iterations; ++k) {
+    const double momentum = (t_prev - 1.0) / t;
+    linalg::Matrix yd = d;
+    {
+      linalg::Matrix diff = d;
+      diff -= d_prev;
+      diff *= momentum;
+      yd += diff;
+    }
+    linalg::Matrix ye = e;
+    {
+      linalg::Matrix diff = e;
+      diff -= e_prev;
+      diff *= momentum;
+      ye += diff;
+    }
+    linalg::Matrix residual = yd;
+    residual += ye;
+    residual -= a;
+    residual *= inv_lf;
+
+    linalg::Matrix gd = yd;
+    gd -= residual;
+    linalg::Matrix ge = ye;
+    ge -= residual;
+
+    d_prev = std::move(d);
+    e_prev = std::move(e);
+    const auto svt =
+        linalg::singular_value_threshold(gd, mu * inv_lf, opts.svd);
+    d = svt.value;
+    result.rank = svt.rank;
+    e = linalg::soft_threshold(ge, opts.lambda * mu * inv_lf);
+
+    t_prev = t;
+    t = 0.5 * (1.0 + std::sqrt(4.0 * t * t + 1.0));
+    result.iterations = k + 1;
+
+    double change = 0.0, scale = 0.0;
+    for (std::size_t idx = 0; idx < d.data().size(); ++idx) {
+      const double dd = d.data()[idx] - d_prev.data()[idx];
+      const double de = e.data()[idx] - e_prev.data()[idx];
+      change += dd * dd + de * de;
+      scale += d.data()[idx] * d.data()[idx] +
+               e.data()[idx] * e.data()[idx];
+    }
+    if (std::sqrt(change) <=
+        opts.tolerance * std::max(std::sqrt(scale), 1.0)) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Debias: the nuclear-norm prox shrinks every kept singular value by
+  // ~mu/2; refit D as the exact rank-r projection of A - E with the
+  // discovered rank (standard post-processing for stable PCP).
+  if (result.rank > 0) {
+    linalg::Matrix target = a;
+    target -= e;
+    d = linalg::low_rank_approximation(target, result.rank, opts.svd);
+  }
+
+  {
+    linalg::Matrix res = a;
+    res -= d;
+    res -= e;
+    result.residual = linalg::frobenius_norm(res) / a_fro;
+  }
+  result.low_rank = std::move(d);
+  result.sparse = std::move(e);
+  result.solve_seconds = clock.seconds();
+  return result;
+}
+
+}  // namespace netconst::rpca

@@ -1,0 +1,35 @@
+// Stable Principal Component Pursuit (Zhou, Li, Wright, Candès, Ma):
+//   min ||D||_* + lambda ||E||_1   s.t.  ||A - D - E||_F <= delta,
+// the RPCA variant for data that carries dense small noise in ADDITION
+// to the sparse corruption — exactly the structure of calibrated
+// network measurements (volatility band + interference spikes).
+//
+// Solved in its Lagrangian form
+//   min mu ||D||_* + mu lambda ||E||_1 + 1/2 ||A - D - E||_F^2
+// by proximal gradient with a FIXED mu matched to the noise level
+// (mu = sqrt(2 max(m, n)) * sigma), instead of APG's continuation of
+// mu -> 0. The residual A - D - E then absorbs the dense noise rather
+// than being forced into E.
+#pragma once
+
+#include "rpca/rpca.hpp"
+
+namespace netconst::rpca {
+
+struct StablePcpOptions {
+  Options base;
+  /// Standard deviation of the dense noise. <= 0 = estimate from the
+  /// data via the median absolute deviation of the rank-1 residual.
+  double noise_sigma = 0.0;
+};
+
+/// Stable PCP decomposition; `result.residual` reports the dense-noise
+/// part ||A - D - E||_F / ||A||_F, which is *expected* to be nonzero.
+Result solve_stable_pcp(const linalg::Matrix& a,
+                        const StablePcpOptions& options = {});
+
+/// Robust noise-level estimate: 1.4826 * MAD of the entries of
+/// A - rank1(A). Suitable when the low-rank component is (near) rank-1.
+double estimate_noise_sigma(const linalg::Matrix& a);
+
+}  // namespace netconst::rpca

@@ -1,0 +1,83 @@
+#include "rpca/validation.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/norms.hpp"
+#include "support/error.hpp"
+
+namespace netconst::rpca {
+
+SyntheticProblem make_synthetic(const SyntheticSpec& spec, Rng& rng) {
+  NETCONST_CHECK(spec.rank > 0 && spec.rank <= std::min(spec.rows, spec.cols),
+                 "synthetic rank out of range");
+  NETCONST_CHECK(spec.sparsity >= 0.0 && spec.sparsity <= 1.0,
+                 "synthetic sparsity out of range");
+  SyntheticProblem problem;
+
+  // D* = L R^T with Gaussian factors; this yields exact rank `rank`
+  // almost surely.
+  linalg::Matrix left(spec.rows, spec.rank);
+  linalg::Matrix right(spec.cols, spec.rank);
+  for (auto& v : left.data()) v = rng.normal(0.0, spec.low_rank_scale);
+  for (auto& v : right.data()) v = rng.normal(0.0, spec.low_rank_scale);
+  problem.low_rank = linalg::multiply(left, right.transposed());
+
+  // E*: uniformly random support, entries uniform in +-sparse_magnitude.
+  problem.sparse = linalg::Matrix(spec.rows, spec.cols);
+  const std::size_t total = spec.rows * spec.cols;
+  const auto corrupted = static_cast<std::size_t>(
+      std::llround(spec.sparsity * static_cast<double>(total)));
+  for (std::size_t idx : rng.sample_without_replacement(total, corrupted)) {
+    double value = rng.uniform(-spec.sparse_magnitude, spec.sparse_magnitude);
+    // Keep corruption away from zero so the support is well defined.
+    if (std::abs(value) < 0.1 * spec.sparse_magnitude) {
+      value = (value >= 0.0 ? 1.0 : -1.0) * 0.1 * spec.sparse_magnitude;
+    }
+    problem.sparse.data()[idx] = value;
+  }
+
+  problem.data = problem.low_rank;
+  problem.data += problem.sparse;
+  return problem;
+}
+
+RecoveryError measure_recovery(const SyntheticProblem& truth,
+                               const linalg::Matrix& low_rank,
+                               const linalg::Matrix& sparse,
+                               double support_tol) {
+  NETCONST_CHECK(low_rank.same_shape(truth.low_rank),
+                 "recovery shape mismatch (low rank)");
+  NETCONST_CHECK(sparse.same_shape(truth.sparse),
+                 "recovery shape mismatch (sparse)");
+  RecoveryError err;
+
+  linalg::Matrix dd = low_rank;
+  dd -= truth.low_rank;
+  const double dstar = linalg::frobenius_norm(truth.low_rank);
+  err.low_rank_error =
+      dstar > 0.0 ? linalg::frobenius_norm(dd) / dstar
+                  : linalg::frobenius_norm(dd);
+
+  linalg::Matrix de = sparse;
+  de -= truth.sparse;
+  err.sparse_error = linalg::frobenius_norm(de) /
+                     std::max(linalg::frobenius_norm(truth.sparse), 1.0);
+
+  // Support F1 at a tolerance relative to the data scale.
+  const double cutoff = support_tol * std::max(linalg::max_abs(truth.data),
+                                               1e-300);
+  std::size_t tp = 0, fp = 0, fn = 0;
+  for (std::size_t k = 0; k < sparse.data().size(); ++k) {
+    const bool est = std::abs(sparse.data()[k]) > cutoff;
+    const bool real = std::abs(truth.sparse.data()[k]) > cutoff;
+    if (est && real) ++tp;
+    if (est && !real) ++fp;
+    if (!est && real) ++fn;
+  }
+  const double denom = static_cast<double>(2 * tp + fp + fn);
+  err.support_f1 = denom > 0.0 ? 2.0 * static_cast<double>(tp) / denom : 1.0;
+  return err;
+}
+
+}  // namespace netconst::rpca

@@ -1,0 +1,43 @@
+// Synthetic low-rank + sparse problem generation and recovery metrics,
+// used by the RPCA property tests and the solver-ablation bench.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+#include "support/rng.hpp"
+
+namespace netconst::rpca {
+
+/// A generated A = D* + E* instance with ground truth.
+struct SyntheticProblem {
+  linalg::Matrix data;       // A
+  linalg::Matrix low_rank;   // D* (exact rank `rank`)
+  linalg::Matrix sparse;     // E* (exact support fraction `sparsity`)
+};
+
+struct SyntheticSpec {
+  std::size_t rows = 40;
+  std::size_t cols = 40;
+  std::size_t rank = 2;
+  double sparsity = 0.05;          // fraction of corrupted entries
+  double low_rank_scale = 1.0;     // stddev of the rank factors
+  double sparse_magnitude = 5.0;   // |E*| entries uniform in +-magnitude
+};
+
+/// Generate a random instance. Deterministic given `rng` state.
+SyntheticProblem make_synthetic(const SyntheticSpec& spec, Rng& rng);
+
+/// Recovery quality of an estimate against the ground truth.
+struct RecoveryError {
+  double low_rank_error = 0.0;  // ||D - D*||_F / ||D*||_F
+  double sparse_error = 0.0;    // ||E - E*||_F / max(||E*||_F, 1)
+  double support_f1 = 0.0;      // F1 of the recovered sparse support
+};
+
+RecoveryError measure_recovery(const SyntheticProblem& truth,
+                               const linalg::Matrix& low_rank,
+                               const linalg::Matrix& sparse,
+                               double support_tol = 1e-3);
+
+}  // namespace netconst::rpca

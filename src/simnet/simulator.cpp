@@ -1,0 +1,317 @@
+#include "simnet/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace netconst::simnet {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+// Times within this of each other are treated as simultaneous, absorbing
+// floating-point drift in event ordering.
+constexpr double kTimeEps = 1e-12;
+// A flow with fewer than this many bytes left is complete. The fluid
+// update `remaining -= rate * dt` leaves O(ulp(bytes)) residue (~1e-9 B
+// for an 8 MiB transfer); with a too-small epsilon the next completion
+// event lands within one double ulp of `now` and simulated time stops
+// advancing. 1e-4 bytes is far above fp noise for any transfer below
+// ~1 TB and far below a meaningful payload.
+constexpr double kByteEps = 1e-4;
+
+}  // namespace
+
+FlowSimulator::FlowSimulator(Topology topology, Rng rng)
+    : topology_(std::move(topology)), rng_(rng) {}
+
+FlowId FlowSimulator::inject(NodeId src, NodeId dst, std::uint64_t bytes,
+                             bool tracked) {
+  NETCONST_CHECK(src != dst, "flow to self");
+  const FlowId id = records_.size();
+  FlowRecord rec;
+  rec.src = src;
+  rec.dst = dst;
+  rec.bytes = bytes;
+  rec.injected_at = now_;
+  rec.tracked = tracked;
+  records_.push_back(rec);
+
+  ActiveFlow flow;
+  flow.id = id;
+  flow.remaining = static_cast<double>(bytes);
+  flow.activate_at = now_ + topology_.path_latency(src, dst);
+  for (const Hop& h : topology_.route(src, dst)) {
+    flow.directed_links.push_back(h.link * 2 + (h.forward ? 0 : 1));
+  }
+  active_.push_back(std::move(flow));
+  if (tracked) ++tracked_in_flight_;
+  rates_dirty_ = true;
+  return id;
+}
+
+void FlowSimulator::add_background_source(const BackgroundSource& source) {
+  NETCONST_CHECK(source.src != source.dst, "background flow to self");
+  NETCONST_CHECK(source.mean_wait > 0.0, "mean wait must be positive");
+  NETCONST_CHECK(source.bytes > 0, "background message must be non-empty");
+  sources_.push_back(source);
+  schedule_next_arrival(sources_.size() - 1);
+}
+
+void FlowSimulator::schedule_next_arrival(std::size_t source_index) {
+  const BackgroundSource& s = sources_[source_index];
+  arrivals_.push({now_ + rng_.exponential(s.mean_wait), source_index});
+}
+
+void FlowSimulator::recompute_rates() {
+  // Progressive filling max-min fairness over directed link capacities.
+  const std::size_t directed = topology_.link_count() * 2;
+  std::vector<double> remaining_cap(directed);
+  for (LinkId l = 0; l < topology_.link_count(); ++l) {
+    remaining_cap[l * 2] = topology_.link(l).capacity;
+    remaining_cap[l * 2 + 1] = topology_.link(l).capacity;
+  }
+  std::vector<std::size_t> unfrozen_count(directed, 0);
+  std::vector<bool> frozen(active_.size(), false);
+  std::size_t unfrozen_flows = 0;
+  for (std::size_t f = 0; f < active_.size(); ++f) {
+    if (!active_[f].transferring) {
+      frozen[f] = true;  // latency phase: no bandwidth consumed
+      active_[f].rate = 0.0;
+      continue;
+    }
+    ++unfrozen_flows;
+    for (std::size_t dl : active_[f].directed_links) ++unfrozen_count[dl];
+  }
+
+  while (unfrozen_flows > 0) {
+    // Bottleneck share across links that still carry unfrozen flows.
+    double bottleneck = kInfinity;
+    for (std::size_t dl = 0; dl < directed; ++dl) {
+      if (unfrozen_count[dl] == 0) continue;
+      const double share =
+          remaining_cap[dl] / static_cast<double>(unfrozen_count[dl]);
+      bottleneck = std::min(bottleneck, share);
+    }
+    NETCONST_ASSERT(bottleneck < kInfinity);
+    // Freeze every unfrozen flow crossing a bottleneck link.
+    const double threshold = bottleneck * (1.0 + 1e-12);
+    bool froze_any = false;
+    for (std::size_t f = 0; f < active_.size(); ++f) {
+      if (frozen[f]) continue;
+      bool at_bottleneck = false;
+      for (std::size_t dl : active_[f].directed_links) {
+        const double share =
+            remaining_cap[dl] / static_cast<double>(unfrozen_count[dl]);
+        if (share <= threshold) {
+          at_bottleneck = true;
+          break;
+        }
+      }
+      if (!at_bottleneck) continue;
+      frozen[f] = true;
+      froze_any = true;
+      --unfrozen_flows;
+      active_[f].rate = bottleneck;
+      for (std::size_t dl : active_[f].directed_links) {
+        remaining_cap[dl] = std::max(remaining_cap[dl] - bottleneck, 0.0);
+        --unfrozen_count[dl];
+      }
+    }
+    NETCONST_ASSERT(froze_any);
+  }
+  rates_dirty_ = false;
+}
+
+double FlowSimulator::next_event_time() const {
+  double t = kInfinity;
+  for (const ActiveFlow& f : active_) {
+    if (!f.transferring) {
+      t = std::min(t, f.activate_at);
+    } else if (f.rate > 0.0) {
+      t = std::min(t, now_ + f.remaining / f.rate);
+    }
+  }
+  if (!arrivals_.empty()) t = std::min(t, arrivals_.top().time);
+  return t;
+}
+
+void FlowSimulator::transfer_elapsed(double dt) {
+  if (dt <= 0.0) return;
+  for (ActiveFlow& f : active_) {
+    if (f.transferring) {
+      f.remaining = std::max(f.remaining - f.rate * dt, 0.0);
+    }
+  }
+}
+
+bool FlowSimulator::step() {
+  if (rates_dirty_) recompute_rates();
+  const double t = next_event_time();
+  if (t == kInfinity) return false;
+  transfer_elapsed(t - now_);
+  now_ = std::max(now_, t);
+
+  // Background arrivals due now.
+  while (!arrivals_.empty() && arrivals_.top().time <= now_ + kTimeEps) {
+    const auto arrival = arrivals_.top();
+    arrivals_.pop();
+    const BackgroundSource& s = sources_[arrival.source_index];
+    inject(s.src, s.dst, s.bytes, /*tracked=*/false);
+    schedule_next_arrival(arrival.source_index);
+  }
+
+  // Activations due now (latency phase over, transfer starts).
+  for (ActiveFlow& f : active_) {
+    if (!f.transferring && f.activate_at <= now_ + kTimeEps) {
+      f.transferring = true;
+      rates_dirty_ = true;
+    }
+  }
+
+  // Completions: flows fully drained.
+  std::vector<FlowId> completed;
+  for (std::size_t i = 0; i < active_.size();) {
+    ActiveFlow& f = active_[i];
+    // Complete when drained, or when the residual transfer time is below
+    // a nanosecond — at large simulated times such a completion event
+    // would not advance the double-precision clock at all.
+    const bool drained =
+        f.transferring &&
+        (f.remaining <= kByteEps ||
+         (f.rate > 0.0 && f.remaining / f.rate <= 1e-9));
+    if (drained) {
+      completed.push_back(f.id);
+      active_[i] = std::move(active_.back());
+      active_.pop_back();
+      rates_dirty_ = true;
+    } else {
+      ++i;
+    }
+  }
+  for (FlowId id : completed) {
+    records_[id].completed_at = now_;
+    if (records_[id].tracked) {
+      NETCONST_ASSERT(tracked_in_flight_ > 0);
+      --tracked_in_flight_;
+      if (completion_callback_) completion_callback_(id, now_);
+    }
+  }
+  return true;
+}
+
+double FlowSimulator::run_until_complete(FlowId id) {
+  NETCONST_CHECK(id < records_.size(), "unknown flow id");
+  while (!records_[id].finished()) {
+    NETCONST_CHECK(step(), "simulation ran out of events before the flow "
+                           "completed");
+  }
+  return records_[id].elapsed();
+}
+
+void FlowSimulator::run_until_idle() {
+  while (tracked_in_flight_ > 0) {
+    NETCONST_CHECK(step(), "simulation ran out of events with tracked "
+                           "flows in flight");
+  }
+}
+
+void FlowSimulator::advance_to(double t) {
+  NETCONST_CHECK(t >= now_, "cannot advance backwards");
+  for (;;) {
+    if (rates_dirty_) recompute_rates();
+    const double next = next_event_time();
+    if (next > t) break;
+    step();
+  }
+  transfer_elapsed(t - now_);
+  now_ = t;
+}
+
+double FlowSimulator::measure_transfer(NodeId src, NodeId dst,
+                                       std::uint64_t bytes) {
+  return run_until_complete(inject(src, dst, bytes));
+}
+
+std::vector<double> FlowSimulator::measure_concurrent(
+    const std::vector<std::pair<NodeId, NodeId>>& pairs,
+    std::uint64_t bytes) {
+  std::vector<FlowId> ids;
+  ids.reserve(pairs.size());
+  for (const auto& [src, dst] : pairs) ids.push_back(inject(src, dst, bytes));
+  std::vector<double> elapsed;
+  elapsed.reserve(ids.size());
+  for (FlowId id : ids) elapsed.push_back(run_until_complete(id));
+  return elapsed;
+}
+
+double FlowSimulator::probe_rate(NodeId src, NodeId dst) const {
+  // Max-min progressive filling over the transferring flows plus one
+  // phantom flow on route(src, dst). Mirrors recompute_rates but leaves
+  // the simulator untouched.
+  const std::size_t directed = topology_.link_count() * 2;
+  std::vector<double> remaining_cap(directed);
+  for (LinkId l = 0; l < topology_.link_count(); ++l) {
+    remaining_cap[l * 2] = topology_.link(l).capacity;
+    remaining_cap[l * 2 + 1] = topology_.link(l).capacity;
+  }
+
+  std::vector<std::vector<std::size_t>> flows;
+  for (const ActiveFlow& f : active_) {
+    if (f.transferring) flows.push_back(f.directed_links);
+  }
+  std::vector<std::size_t> phantom;
+  for (const Hop& h : topology_.route(src, dst)) {
+    phantom.push_back(h.link * 2 + (h.forward ? 0 : 1));
+  }
+  const std::size_t phantom_index = flows.size();
+  flows.push_back(phantom);
+
+  std::vector<std::size_t> unfrozen_count(directed, 0);
+  std::vector<bool> frozen(flows.size(), false);
+  std::vector<double> rates(flows.size(), 0.0);
+  std::size_t unfrozen_flows = flows.size();
+  for (const auto& links : flows) {
+    for (std::size_t dl : links) ++unfrozen_count[dl];
+  }
+  while (unfrozen_flows > 0) {
+    double bottleneck = kInfinity;
+    for (std::size_t dl = 0; dl < directed; ++dl) {
+      if (unfrozen_count[dl] == 0) continue;
+      bottleneck = std::min(
+          bottleneck,
+          remaining_cap[dl] / static_cast<double>(unfrozen_count[dl]));
+    }
+    NETCONST_ASSERT(bottleneck < kInfinity);
+    const double threshold = bottleneck * (1.0 + 1e-12);
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (frozen[f]) continue;
+      bool at_bottleneck = false;
+      for (std::size_t dl : flows[f]) {
+        if (remaining_cap[dl] / static_cast<double>(unfrozen_count[dl]) <=
+            threshold) {
+          at_bottleneck = true;
+          break;
+        }
+      }
+      if (!at_bottleneck) continue;
+      frozen[f] = true;
+      --unfrozen_flows;
+      rates[f] = bottleneck;
+      for (std::size_t dl : flows[f]) {
+        remaining_cap[dl] = std::max(remaining_cap[dl] - bottleneck, 0.0);
+        --unfrozen_count[dl];
+      }
+      // The caller only needs the phantom's rate; stop once it's fixed.
+      if (f == phantom_index) return rates[phantom_index];
+    }
+  }
+  return rates[phantom_index];
+}
+
+const FlowRecord& FlowSimulator::record(FlowId id) const {
+  NETCONST_CHECK(id < records_.size(), "unknown flow id");
+  return records_[id];
+}
+
+}  // namespace netconst::simnet

@@ -1,0 +1,148 @@
+#include "simnet/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace netconst::simnet {
+
+NodeId Topology::add_node(NodeKind kind, std::string name) {
+  nodes_.push_back({kind, std::move(name)});
+  adjacency_.emplace_back();
+  routes_ready_.assign(nodes_.size(), false);  // invalidate route cache
+  routes_.clear();
+  routes_.resize(nodes_.size());
+  return nodes_.size() - 1;
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, double capacity,
+                          double latency) {
+  NETCONST_CHECK(a < nodes_.size() && b < nodes_.size(),
+                 "link endpoint out of range");
+  NETCONST_CHECK(a != b, "self-links are not allowed");
+  NETCONST_CHECK(capacity > 0.0, "link capacity must be positive");
+  NETCONST_CHECK(latency >= 0.0, "link latency must be non-negative");
+  links_.push_back({a, b, capacity, latency});
+  const LinkId id = links_.size() - 1;
+  adjacency_[a].emplace_back(b, id);
+  adjacency_[b].emplace_back(a, id);
+  std::fill(routes_ready_.begin(), routes_ready_.end(), false);
+  return id;
+}
+
+const Node& Topology::node(NodeId id) const {
+  NETCONST_CHECK(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+const Link& Topology::link(LinkId id) const {
+  NETCONST_CHECK(id < links_.size(), "link id out of range");
+  return links_[id];
+}
+
+std::vector<NodeId> Topology::hosts() const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].kind == NodeKind::Host) out.push_back(id);
+  }
+  return out;
+}
+
+void Topology::compute_routes_from(NodeId src) const {
+  // BFS from src; reconstruct hop lists for every destination.
+  constexpr auto kUnreached = std::numeric_limits<NodeId>::max();
+  std::vector<NodeId> parent(nodes_.size(), kUnreached);
+  std::vector<LinkId> via(nodes_.size(), 0);
+  std::deque<NodeId> queue{src};
+  parent[src] = src;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (const auto& [v, l] : adjacency_[u]) {
+      if (parent[v] != kUnreached) continue;
+      parent[v] = u;
+      via[v] = l;
+      queue.push_back(v);
+    }
+  }
+  auto& table = routes_[src];
+  table.assign(nodes_.size(), {});
+  for (NodeId dst = 0; dst < nodes_.size(); ++dst) {
+    if (dst == src || parent[dst] == kUnreached) continue;
+    std::vector<Hop> hops;
+    for (NodeId v = dst; v != src; v = parent[v]) {
+      const Link& l = links_[via[v]];
+      hops.push_back({via[v], l.b == v});
+    }
+    std::reverse(hops.begin(), hops.end());
+    table[dst] = std::move(hops);
+  }
+  routes_ready_[src] = true;
+}
+
+const std::vector<Hop>& Topology::route(NodeId src, NodeId dst) const {
+  NETCONST_CHECK(src < nodes_.size() && dst < nodes_.size(),
+                 "route endpoint out of range");
+  NETCONST_CHECK(src != dst, "route to self");
+  if (routes_.size() != nodes_.size()) routes_.resize(nodes_.size());
+  if (!routes_ready_[src]) compute_routes_from(src);
+  const auto& hops = routes_[src][dst];
+  NETCONST_CHECK(!hops.empty(), "nodes are disconnected");
+  return hops;
+}
+
+double Topology::path_latency(NodeId src, NodeId dst) const {
+  if (src == dst) return 0.0;
+  double total = 0.0;
+  for (const Hop& h : route(src, dst)) total += links_[h.link].latency;
+  return total;
+}
+
+double Topology::path_capacity(NodeId src, NodeId dst) const {
+  NETCONST_CHECK(src != dst, "path capacity to self");
+  double cap = std::numeric_limits<double>::infinity();
+  for (const Hop& h : route(src, dst)) {
+    cap = std::min(cap, links_[h.link].capacity);
+  }
+  return cap;
+}
+
+Topology make_tree_topology(const TreeSpec& spec) {
+  NETCONST_CHECK(spec.racks > 0 && spec.servers_per_rack > 0,
+                 "tree must have at least one rack and server");
+  Topology topo;
+  std::vector<NodeId> hosts;
+  hosts.reserve(spec.racks * spec.servers_per_rack);
+  for (std::size_t r = 0; r < spec.racks; ++r) {
+    for (std::size_t s = 0; s < spec.servers_per_rack; ++s) {
+      hosts.push_back(topo.add_node(
+          NodeKind::Host,
+          "host-r" + std::to_string(r) + "-s" + std::to_string(s)));
+    }
+  }
+  std::vector<NodeId> rack_switches;
+  for (std::size_t r = 0; r < spec.racks; ++r) {
+    rack_switches.push_back(
+        topo.add_node(NodeKind::Switch, "tor-" + std::to_string(r)));
+  }
+  const NodeId core = topo.add_node(NodeKind::Switch, "core");
+  for (std::size_t r = 0; r < spec.racks; ++r) {
+    for (std::size_t s = 0; s < spec.servers_per_rack; ++s) {
+      topo.add_link(hosts[r * spec.servers_per_rack + s], rack_switches[r],
+                    spec.host_link_bytes_per_s, spec.host_link_latency_s);
+    }
+    topo.add_link(rack_switches[r], core, spec.uplink_bytes_per_s,
+                  spec.uplink_latency_s);
+  }
+  return topo;
+}
+
+std::size_t tree_rack_of(const TreeSpec& spec, NodeId host) {
+  NETCONST_CHECK(host < spec.racks * spec.servers_per_rack,
+                 "host id out of range for the tree spec");
+  return host / spec.servers_per_rack;
+}
+
+}  // namespace netconst::simnet

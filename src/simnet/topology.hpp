@@ -1,0 +1,93 @@
+// Physical network topology for the simulator substrate.
+//
+// Nodes are hosts or switches connected by full-duplex links with a
+// capacity (bytes/s) and a propagation latency (s). Routing is shortest
+// path (BFS, cached per source). The canonical instance is the paper's
+// tree: 32 racks x 32 servers, host links 1 Gb/s inside the rack and
+// 10 Gb/s rack uplinks to a single core switch (Figure 3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netconst::simnet {
+
+using NodeId = std::size_t;
+using LinkId = std::size_t;
+
+enum class NodeKind { Host, Switch };
+
+struct Node {
+  NodeKind kind = NodeKind::Host;
+  std::string name;
+};
+
+/// Full-duplex link; each direction has the full capacity.
+struct Link {
+  NodeId a = 0;
+  NodeId b = 0;
+  double capacity = 0.0;  // bytes per second, per direction
+  double latency = 0.0;   // seconds, per traversal
+};
+
+/// One direction of a link along a route.
+struct Hop {
+  LinkId link = 0;
+  bool forward = true;  // true: a->b direction, false: b->a
+};
+
+class Topology {
+ public:
+  NodeId add_node(NodeKind kind, std::string name);
+  LinkId add_link(NodeId a, NodeId b, double capacity_bytes_per_s,
+                  double latency_s);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  const Node& node(NodeId id) const;
+  const Link& link(LinkId id) const;
+
+  /// All host node ids in creation order.
+  std::vector<NodeId> hosts() const;
+
+  /// Shortest path (fewest hops) from src to dst as directed hops.
+  /// Throws Error if the nodes are disconnected. Results are cached.
+  const std::vector<Hop>& route(NodeId src, NodeId dst) const;
+
+  /// Sum of link latencies along route(src, dst).
+  double path_latency(NodeId src, NodeId dst) const;
+
+  /// Minimum link capacity along route(src, dst).
+  double path_capacity(NodeId src, NodeId dst) const;
+
+ private:
+  void compute_routes_from(NodeId src) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<std::pair<NodeId, LinkId>>> adjacency_;
+  // routes_[src][dst]; lazily filled per source.
+  mutable std::vector<std::vector<std::vector<Hop>>> routes_;
+  mutable std::vector<bool> routes_ready_;
+};
+
+/// Parameters of the paper's two-level tree (Figure 3).
+struct TreeSpec {
+  std::size_t racks = 32;
+  std::size_t servers_per_rack = 32;
+  double host_link_bytes_per_s = 1e9 / 8.0;    // 1 Gb/s inside the rack
+  double uplink_bytes_per_s = 10e9 / 8.0;      // 10 Gb/s rack uplink
+  double host_link_latency_s = 50e-6;
+  double uplink_latency_s = 100e-6;
+};
+
+/// Build the tree: hosts -> rack switch -> core switch. Host ids are
+/// 0..racks*servers_per_rack-1 in rack-major order.
+Topology make_tree_topology(const TreeSpec& spec = {});
+
+/// Rack index of a host in a tree built by make_tree_topology.
+std::size_t tree_rack_of(const TreeSpec& spec, NodeId host);
+
+}  // namespace netconst::simnet

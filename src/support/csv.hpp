@@ -1,0 +1,43 @@
+// Minimal CSV reader/writer for traces and experiment outputs.
+//
+// The dialect is deliberately simple: comma separator, no quoting needed by
+// our numeric data, '#'-prefixed comment lines skipped on read.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace netconst {
+
+/// A CSV table: a header row plus data rows of equal width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  std::size_t column_count() const { return header.size(); }
+  std::size_t row_count() const { return rows.size(); }
+
+  /// Index of a header column. Throws Error if absent.
+  std::size_t column_index(const std::string& name) const;
+
+  /// Cell parsed as double. Throws Error on parse failure.
+  double number(std::size_t row, std::size_t col) const;
+};
+
+/// Serialize to a stream. Values are written verbatim.
+void write_csv(std::ostream& out, const CsvTable& table);
+
+/// Write to a file path; creates/overwrites. Throws Error on I/O failure.
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+/// Parse from a stream. First non-comment line is the header.
+CsvTable read_csv(std::istream& in);
+
+/// Read from a file path. Throws Error on I/O failure.
+CsvTable read_csv_file(const std::string& path);
+
+/// Format a double with enough digits to round-trip.
+std::string format_double(double value);
+
+}  // namespace netconst

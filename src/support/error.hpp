@@ -1,0 +1,58 @@
+// Contract checking and error reporting used across the netconst library.
+//
+// The library is exception-based: violated preconditions throw
+// netconst::ContractViolation, runtime failures throw netconst::Error.
+// Hot inner loops use NETCONST_ASSERT which compiles out in release
+// builds with NETCONST_DISABLE_ASSERTS defined.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace netconst {
+
+/// Base class for all errors thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a documented precondition of a public API is violated.
+class ContractViolation : public Error {
+ public:
+  explicit ContractViolation(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_contract_violation(std::string_view expr,
+                                                  std::string_view file,
+                                                  int line,
+                                                  std::string_view msg) {
+  std::ostringstream os;
+  os << "contract violation: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+}  // namespace netconst
+
+/// Precondition check that is always on. `msg` may use stream syntax pieces
+/// already formatted into a string.
+#define NETCONST_CHECK(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::netconst::detail::throw_contract_violation(#expr, __FILE__,        \
+                                                   __LINE__, (msg));       \
+    }                                                                      \
+  } while (false)
+
+/// Cheap internal invariant check; disabled with NETCONST_DISABLE_ASSERTS.
+#ifdef NETCONST_DISABLE_ASSERTS
+#define NETCONST_ASSERT(expr) ((void)0)
+#else
+#define NETCONST_ASSERT(expr) NETCONST_CHECK(expr, "internal invariant")
+#endif

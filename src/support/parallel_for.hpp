@@ -1,0 +1,28 @@
+// Data-parallel loop helper over the global thread pool.
+//
+// parallel_for(0, n, f) calls f(i) for every i in [0, n), partitioned into
+// contiguous chunks across workers. Falls back to serial execution for
+// small ranges (below `grain`) where fork/join overhead would dominate —
+// the usual HPC guidance of "parallelize outer loops, keep grains coarse".
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace netconst {
+
+/// Invoke body(i) for i in [begin, end). Blocks until all iterations
+/// complete. Exceptions thrown by `body` are rethrown on the caller
+/// (first one wins). `grain` is the minimum chunk size per task.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 64);
+
+/// Chunked variant: body(chunk_begin, chunk_end) per contiguous chunk,
+/// which avoids per-index std::function overhead in tight kernels.
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain = 64);
+
+}  // namespace netconst

@@ -1,0 +1,79 @@
+// Deterministic random number generation.
+//
+// All stochastic components of the library (synthetic traces, background
+// traffic, workload generators) draw from netconst::Rng so that every
+// experiment is reproducible from a single seed. The engine is
+// xoshiro256**, seeded through SplitMix64; distributions are implemented
+// here rather than through <random> distributions because libstdc++
+// distribution implementations are not guaranteed stable across versions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace netconst {
+
+/// xoshiro256** engine with convenience distributions. Copyable; copies
+/// evolve independently. `split()` derives an independent child stream,
+/// which is how parallel components get decorrelated randomness.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed via SplitMix64.
+  void reseed(std::uint64_t seed);
+
+  /// Derive an independent stream (for a worker thread / component).
+  Rng split();
+
+  /// Raw 64-bit draw.
+  std::uint64_t next_u64();
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box–Muller (cached second value).
+  double normal();
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev);
+  /// Exponential with given mean (inverse-CDF). Requires mean > 0.
+  double exponential(double mean);
+  /// Poisson with given mean (Knuth for small, normal approx for large).
+  std::uint64_t poisson(double mean);
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+  /// Log-normal such that the *result* has the given median and sigma
+  /// (shape) in log space.
+  double lognormal(double median, double sigma);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n). Requires k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+ private:
+  std::uint64_t s_[4]{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace netconst

@@ -1,0 +1,94 @@
+#include "support/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace netconst {
+
+double mean(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+double percentile(std::vector<double> samples, double q) {
+  NETCONST_CHECK(!samples.empty(), "percentile of empty sample");
+  NETCONST_CHECK(q >= 0.0 && q <= 1.0, "percentile q must be in [0, 1]");
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples.front();
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples.size()) return samples.back();
+  return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  s.count = samples.size();
+  s.mean = mean(samples);
+  double var = 0.0;
+  for (double x : samples) var += (x - s.mean) * (x - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  auto sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = percentile(sorted, 0.5);
+  s.p5 = percentile(sorted, 0.05);
+  s.p95 = percentile(sorted, 0.95);
+  return s;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples,
+                                    std::size_t max_points) {
+  NETCONST_CHECK(!samples.empty(), "empirical_cdf of empty sample");
+  NETCONST_CHECK(max_points >= 2, "empirical_cdf needs at least 2 points");
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  std::vector<CdfPoint> cdf;
+  const std::size_t points = std::min(max_points, n);
+  cdf.reserve(points);
+  for (std::size_t p = 0; p < points; ++p) {
+    // Evenly spaced ranks, always covering rank 0 and rank n-1.
+    const std::size_t rank =
+        points == 1 ? n - 1 : (p * (n - 1)) / (points - 1);
+    cdf.push_back({samples[rank],
+                   static_cast<double>(rank + 1) / static_cast<double>(n)});
+  }
+  return cdf;
+}
+
+std::vector<double> normalize_by(const std::vector<double>& samples,
+                                 double reference) {
+  NETCONST_CHECK(reference != 0.0, "normalize_by zero reference");
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (double s : samples) out.push_back(s / reference);
+  return out;
+}
+
+double pearson_correlation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  NETCONST_CHECK(x.size() == y.size(), "correlation of unequal samples");
+  NETCONST_CHECK(x.size() >= 2, "correlation needs at least 2 samples");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  NETCONST_CHECK(sxx > 0.0 && syy > 0.0,
+                 "correlation of a constant sample is undefined");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace netconst

@@ -1,0 +1,51 @@
+// Descriptive statistics and CDF helpers used by the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace netconst {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;   // sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p5 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Compute summary statistics. Returns a zeroed Summary for empty input.
+Summary summarize(const std::vector<double>& samples);
+
+/// Linear-interpolation percentile; q in [0, 1]. Requires non-empty input.
+double percentile(std::vector<double> samples, double q);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;        // sample value
+  double probability = 0.0;  // P(X <= value)
+};
+
+/// Empirical CDF reduced to at most `max_points` evenly spaced points
+/// (always including the extremes). Requires non-empty input.
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples,
+                                    std::size_t max_points = 50);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(const std::vector<double>& samples);
+
+/// samples normalized by `reference` (element / reference). Requires
+/// reference != 0.
+std::vector<double> normalize_by(const std::vector<double>& samples,
+                                 double reference);
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Requires size >= 2 and non-degenerate variance.
+double pearson_correlation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+}  // namespace netconst

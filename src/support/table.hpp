@@ -1,0 +1,36 @@
+// Console table printer used by the figure-reproduction harnesses so that
+// every bench binary emits the paper's rows/series in a readable form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace netconst {
+
+/// Accumulates rows and prints them with aligned columns.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string cell(double value, int precision = 3);
+  static std::string cell_percent(double fraction, int precision = 1);
+
+  /// Render with a rule under the header.
+  void print(std::ostream& out) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner ("== Figure 7: ... ==") for bench output.
+void print_banner(std::ostream& out, const std::string& title);
+
+}  // namespace netconst

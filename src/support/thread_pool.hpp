@@ -1,0 +1,46 @@
+// A fixed-size worker pool used by parallel_for and the linear-algebra
+// kernels. Tasks are plain std::function<void()>; completion is tracked
+// per-batch by the submitter (see parallel_for.cpp), keeping the pool
+// itself minimal and lock-contention low.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace netconst {
+
+/// Fixed-size thread pool. Construction spawns the workers; destruction
+/// drains the queue and joins them. Thread-safe for concurrent submit().
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for execution on some worker.
+  void submit(std::function<void()> task);
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Process-wide shared pool (lazily constructed, sized to the hardware).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace netconst

@@ -1,0 +1,101 @@
+#include "apps/cg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace netconst::apps {
+namespace {
+
+TEST(Cg, SolvesIdentitySystemInOneIteration) {
+  CsrMatrix eye(3, 3, {{0, 0, 1.0}, {1, 1, 1.0}, {2, 2, 1.0}});
+  const CgResult result =
+      conjugate_gradient(eye, std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 1u);
+  EXPECT_NEAR(result.solution[2], 3.0, 1e-10);
+}
+
+TEST(Cg, SolvesLaplacianSystem) {
+  const CsrMatrix lap = laplacian_2d(10, 10);
+  std::vector<double> b(100, 1.0);
+  const CgResult result = conjugate_gradient(lap, b);
+  EXPECT_TRUE(result.converged);
+  // Verify the residual independently.
+  std::vector<double> ax;
+  lap.multiply(result.solution, ax);
+  double r2 = 0.0, b2 = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    r2 += (b[i] - ax[i]) * (b[i] - ax[i]);
+    b2 += b[i] * b[i];
+  }
+  EXPECT_LE(std::sqrt(r2), 1e-5 * std::sqrt(b2) * 1.01);
+}
+
+TEST(Cg, SolvesRandomSpdSystem) {
+  Rng rng(3);
+  const CsrMatrix a = random_spd(50, 4, rng);
+  std::vector<double> truth(50);
+  for (auto& v : truth) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> b;
+  a.multiply(truth, b);
+  const CgResult result = conjugate_gradient(a, b);
+  EXPECT_TRUE(result.converged);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(result.solution[i], truth[i], 1e-4);
+  }
+}
+
+TEST(Cg, ZeroRhsConvergesImmediately) {
+  const CsrMatrix lap = laplacian_2d(3, 3);
+  const CgResult result =
+      conjugate_gradient(lap, std::vector<double>(9, 0.0));
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0u);
+}
+
+TEST(Cg, ShapeMismatchThrows) {
+  const CsrMatrix lap = laplacian_2d(3, 3);
+  EXPECT_THROW(conjugate_gradient(lap, std::vector<double>(5, 1.0)),
+               ContractViolation);
+}
+
+TEST(Cg, NonSpdDetected) {
+  // A negative-definite matrix fails the pAp > 0 check.
+  CsrMatrix neg(2, 2, {{0, 0, -1.0}, {1, 1, -1.0}});
+  EXPECT_THROW(conjugate_gradient(neg, std::vector<double>{1.0, 1.0}),
+               ContractViolation);
+}
+
+TEST(Cg, IterationsGrowWithProblemSize) {
+  // Larger grids need more CG iterations — the effect behind Figure 9(a).
+  std::vector<double> b_small(16, 1.0), b_large(400, 1.0);
+  const auto small =
+      conjugate_gradient(laplacian_2d(4, 4), b_small);
+  const auto large =
+      conjugate_gradient(laplacian_2d(20, 20), b_large);
+  EXPECT_GT(large.iterations, small.iterations);
+}
+
+TEST(CgProfile, FieldsArePlausible) {
+  const CsrMatrix lap = laplacian_2d(12, 12);
+  std::vector<double> b(144, 1.0);
+  const DistributedProfile profile = cg_profile(lap, b, 8);
+  EXPECT_EQ(profile.instances, 8u);
+  EXPECT_GT(profile.rounds, 0u);
+  EXPECT_EQ(profile.bytes_per_member, 144u * 8u / 8u + 1u);
+  EXPECT_GT(profile.compute_seconds_per_round, 0.0);
+}
+
+TEST(CgProfile, Contracts) {
+  const CsrMatrix lap = laplacian_2d(3, 3);
+  std::vector<double> b(9, 1.0);
+  EXPECT_THROW(cg_profile(lap, b, 0), ContractViolation);
+  EXPECT_THROW(cg_profile(lap, b, 2, -1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netconst::apps

@@ -1,0 +1,91 @@
+#include "apps/nbody.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace netconst::apps {
+namespace {
+
+TEST(NBody, TwoBodySymmetricForces) {
+  std::vector<Body> bodies(2);
+  bodies[0].x = -1.0;
+  bodies[1].x = 1.0;
+  NBodySimulation sim(bodies, 1.0, 1e-6);
+  sim.step(0.01);
+  // Bodies attract: both move toward the origin symmetrically.
+  EXPECT_GT(sim.bodies()[0].x, -1.0);
+  EXPECT_LT(sim.bodies()[1].x, 1.0);
+  EXPECT_NEAR(sim.bodies()[0].x, -sim.bodies()[1].x, 1e-12);
+}
+
+TEST(NBody, MomentumConserved) {
+  Rng rng(1);
+  NBodySimulation sim(random_bodies(20, rng));
+  const auto before = sim.total_momentum();
+  sim.run(100, 1e-3);
+  const auto after = sim.total_momentum();
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_NEAR(after[d], before[d], 1e-9);
+  }
+}
+
+TEST(NBody, EnergyApproximatelyConserved) {
+  Rng rng(2);
+  NBodySimulation sim(random_bodies(16, rng), 1.0, 0.05);
+  const double before = sim.total_energy();
+  sim.run(200, 1e-4);
+  const double after = sim.total_energy();
+  // Leapfrog drift should be small at this step size.
+  EXPECT_NEAR(after, before, std::abs(before) * 0.01 + 1e-6);
+}
+
+TEST(NBody, StationaryWithoutForces) {
+  // A single body never accelerates.
+  std::vector<Body> one(1);
+  one[0].vx = 0.5;
+  NBodySimulation sim(one);
+  sim.run(10, 0.1);
+  EXPECT_NEAR(sim.bodies()[0].x, 0.5, 1e-12);
+  EXPECT_NEAR(sim.bodies()[0].vx, 0.5, 1e-12);
+}
+
+TEST(NBody, Contracts) {
+  EXPECT_THROW(NBodySimulation(std::vector<Body>{}), ContractViolation);
+  std::vector<Body> bad(1);
+  bad[0].mass = -1.0;
+  EXPECT_THROW(NBodySimulation{bad}, ContractViolation);
+  std::vector<Body> ok(1);
+  NBodySimulation sim(ok);
+  EXPECT_THROW(sim.step(0.0), ContractViolation);
+}
+
+TEST(RandomBodies, PositiveMasses) {
+  Rng rng(3);
+  for (const Body& b : random_bodies(50, rng)) {
+    EXPECT_GT(b.mass, 0.0);
+  }
+}
+
+TEST(NBodyProfile, ScalesWithParameters) {
+  const auto p1 = nbody_profile(1000, 10, 1 << 20, 8);
+  EXPECT_EQ(p1.rounds, 10u);
+  EXPECT_EQ(p1.bytes_per_member, 1u << 20);
+  EXPECT_EQ(p1.instances, 8u);
+  const auto p2 = nbody_profile(2000, 10, 1 << 20, 8);
+  EXPECT_NEAR(p2.compute_seconds_per_round,
+              4.0 * p1.compute_seconds_per_round, 1e-12);
+  const auto p3 = nbody_profile(1000, 10, 1 << 20, 16);
+  EXPECT_NEAR(p3.compute_seconds_per_round,
+              0.5 * p1.compute_seconds_per_round, 1e-12);
+}
+
+TEST(NBodyProfile, Contracts) {
+  EXPECT_THROW(nbody_profile(10, 1, 1, 0), ContractViolation);
+  EXPECT_THROW(nbody_profile(10, 1, 1, 2, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netconst::apps

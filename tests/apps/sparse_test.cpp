@@ -1,0 +1,91 @@
+#include "apps/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace netconst::apps {
+namespace {
+
+TEST(CsrMatrix, BuildAndAccess) {
+  CsrMatrix m(2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nonzeros(), 3u);
+  EXPECT_EQ(m.value_at(0, 0), 1.0);
+  EXPECT_EQ(m.value_at(0, 2), 2.0);
+  EXPECT_EQ(m.value_at(0, 1), 0.0);
+}
+
+TEST(CsrMatrix, DuplicatesAreSummed) {
+  CsrMatrix m(2, 2, {{0, 0, 1.0}, {0, 0, 2.5}});
+  EXPECT_EQ(m.value_at(0, 0), 3.5);
+  EXPECT_EQ(m.nonzeros(), 1u);
+}
+
+TEST(CsrMatrix, OutOfRangeTripletThrows) {
+  EXPECT_THROW(CsrMatrix(2, 2, {{2, 0, 1.0}}), ContractViolation);
+  EXPECT_THROW(CsrMatrix(0, 0, {}), ContractViolation);
+}
+
+TEST(CsrMatrix, SpMv) {
+  CsrMatrix m(2, 2, {{0, 0, 2.0}, {0, 1, 1.0}, {1, 1, 3.0}});
+  std::vector<double> y;
+  m.multiply(std::vector<double>{1.0, 2.0}, y);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_EQ(y[0], 4.0);
+  EXPECT_EQ(y[1], 6.0);
+}
+
+TEST(CsrMatrix, SpMvDimensionMismatchThrows) {
+  CsrMatrix m(2, 3, {{0, 0, 1.0}});
+  std::vector<double> y;
+  EXPECT_THROW(m.multiply(std::vector<double>{1.0}, y), ContractViolation);
+}
+
+TEST(CsrMatrix, SymmetryDetection) {
+  CsrMatrix sym(2, 2, {{0, 1, 2.0}, {1, 0, 2.0}, {0, 0, 1.0}});
+  EXPECT_TRUE(sym.is_symmetric());
+  CsrMatrix asym(2, 2, {{0, 1, 2.0}});
+  EXPECT_FALSE(asym.is_symmetric());
+  CsrMatrix rect(2, 3, {{0, 0, 1.0}});
+  EXPECT_FALSE(rect.is_symmetric());
+}
+
+TEST(Laplacian2d, StructureAndSymmetry) {
+  const CsrMatrix lap = laplacian_2d(4, 3);
+  EXPECT_EQ(lap.rows(), 12u);
+  EXPECT_TRUE(lap.is_symmetric());
+  EXPECT_EQ(lap.value_at(0, 0), 4.0);
+  EXPECT_EQ(lap.value_at(0, 1), -1.0);
+  EXPECT_EQ(lap.value_at(0, 4), -1.0);  // vertical neighbour
+  EXPECT_EQ(lap.value_at(0, 5), 0.0);   // diagonal neighbour absent
+}
+
+TEST(Laplacian2d, RowSumsNonNegative) {
+  // Diagonally dominant: 4 >= number of neighbours.
+  const CsrMatrix lap = laplacian_2d(5, 5);
+  for (std::size_t r = 0; r < lap.rows(); ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < lap.cols(); ++c) {
+      row_sum += lap.value_at(r, c);
+    }
+    EXPECT_GE(row_sum, 0.0);
+  }
+}
+
+TEST(RandomSpd, SymmetricAndDominant) {
+  Rng rng(5);
+  const CsrMatrix m = random_spd(30, 3, rng);
+  EXPECT_TRUE(m.is_symmetric());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double offdiag = 0.0;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (c != r) offdiag += std::abs(m.value_at(r, c));
+    }
+    EXPECT_GT(m.value_at(r, r), offdiag);
+  }
+}
+
+}  // namespace
+}  // namespace netconst::apps

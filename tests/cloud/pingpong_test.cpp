@@ -1,0 +1,60 @@
+#include "cloud/pingpong.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/synthetic.hpp"
+#include "support/error.hpp"
+
+namespace netconst::cloud {
+namespace {
+
+TEST(RobustFit, NormalCase) {
+  const auto p = robust_fit(0.001, 1, 0.101, 1000000);
+  EXPECT_NEAR(p.alpha, 0.001, 1e-12);
+  EXPECT_NEAR(p.beta, 999999.0 / 0.1, 1.0);
+}
+
+TEST(RobustFit, FallbackWhenJitterSwallowsSizeDifference) {
+  // t_large <= t_small: still produces a finite positive estimate.
+  const auto p = robust_fit(0.5, 1, 0.4, 1000000);
+  EXPECT_EQ(p.alpha, 0.5);
+  EXPECT_NEAR(p.beta, 1000000.0 / 0.4, 1e-6);
+}
+
+TEST(RobustFit, RejectsNonPositiveTimes) {
+  EXPECT_THROW(robust_fit(0.0, 1, 0.1, 100), ContractViolation);
+  EXPECT_THROW(robust_fit(0.1, 1, -0.1, 100), ContractViolation);
+  EXPECT_THROW(robust_fit(0.1, 100, 0.2, 100), ContractViolation);
+}
+
+TEST(Pingpong, CalibratesAgainstSyntheticCloud) {
+  SyntheticCloudConfig config;
+  config.cluster_size = 4;
+  config.band_sigma = 0.005;
+  config.mean_quiet_duration = 1e12;
+  config.seed = 15;
+  SyntheticCloud cloud(config);
+  const auto truth = cloud.ground_truth_constant();
+  const auto fit = pingpong_calibrate(cloud, 0, 1);
+  EXPECT_NEAR(fit.alpha / truth.link(0, 1).alpha, 1.0, 0.1);
+  EXPECT_NEAR(fit.beta / truth.link(0, 1).beta, 1.0, 0.1);
+}
+
+TEST(Pingpong, SelfPairThrows) {
+  SyntheticCloudConfig config;
+  config.cluster_size = 4;
+  SyntheticCloud cloud(config);
+  EXPECT_THROW(pingpong_calibrate(cloud, 1, 1), ContractViolation);
+}
+
+TEST(Pingpong, ConsumesProviderTime) {
+  SyntheticCloudConfig config;
+  config.cluster_size = 4;
+  SyntheticCloud cloud(config);
+  const double before = cloud.now();
+  pingpong_calibrate(cloud, 0, 2);
+  EXPECT_GT(cloud.now(), before);
+}
+
+}  // namespace
+}  // namespace netconst::cloud

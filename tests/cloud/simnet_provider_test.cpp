@@ -1,0 +1,102 @@
+#include "cloud/simnet_provider.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace netconst::cloud {
+namespace {
+
+std::shared_ptr<simnet::FlowSimulator> small_sim() {
+  simnet::TreeSpec spec;
+  spec.racks = 4;
+  spec.servers_per_rack = 4;
+  return std::make_shared<simnet::FlowSimulator>(
+      simnet::make_tree_topology(spec));
+}
+
+TEST(SimnetProvider, ValidatesVmHosts) {
+  auto sim = small_sim();
+  EXPECT_THROW(SimnetProvider(sim, {0}), ContractViolation);      // too few
+  EXPECT_THROW(SimnetProvider(sim, {0, 0}), ContractViolation);   // duplicate
+  EXPECT_THROW(SimnetProvider(sim, {0, 999}), ContractViolation); // range
+  // A switch node (id 16 is the first ToR in a 16-host tree).
+  EXPECT_THROW(SimnetProvider(sim, {0, 16}), ContractViolation);
+  EXPECT_THROW(SimnetProvider(nullptr, {0, 1}), ContractViolation);
+}
+
+TEST(SimnetProvider, MeasureMatchesDirectSimulation) {
+  auto sim = small_sim();
+  SimnetProvider provider(sim, {0, 1, 4, 5});
+  const double elapsed = provider.measure(0, 2, 1 << 20);
+  EXPECT_GT(elapsed, 0.0);
+  EXPECT_EQ(provider.now(), sim->now());
+}
+
+TEST(SimnetProvider, ConcurrentMeasurementsAdvanceByMax) {
+  auto sim = small_sim();
+  SimnetProvider provider(sim, {0, 1, 4, 5});
+  const double before = provider.now();
+  const auto times =
+      provider.measure_concurrent({{0, 1}, {2, 3}}, 1 << 20);
+  ASSERT_EQ(times.size(), 2u);
+  const double advanced = provider.now() - before;
+  EXPECT_GE(advanced + 1e-9, std::max(times[0], times[1]));
+}
+
+TEST(SimnetProvider, OracleSnapshotReflectsTopology) {
+  auto sim = small_sim();
+  // VMs 0, 1 in rack 0; VM 4 in rack 1.
+  SimnetProvider provider(sim, {0, 1, 4});
+  const auto snap = provider.oracle_snapshot();
+  // Intra-rack latency < cross-rack latency.
+  EXPECT_LT(snap.link(0, 1).alpha, snap.link(0, 2).alpha);
+  // Idle network: probe rate = host-link capacity everywhere.
+  EXPECT_NEAR(snap.link(0, 1).beta, 1e9 / 8.0, 1.0);
+  EXPECT_TRUE(snap.is_valid());
+}
+
+TEST(SimnetProvider, OracleSeesBackgroundContention) {
+  auto sim = small_sim();
+  simnet::BackgroundSource bg;
+  bg.src = 2;
+  bg.dst = 3;
+  bg.bytes = 1 << 28;  // long-lived flow
+  bg.mean_wait = 1e-3;
+  sim->add_background_source(bg);
+  sim->advance_to(1.0);
+  SimnetProvider provider(sim, {2, 3, 4});
+  const auto snap = provider.oracle_snapshot();
+  // The 2->3 direction shares with background flows.
+  EXPECT_LT(snap.link(0, 1).beta, 1e9 / 8.0 * 0.9);
+}
+
+TEST(SimnetProvider, AdvanceMovesClock) {
+  auto sim = small_sim();
+  SimnetProvider provider(sim, {0, 1});
+  provider.advance(12.5);
+  EXPECT_NEAR(provider.now(), 12.5, 1e-12);
+  EXPECT_THROW(provider.advance(-1.0), ContractViolation);
+}
+
+TEST(PickRandomHosts, DistinctHostsOnly) {
+  simnet::TreeSpec spec;
+  spec.racks = 2;
+  spec.servers_per_rack = 8;
+  const auto topo = simnet::make_tree_topology(spec);
+  Rng rng(3);
+  const auto hosts = pick_random_hosts(topo, 10, rng);
+  EXPECT_EQ(hosts.size(), 10u);
+  std::set<simnet::NodeId> unique(hosts.begin(), hosts.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (simnet::NodeId h : hosts) {
+    EXPECT_EQ(topo.node(h).kind, simnet::NodeKind::Host);
+  }
+  EXPECT_THROW(pick_random_hosts(topo, 17, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netconst::cloud

@@ -1,0 +1,244 @@
+#include "cloud/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/statistics.hpp"
+
+namespace netconst::cloud {
+namespace {
+
+SyntheticCloudConfig small_config() {
+  SyntheticCloudConfig config;
+  config.cluster_size = 8;
+  config.seed = 321;
+  return config;
+}
+
+TEST(SyntheticCloud, RejectsDegenerateConfigs) {
+  SyntheticCloudConfig config = small_config();
+  config.cluster_size = 1;
+  EXPECT_THROW(SyntheticCloud{config}, ContractViolation);
+  config = small_config();
+  config.same_rack_bandwidth = 0.0;
+  EXPECT_THROW(SyntheticCloud{config}, ContractViolation);
+}
+
+TEST(SyntheticCloud, DeterministicGivenSeed) {
+  SyntheticCloud a(small_config());
+  SyntheticCloud b(small_config());
+  for (int k = 0; k < 20; ++k) {
+    EXPECT_EQ(a.measure(0, 1, 1024), b.measure(0, 1, 1024));
+  }
+}
+
+TEST(SyntheticCloud, MeasureAdvancesTime) {
+  SyntheticCloud cloud(small_config());
+  EXPECT_EQ(cloud.now(), 0.0);
+  const double elapsed = cloud.measure(0, 1, 1 << 20);
+  EXPECT_GT(elapsed, 0.0);
+  EXPECT_EQ(cloud.now(), elapsed);
+}
+
+TEST(SyntheticCloud, GroundTruthConstantIsStable) {
+  SyntheticCloud cloud(small_config());
+  const auto before = cloud.ground_truth_constant();
+  cloud.advance(3600.0);
+  const auto after = cloud.ground_truth_constant();
+  // No migrations configured -> constants never change.
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(before.link(i, j).beta, after.link(i, j).beta);
+    }
+  }
+}
+
+TEST(SyntheticCloud, SamplesFormBandAroundConstant) {
+  SyntheticCloudConfig config = small_config();
+  config.mean_quiet_duration = 1e12;  // effectively no spikes
+  SyntheticCloud cloud(config);
+  const auto truth = cloud.ground_truth_constant();
+  std::vector<double> ratios;
+  for (int k = 0; k < 300; ++k) {
+    cloud.advance(1.0);
+    const auto link = cloud.sample_link(0, 1);
+    ratios.push_back(link.beta / truth.link(0, 1).beta);
+  }
+  const Summary s = summarize(ratios);
+  // Band centered on 1 with sigma ~ band_sigma.
+  EXPECT_NEAR(s.mean, 1.0, 0.02);
+  EXPECT_NEAR(s.stddev, config.band_sigma, config.band_sigma);
+  EXPECT_GT(s.stddev, 0.005);
+}
+
+TEST(SyntheticCloud, SpikesDegradeBandwidth) {
+  SyntheticCloudConfig config = small_config();
+  config.mean_quiet_duration = 10.0;  // spike-heavy
+  config.mean_spike_duration = 10.0;
+  SyntheticCloud cloud(config);
+  const auto truth = cloud.ground_truth_constant();
+  int degraded = 0;
+  const int samples = 400;
+  for (int k = 0; k < samples; ++k) {
+    cloud.advance(5.0);
+    if (cloud.sample_link(0, 1).beta < 0.6 * truth.link(0, 1).beta) {
+      ++degraded;
+    }
+  }
+  // Roughly half the time congested with factor >= 1.5.
+  EXPECT_GT(degraded, samples / 10);
+  EXPECT_LT(degraded, samples * 9 / 10);
+}
+
+TEST(SyntheticCloud, PlacementAffectsConstants) {
+  SyntheticCloudConfig config;
+  config.cluster_size = 32;
+  config.datacenter_racks = 4;  // force rack sharing
+  config.seed = 11;
+  SyntheticCloud cloud(config);
+  const auto truth = cloud.ground_truth_constant();
+  const auto& placement = cloud.placement();
+  double same_sum = 0.0, cross_sum = 0.0;
+  int same_count = 0, cross_count = 0;
+  for (std::size_t i = 0; i < 32; ++i) {
+    for (std::size_t j = 0; j < 32; ++j) {
+      if (i == j) continue;
+      if (placement[i] == placement[j]) {
+        same_sum += truth.link(i, j).beta;
+        ++same_count;
+      } else {
+        cross_sum += truth.link(i, j).beta;
+        ++cross_count;
+      }
+    }
+  }
+  ASSERT_GT(same_count, 0);
+  ASSERT_GT(cross_count, 0);
+  EXPECT_GT(same_sum / same_count, cross_sum / cross_count);
+}
+
+TEST(SyntheticCloud, MigrationsChangeConstants) {
+  SyntheticCloudConfig config = small_config();
+  config.mean_migration_interval = 100.0;
+  SyntheticCloud cloud(config);
+  cloud.advance(10000.0);
+  EXPECT_GT(cloud.migration_count(), 10u);
+}
+
+TEST(SyntheticCloud, NoMigrationsWhenDisabled) {
+  SyntheticCloud cloud(small_config());
+  cloud.advance(1e6);
+  EXPECT_EQ(cloud.migration_count(), 0u);
+}
+
+TEST(SyntheticCloud, ConcurrentMeasurementInterferesCrossRack) {
+  SyntheticCloudConfig config;
+  config.cluster_size = 32;
+  config.datacenter_racks = 2;  // heavy uplink sharing
+  config.uplink_capacity_factor = 2.0;
+  config.seed = 77;
+  SyntheticCloud cloud(config);
+  // All pairs cross-rack, concurrently.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  const auto& placement = cloud.placement();
+  for (std::size_t i = 0; i < 32 && pairs.size() < 8; ++i) {
+    for (std::size_t j = 0; j < 32 && pairs.size() < 8; ++j) {
+      if (i != j && placement[i] != placement[j]) pairs.emplace_back(i, j);
+    }
+  }
+  ASSERT_GE(pairs.size(), 4u);
+  const auto concurrent = cloud.measure_concurrent(pairs, 1 << 23);
+  // Compare against an identical cloud measuring the first pair alone.
+  SyntheticCloud solo(config);
+  const double alone = solo.measure(pairs[0].first, pairs[0].second, 1 << 23);
+  EXPECT_GT(concurrent[0], alone * 1.2);
+}
+
+TEST(SyntheticCloud, OracleSnapshotIsFreeAndValid) {
+  SyntheticCloud cloud(small_config());
+  const double before = cloud.now();
+  const auto snap = cloud.oracle_snapshot();
+  EXPECT_EQ(cloud.now(), before);
+  EXPECT_TRUE(snap.is_valid());
+  EXPECT_EQ(snap.size(), 8u);
+}
+
+TEST(SyntheticCloud, InvalidPairThrows) {
+  SyntheticCloud cloud(small_config());
+  EXPECT_THROW(cloud.measure(0, 0, 10), ContractViolation);
+  EXPECT_THROW(cloud.measure(0, 99, 10), ContractViolation);
+}
+
+
+TEST(SyntheticCloud, RackCongestionHitsCrossRackPairsTogether) {
+  SyntheticCloudConfig config;
+  config.cluster_size = 12;
+  config.datacenter_racks = 2;  // every VM shares a rack with many others
+  config.band_sigma = 1e-6;    // isolate the congestion effect
+  config.mean_quiet_duration = 1e12;  // no per-pair spikes
+  config.mean_rack_quiet_duration = 50.0;  // frequent rack events
+  config.mean_rack_congestion_duration = 50.0;
+  config.max_rack_congestion_factor = 4.0;
+  config.seed = 99;
+  SyntheticCloud cloud(config);
+  const auto truth = cloud.ground_truth_constant();
+  const auto& placement = cloud.placement();
+
+  // Sample repeatedly; when one cross-rack pair is congested, every
+  // cross-rack pair sharing the congested rack must be degraded in the
+  // same snapshot (the correlated-error structure).
+  bool saw_congestion = false;
+  for (int t = 0; t < 200 && !saw_congestion; ++t) {
+    cloud.advance(25.0);
+    const auto snap = cloud.oracle_snapshot();
+    for (std::size_t i = 0; i < 12 && !saw_congestion; ++i) {
+      for (std::size_t j = 0; j < 12; ++j) {
+        if (i == j || placement[i] == placement[j]) continue;
+        if (snap.link(i, j).beta < 0.6 * truth.link(i, j).beta) {
+          saw_congestion = true;
+          // All pairs crossing racks in the same direction regime share
+          // the rack factor: check another pair touching rack of i.
+          int degraded = 0, total = 0;
+          for (std::size_t a = 0; a < 12; ++a) {
+            for (std::size_t b = 0; b < 12; ++b) {
+              if (a == b || placement[a] == placement[b]) continue;
+              ++total;
+              if (snap.link(a, b).beta < 0.8 * truth.link(a, b).beta) {
+                ++degraded;
+              }
+            }
+          }
+          // With only 2 racks every cross-rack pair crosses the same
+          // boundary, so congestion is cluster-wide.
+          EXPECT_GT(degraded, total * 3 / 4);
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_congestion);
+}
+
+TEST(SyntheticCloud, SameRackPairsImmuneToRackCongestion) {
+  SyntheticCloudConfig config;
+  config.cluster_size = 8;
+  config.datacenter_racks = 1;  // everything same rack
+  config.band_sigma = 1e-6;
+  config.mean_quiet_duration = 1e12;
+  config.mean_rack_quiet_duration = 10.0;  // rack "congested" often
+  config.mean_rack_congestion_duration = 10.0;
+  config.seed = 100;
+  SyntheticCloud cloud(config);
+  const auto truth = cloud.ground_truth_constant();
+  for (int t = 0; t < 50; ++t) {
+    cloud.advance(7.0);
+    const auto link = cloud.sample_link(0, 1);
+    EXPECT_NEAR(link.beta / truth.link(0, 1).beta, 1.0, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace netconst::cloud

@@ -1,0 +1,109 @@
+#include "cloud/trace_replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/calibration.hpp"
+#include "cloud/synthetic.hpp"
+#include "support/error.hpp"
+
+namespace netconst::cloud {
+namespace {
+
+netmodel::Trace small_trace() {
+  netmodel::TemporalPerformance series;
+  for (int r = 0; r < 3; ++r) {
+    netmodel::PerformanceMatrix snap(3);
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        if (i != j) {
+          snap.set_link(i, j, {1e-3 * (r + 1), 1e6 * (r + 1)});
+        }
+      }
+    }
+    series.append(r * 100.0, std::move(snap));
+  }
+  return netmodel::Trace(std::move(series));
+}
+
+TEST(TraceReplay, EmptyTraceThrows) {
+  EXPECT_THROW(TraceReplayProvider{netmodel::Trace{}}, ContractViolation);
+}
+
+TEST(TraceReplay, StartsAtFirstSnapshot) {
+  TraceReplayProvider provider(small_trace());
+  EXPECT_EQ(provider.now(), 0.0);
+  EXPECT_EQ(provider.cluster_size(), 3u);
+  EXPECT_FALSE(provider.exhausted());
+}
+
+TEST(TraceReplay, MeasureUsesCurrentSnapshotAndAdvances) {
+  TraceReplayProvider provider(small_trace());
+  // Snapshot 0: alpha 1e-3, beta 1e6; 1e6 bytes -> ~1.001 s.
+  const double t = provider.measure(0, 1, 1000000);
+  EXPECT_NEAR(t, 1.001, 1e-9);
+  EXPECT_NEAR(provider.now(), 1.001, 1e-9);
+}
+
+TEST(TraceReplay, SnapshotSwitchesWithTime) {
+  TraceReplayProvider provider(small_trace());
+  provider.advance(150.0);  // into snapshot 1's window
+  const auto snap = provider.oracle_snapshot();
+  EXPECT_EQ(snap.link(0, 1).beta, 2e6);
+  provider.advance(100.0);  // into snapshot 2
+  EXPECT_EQ(provider.oracle_snapshot().link(0, 1).beta, 3e6);
+  EXPECT_TRUE(provider.exhausted());
+}
+
+TEST(TraceReplay, DeterministicReplay) {
+  TraceReplayProvider a(small_trace());
+  TraceReplayProvider b(small_trace());
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(a.measure(0, 2, 4096), b.measure(0, 2, 4096));
+  }
+}
+
+TEST(TraceReplay, ConcurrentMeasurementsShareTheSnapshot) {
+  TraceReplayProvider provider(small_trace());
+  const auto times = provider.measure_concurrent({{0, 1}, {2, 0}}, 1 << 20);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], times[1]);  // symmetric snapshot
+  EXPECT_NEAR(provider.now(), times[0], 1e-12);
+}
+
+TEST(TraceReplay, InvalidPairThrows) {
+  TraceReplayProvider provider(small_trace());
+  EXPECT_THROW(provider.measure(0, 0, 10), ContractViolation);
+  EXPECT_THROW(provider.measure(0, 9, 10), ContractViolation);
+  EXPECT_THROW(provider.advance(-1.0), ContractViolation);
+}
+
+TEST(TraceReplay, CalibrationOverReplayedTraceMatchesSource) {
+  // Record a synthetic-cloud calibration, replay it, calibrate the
+  // replay: the recovered matrix must match the recorded snapshots.
+  SyntheticCloudConfig config;
+  config.cluster_size = 5;
+  config.band_sigma = 0.001;
+  config.mean_quiet_duration = 1e12;
+  config.seed = 77;
+  SyntheticCloud cloud(config);
+  SeriesOptions options;
+  options.time_step = 3;
+  options.interval = 10.0;
+  const SeriesResult recorded = calibrate_series(cloud, options);
+
+  TraceReplayProvider replay{netmodel::Trace(recorded.series)};
+  const CalibrationResult result = calibrate_snapshot(replay);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      if (i == j) continue;
+      const double recorded_beta =
+          recorded.series.snapshot(0).link(i, j).beta;
+      EXPECT_NEAR(result.matrix.link(i, j).beta / recorded_beta, 1.0,
+                  0.05)
+          << i << "->" << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netconst::cloud

@@ -1,0 +1,83 @@
+#include "collective/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace netconst::collective {
+namespace {
+
+TEST(Binomial, SingleNode) {
+  const CommTree tree = binomial_tree(1, 0);
+  EXPECT_TRUE(tree.complete());
+  EXPECT_EQ(tree.depth(), 0u);
+}
+
+TEST(Binomial, PowerOfTwoDepthIsLog) {
+  for (std::size_t size : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    const CommTree tree = binomial_tree(size, 0);
+    EXPECT_TRUE(tree.complete()) << size;
+    EXPECT_EQ(tree.depth(),
+              static_cast<std::size_t>(std::log2(size)))
+        << size;
+  }
+}
+
+TEST(Binomial, RootHasLogChildren) {
+  const CommTree tree = binomial_tree(16, 0);
+  EXPECT_EQ(tree.children(0).size(), 4u);
+  // Largest subtree first: offsets 8, 4, 2, 1.
+  EXPECT_EQ(tree.children(0)[0], 8u);
+  EXPECT_EQ(tree.children(0)[1], 4u);
+  EXPECT_EQ(tree.children(0)[2], 2u);
+  EXPECT_EQ(tree.children(0)[3], 1u);
+  EXPECT_EQ(tree.subtree_size(8), 8u);
+  EXPECT_EQ(tree.subtree_size(1), 1u);
+}
+
+TEST(Binomial, StructureMatchesRelativeRankRule) {
+  // MPICH rule: relative rank r's parent is r - lowbit(r).
+  const CommTree tree = binomial_tree(13, 0);
+  for (std::size_t r = 1; r < 13; ++r) {
+    const std::size_t low = r & (~r + 1);
+    EXPECT_EQ(*tree.parent(r), r - low) << "rank " << r;
+  }
+}
+
+class BinomialSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BinomialSweep, SpanningAndRootShift) {
+  const auto [size, root] = GetParam();
+  const CommTree tree = binomial_tree(static_cast<std::size_t>(size),
+                                      static_cast<std::size_t>(root));
+  EXPECT_TRUE(tree.complete());
+  EXPECT_EQ(tree.root(), static_cast<std::size_t>(root));
+  EXPECT_EQ(tree.subtree_size(static_cast<std::size_t>(root)),
+            static_cast<std::size_t>(size));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndRoots, BinomialSweep,
+    ::testing::Values(std::pair{2, 0}, std::pair{2, 1}, std::pair{3, 1},
+                      std::pair{5, 4}, std::pair{7, 3}, std::pair{8, 5},
+                      std::pair{17, 16}, std::pair{31, 0},
+                      std::pair{33, 20}, std::pair{196, 77}));
+
+TEST(Binomial, NonPowerOfTwoIsStillValid) {
+  const CommTree tree = binomial_tree(11, 0);
+  EXPECT_TRUE(tree.complete());
+  // A node's depth is popcount(relative rank); the max over 0..10 is
+  // popcount(7) = 3.
+  EXPECT_EQ(tree.depth(), 3u);
+}
+
+TEST(Binomial, InvalidArgumentsThrow) {
+  EXPECT_THROW(binomial_tree(0, 0), ContractViolation);
+  EXPECT_THROW(binomial_tree(4, 4), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netconst::collective

@@ -1,0 +1,107 @@
+// Deeper simulator-execution tests for collectives: the upward phases
+// (reduce/gather), contention between tree rounds and background
+// traffic, and consistency between the alpha-beta model and the
+// simulator on idle networks.
+#include <gtest/gtest.h>
+
+#include "collective/binomial.hpp"
+#include "collective/collective_ops.hpp"
+#include "collective/fnf.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace netconst::collective {
+namespace {
+
+simnet::Topology flat_tree(std::size_t racks, std::size_t servers,
+                           double host_bw, double uplink_bw) {
+  simnet::TreeSpec spec;
+  spec.racks = racks;
+  spec.servers_per_rack = servers;
+  spec.host_link_bytes_per_s = host_bw;
+  spec.uplink_bytes_per_s = uplink_bw;
+  spec.host_link_latency_s = 0.0;
+  spec.uplink_latency_s = 0.0;
+  return simnet::make_tree_topology(spec);
+}
+
+TEST(CollectiveSim, ReduceMirrorsBroadcastOnIdleNetwork) {
+  simnet::FlowSimulator sim(flat_tree(2, 4, 100.0, 1000.0));
+  const std::vector<simnet::NodeId> hosts{0, 1, 2, 3, 4, 5, 6, 7};
+  const CommTree tree = binomial_tree(8, 0);
+  const double bcast =
+      run_collective_sim(sim, hosts, tree, Collective::Broadcast, 200);
+  const double reduce =
+      run_collective_sim(sim, hosts, tree, Collective::Reduce, 200);
+  // In the simulator the upward sends overlap (concurrent receives share
+  // links fairly), so reduce is no slower than broadcast's serialized
+  // sends and both complete in the same ballpark.
+  EXPECT_GT(reduce, 0.0);
+  EXPECT_LE(reduce, bcast * 1.5);
+}
+
+TEST(CollectiveSim, GatherCarriesSubtreePayloads) {
+  simnet::FlowSimulator sim(flat_tree(1, 4, 100.0, 1000.0));
+  const std::vector<simnet::NodeId> hosts{0, 1, 2, 3};
+  CommTree chain(4, 0);
+  chain.add_edge(0, 1);
+  chain.add_edge(1, 2);
+  chain.add_edge(2, 3);
+  const double elapsed =
+      run_collective_sim(sim, hosts, chain, Collective::Gather, 100);
+  // Leaf 3 sends 100 B; node 2 forwards 200 B after receiving; node 1
+  // forwards 300 B. Sequential dependency chain: 1 + 2 + 3 seconds.
+  EXPECT_NEAR(elapsed, 6.0, 1e-6);
+}
+
+TEST(CollectiveSim, BackgroundTrafficSlowsTheCollective) {
+  auto topo = flat_tree(2, 4, 1000.0, 10000.0);
+  const std::vector<simnet::NodeId> hosts{0, 1, 2, 3, 4, 5, 6, 7};
+  const CommTree tree = binomial_tree(8, 0);
+
+  simnet::FlowSimulator quiet(topo);
+  const double clean =
+      run_collective_sim(quiet, hosts, tree, Collective::Broadcast, 5000);
+
+  simnet::FlowSimulator busy(flat_tree(2, 4, 1000.0, 10000.0), Rng(5));
+  simnet::BackgroundSource bg;
+  bg.src = 1;
+  bg.dst = 5;
+  bg.bytes = 600;
+  bg.mean_wait = 1.0;
+  busy.add_background_source(bg);
+  busy.advance_to(30.0);
+  const double contended =
+      run_collective_sim(busy, hosts, tree, Collective::Broadcast, 5000);
+  EXPECT_GE(contended, clean);
+}
+
+TEST(CollectiveSim, FnfTreeExecutesOnArbitraryHostSubsets) {
+  simnet::FlowSimulator sim(flat_tree(4, 4, 100.0, 1000.0));
+  // Non-contiguous host subset.
+  const std::vector<simnet::NodeId> hosts{1, 4, 7, 10, 13, 14};
+  Rng rng(6);
+  linalg::Matrix w(6, 6);
+  for (auto& v : w.data()) v = rng.uniform(1.0, 5.0);
+  const CommTree tree = fnf_tree(w, 2);
+  const double elapsed =
+      run_collective_sim(sim, hosts, tree, Collective::Scatter, 4000);
+  EXPECT_GT(elapsed, 0.0);
+  EXPECT_LT(elapsed, 1000.0);
+}
+
+TEST(CollectiveSim, SimulatorClockAdvancesAcrossCollectives) {
+  simnet::FlowSimulator sim(flat_tree(1, 4, 100.0, 1000.0));
+  const std::vector<simnet::NodeId> hosts{0, 1, 2, 3};
+  const CommTree tree = binomial_tree(4, 0);
+  const double t0 = sim.now();
+  run_collective_sim(sim, hosts, tree, Collective::Broadcast, 100);
+  const double t1 = sim.now();
+  run_collective_sim(sim, hosts, tree, Collective::Gather, 100);
+  const double t2 = sim.now();
+  EXPECT_GT(t1, t0);
+  EXPECT_GT(t2, t1);
+}
+
+}  // namespace
+}  // namespace netconst::collective

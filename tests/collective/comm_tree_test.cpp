@@ -1,0 +1,80 @@
+#include "collective/comm_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace netconst::collective {
+namespace {
+
+TEST(CommTree, StartsWithRootOnly) {
+  CommTree tree(5, 2);
+  EXPECT_EQ(tree.size(), 5u);
+  EXPECT_EQ(tree.root(), 2u);
+  EXPECT_TRUE(tree.attached(2));
+  EXPECT_FALSE(tree.attached(0));
+  EXPECT_FALSE(tree.complete());
+  EXPECT_EQ(tree.attached_count(), 1u);
+}
+
+TEST(CommTree, InvalidConstructionThrows) {
+  EXPECT_THROW(CommTree(0, 0), ContractViolation);
+  EXPECT_THROW(CommTree(3, 3), ContractViolation);
+}
+
+TEST(CommTree, AddEdgeRules) {
+  CommTree tree(4, 0);
+  tree.add_edge(0, 1);
+  EXPECT_THROW(tree.add_edge(0, 1), ContractViolation);  // re-attach
+  EXPECT_THROW(tree.add_edge(2, 3), ContractViolation);  // parent loose
+  EXPECT_THROW(tree.add_edge(0, 9), ContractViolation);  // out of range
+  tree.add_edge(1, 2);
+  tree.add_edge(1, 3);
+  EXPECT_TRUE(tree.complete());
+}
+
+TEST(CommTree, ParentAndChildren) {
+  CommTree tree(4, 0);
+  tree.add_edge(0, 2);
+  tree.add_edge(2, 1);
+  tree.add_edge(2, 3);
+  EXPECT_FALSE(tree.parent(0).has_value());
+  EXPECT_EQ(*tree.parent(2), 0u);
+  EXPECT_EQ(*tree.parent(3), 2u);
+  ASSERT_EQ(tree.children(2).size(), 2u);
+  EXPECT_EQ(tree.children(2)[0], 1u);  // insertion order preserved
+  EXPECT_EQ(tree.children(2)[1], 3u);
+  EXPECT_THROW(tree.parent(9), ContractViolation);
+}
+
+TEST(CommTree, SubtreeSize) {
+  CommTree tree(5, 0);
+  tree.add_edge(0, 1);
+  tree.add_edge(1, 2);
+  tree.add_edge(1, 3);
+  tree.add_edge(0, 4);
+  EXPECT_EQ(tree.subtree_size(0), 5u);
+  EXPECT_EQ(tree.subtree_size(1), 3u);
+  EXPECT_EQ(tree.subtree_size(4), 1u);
+}
+
+TEST(CommTree, Depth) {
+  CommTree chain(4, 0);
+  chain.add_edge(0, 1);
+  chain.add_edge(1, 2);
+  chain.add_edge(2, 3);
+  EXPECT_EQ(chain.depth(), 3u);
+
+  CommTree star(4, 0);
+  star.add_edge(0, 1);
+  star.add_edge(0, 2);
+  star.add_edge(0, 3);
+  EXPECT_EQ(star.depth(), 1u);
+
+  CommTree single(1, 0);
+  EXPECT_EQ(single.depth(), 0u);
+  EXPECT_TRUE(single.complete());
+}
+
+}  // namespace
+}  // namespace netconst::collective

@@ -1,0 +1,123 @@
+#include "collective/fnf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "collective/binomial.hpp"
+#include "collective/collective_ops.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace netconst::collective {
+namespace {
+
+// The paper's Figure 1(a) weight matrix (6 machines; smaller = better).
+linalg::Matrix paper_example() {
+  return linalg::Matrix{{0, 4, 1, 5, 6, 7},
+                        {4, 0, 5, 6, 7, 8},
+                        {1, 5, 0, 6, 7, 2},
+                        {5, 6, 6, 0, 3, 4},
+                        {6, 7, 7, 3, 0, 5},
+                        {7, 8, 2, 4, 5, 0}};
+}
+
+TEST(Fnf, ReproducesPaperFigure1a) {
+  const CommTree tree = fnf_tree(paper_example(), 0);
+  EXPECT_TRUE(tree.complete());
+  // Iteration 1: machine 1 (index 0) picks machine 3 (index 2).
+  ASSERT_GE(tree.children(0).size(), 2u);
+  EXPECT_EQ(tree.children(0)[0], 2u);
+  // Iteration 2: 0 picks 1 (weight 4); 2 picks 5 (weight 2).
+  EXPECT_EQ(tree.children(0)[1], 1u);
+  ASSERT_GE(tree.children(2).size(), 1u);
+  EXPECT_EQ(tree.children(2)[0], 5u);
+}
+
+TEST(Fnf, BinomialShape) {
+  // FNF grows like a binomial tree: after k iterations 2^k members.
+  Rng rng(1);
+  linalg::Matrix w(16, 16);
+  for (auto& v : w.data()) v = rng.uniform(1.0, 10.0);
+  const CommTree tree = fnf_tree(w, 0);
+  EXPECT_TRUE(tree.complete());
+  EXPECT_LE(tree.depth(), 4u);  // never deeper than binomial
+}
+
+TEST(Fnf, PicksTheBestLinkFirst) {
+  linalg::Matrix w{{0, 9, 1}, {9, 0, 9}, {1, 9, 0}};
+  const CommTree tree = fnf_tree(w, 0);
+  EXPECT_EQ(tree.children(0)[0], 2u);
+}
+
+TEST(Fnf, InvalidInputsThrow) {
+  EXPECT_THROW(fnf_tree(linalg::Matrix(2, 3), 0), ContractViolation);
+  EXPECT_THROW(fnf_tree(linalg::Matrix(3, 3), 5), ContractViolation);
+}
+
+TEST(Fnf, SingleNode) {
+  const CommTree tree = fnf_tree(linalg::Matrix(1, 1), 0);
+  EXPECT_TRUE(tree.complete());
+}
+
+TEST(OptimalTree, SizeLimit) {
+  EXPECT_THROW(optimal_broadcast_tree(linalg::Matrix(9, 9), 0),
+               ContractViolation);
+}
+
+class FnfNearOptimal : public ::testing::TestWithParam<int> {};
+
+TEST_P(FnfNearOptimal, WithinFactorOfExhaustiveOptimum) {
+  // FNF is a near-optimal greedy (Banikazemi et al.); on random small
+  // instances it must never beat the exhaustive optimum and should stay
+  // within a small constant factor of it (3x observed worst case on
+  // adversarial random weights).
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 6;
+  linalg::Matrix w(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) w(i, j) = rng.uniform(1.0, 20.0);
+    }
+  }
+  // Evaluate with a uniform-payload performance matrix so tree cost
+  // equals the weight-based broadcast completion.
+  netmodel::PerformanceMatrix perf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) perf.set_link(i, j, {w(i, j), 1e18});
+    }
+  }
+  const CommTree fnf = fnf_tree(w, 0);
+  const CommTree best = optimal_broadcast_tree(w, 0);
+  const double fnf_cost =
+      collective_time(fnf, perf, Collective::Broadcast, 1);
+  const double best_cost =
+      collective_time(best, perf, Collective::Broadcast, 1);
+  EXPECT_GE(fnf_cost, best_cost - 1e-9);
+  EXPECT_LE(fnf_cost, 3.0 * best_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FnfNearOptimal,
+                         ::testing::Range(1, 13));
+
+TEST(Fnf, BeatsBinomialOnHeterogeneousNetwork) {
+  // A cluster with one slow machine: FNF avoids routing through it.
+  const std::size_t n = 8;
+  netmodel::PerformanceMatrix perf(n);
+  Rng rng(9);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const bool slow = i == 3 || j == 3;
+      perf.set_link(i, j, {1e-4, slow ? 1e6 : 1e8});
+    }
+  }
+  const auto w = perf.weight_matrix(1 << 23);
+  const double fnf_cost = collective_time(
+      fnf_tree(w, 0), perf, Collective::Broadcast, 1 << 23);
+  const double binomial_cost = collective_time(
+      binomial_tree(n, 0), perf, Collective::Broadcast, 1 << 23);
+  EXPECT_LE(fnf_cost, binomial_cost * 1.001);
+}
+
+}  // namespace
+}  // namespace netconst::collective

@@ -1,0 +1,192 @@
+#include "collective/pipelines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "collective/binomial.hpp"
+#include "collective/collective_ops.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace netconst::collective {
+namespace {
+
+netmodel::PerformanceMatrix uniform_perf(std::size_t n, double alpha,
+                                         double beta) {
+  netmodel::PerformanceMatrix p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) p.set_link(i, j, {alpha, beta});
+    }
+  }
+  return p;
+}
+
+TEST(Chains, RankOrderChain) {
+  const Chain chain = rank_order_chain(5, 2);
+  EXPECT_EQ(chain, (Chain{2, 3, 4, 0, 1}));
+  EXPECT_TRUE(is_valid_chain(chain, 5, 2));
+}
+
+TEST(Chains, GreedyChainFollowsBestLinks) {
+  // 0 -> 2 is cheap, 2 -> 1 is cheap: greedy should order 0,2,1.
+  linalg::Matrix w{{0, 9, 1}, {9, 0, 9}, {1, 1, 0}};
+  const Chain chain = greedy_chain(w, 0);
+  EXPECT_EQ(chain, (Chain{0, 2, 1}));
+}
+
+TEST(Chains, Validation) {
+  EXPECT_FALSE(is_valid_chain({0, 1}, 3, 0));     // wrong size
+  EXPECT_FALSE(is_valid_chain({1, 0, 2}, 3, 0));  // wrong root
+  EXPECT_FALSE(is_valid_chain({0, 1, 1}, 3, 0));  // duplicate
+  EXPECT_TRUE(is_valid_chain({0, 2, 1}, 3, 0));
+}
+
+TEST(Chains, Contracts) {
+  EXPECT_THROW(rank_order_chain(0, 0), ContractViolation);
+  EXPECT_THROW(rank_order_chain(3, 3), ContractViolation);
+  EXPECT_THROW(greedy_chain(linalg::Matrix(2, 3), 0), ContractViolation);
+}
+
+TEST(PipelineBroadcast, SingleSegmentIsStoreAndForward) {
+  const auto perf = uniform_perf(4, 0.0, 100.0);
+  const Chain chain = rank_order_chain(4, 0);
+  // One segment of 300 bytes: 3 hops x 3 s.
+  EXPECT_NEAR(pipeline_broadcast_time(chain, perf, 300, 1), 9.0, 1e-12);
+}
+
+TEST(PipelineBroadcast, SegmentationApproachesBandwidthBound) {
+  const auto perf = uniform_perf(8, 0.0, 100.0);
+  const Chain chain = rank_order_chain(8, 0);
+  const double one = pipeline_broadcast_time(chain, perf, 7000, 1);
+  const double many = pipeline_broadcast_time(chain, perf, 7000, 70);
+  // 7 hops x 70 s vs fill (7 x 1 s) + 69 x 1 s.
+  EXPECT_NEAR(one, 490.0, 1e-9);
+  EXPECT_NEAR(many, 76.0, 1e-9);
+  EXPECT_LT(many, one / 5.0);
+}
+
+TEST(PipelineBroadcast, LatencyPenalizesOverSegmentation) {
+  // With big alpha, more segments mean more per-segment latencies.
+  const auto perf = uniform_perf(4, 1.0, 1e9);
+  const Chain chain = rank_order_chain(4, 0);
+  EXPECT_LT(pipeline_broadcast_time(chain, perf, 1000, 1),
+            pipeline_broadcast_time(chain, perf, 1000, 50));
+}
+
+TEST(PipelineBroadcast, BestSegmentCountBalancesBoth) {
+  const auto perf = uniform_perf(6, 0.01, 1e6);
+  const Chain chain = rank_order_chain(6, 0);
+  const std::size_t best = best_segment_count(chain, perf, 8 << 20, 64);
+  EXPECT_GT(best, 1u);
+  const double at_best =
+      pipeline_broadcast_time(chain, perf, 8 << 20, best);
+  EXPECT_LE(at_best, pipeline_broadcast_time(chain, perf, 8 << 20, 1));
+  EXPECT_LE(at_best, pipeline_broadcast_time(chain, perf, 8 << 20, 64));
+}
+
+TEST(PipelineBroadcast, BeatsBinomialForLargeMessagesOnUniformNet) {
+  // The classic result: for big payloads a segmented chain beats the
+  // binomial tree's log(N) bandwidth factor.
+  const std::size_t n = 16;
+  const auto perf = uniform_perf(n, 1e-4, 1e8);
+  const std::uint64_t bytes = 64ull << 20;
+  const Chain chain = rank_order_chain(n, 0);
+  const std::size_t segments = best_segment_count(chain, perf, bytes, 128);
+  const double pipeline =
+      pipeline_broadcast_time(chain, perf, bytes, segments);
+  const double binomial = collective_time(
+      binomial_tree(n, 0), perf, Collective::Broadcast, bytes);
+  EXPECT_LT(pipeline, binomial);
+}
+
+TEST(RingAllgather, UniformRing) {
+  const auto perf = uniform_perf(5, 0.0, 100.0);
+  const Chain ring = rank_order_chain(5, 0);
+  // 4 rounds x 1 s for 100-byte blocks.
+  EXPECT_NEAR(ring_allgather_time(ring, perf, 100), 4.0, 1e-12);
+}
+
+TEST(RingAllgather, GatedBySlowestLink) {
+  netmodel::PerformanceMatrix perf = uniform_perf(3, 0.0, 100.0);
+  perf.set_link(2, 0, {0.0, 10.0});  // closing edge 10x slower
+  const Chain ring = rank_order_chain(3, 0);
+  EXPECT_NEAR(ring_allgather_time(ring, perf, 100), 2.0 * 10.0, 1e-12);
+}
+
+TEST(RingAllgather, GreedyRingAvoidsSlowLinks) {
+  Rng rng(5);
+  const std::size_t n = 10;
+  netmodel::PerformanceMatrix perf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) perf.set_link(i, j, {1e-5, rng.uniform(1e6, 1e8)});
+    }
+  }
+  const auto w = perf.weight_matrix(1 << 20);
+  const double greedy =
+      ring_allgather_time(greedy_chain(w, 0), perf, 1 << 20);
+  const double naive =
+      ring_allgather_time(rank_order_chain(n, 0), perf, 1 << 20);
+  EXPECT_LE(greedy, naive * 1.2);
+}
+
+TEST(ScatterAllgather, ComposesPhases) {
+  const auto perf = uniform_perf(4, 0.0, 100.0);
+  const CommTree tree = binomial_tree(4, 0);
+  const Chain ring = rank_order_chain(4, 0);
+  const std::uint64_t bytes = 400;
+  const double expected =
+      collective_time(tree, perf, Collective::Scatter, 100) +
+      ring_allgather_time(ring, perf, 100);
+  EXPECT_NEAR(scatter_allgather_broadcast_time(tree, ring, perf, bytes),
+              expected, 1e-12);
+}
+
+
+TEST(RingAllreduce, UniformRingCost) {
+  const auto perf = uniform_perf(4, 0.0, 100.0);
+  const Chain ring = rank_order_chain(4, 0);
+  // Blocks of 100 B, 2(N-1) = 6 rounds of 1 s each.
+  EXPECT_NEAR(ring_allreduce_time(ring, perf, 400), 6.0, 1e-12);
+}
+
+TEST(RingAllreduce, BeatsTreeAllreduceForLargeMessages) {
+  const std::size_t n = 16;
+  const auto perf = uniform_perf(n, 1e-4, 1e8);
+  const std::uint64_t bytes = 64ull << 20;
+  const Chain ring = rank_order_chain(n, 0);
+  const CommTree tree = binomial_tree(n, 0);
+  EXPECT_LT(ring_allreduce_time(ring, perf, bytes),
+            tree_allreduce_time(tree, perf, bytes));
+}
+
+TEST(TreeAllreduce, BeatsRingForTinyMessages) {
+  const std::size_t n = 16;
+  const auto perf = uniform_perf(n, 1e-3, 1e9);  // latency-dominated
+  const std::uint64_t bytes = 64;
+  const Chain ring = rank_order_chain(n, 0);
+  const CommTree tree = binomial_tree(n, 0);
+  EXPECT_LT(tree_allreduce_time(tree, perf, bytes),
+            ring_allreduce_time(ring, perf, bytes));
+}
+
+TEST(TreeAllreduce, IsReducePlusBroadcast) {
+  const auto perf = uniform_perf(8, 1e-4, 1e7);
+  const CommTree tree = binomial_tree(8, 0);
+  const std::uint64_t bytes = 1 << 20;
+  EXPECT_NEAR(tree_allreduce_time(tree, perf, bytes),
+              collective_time(tree, perf, Collective::Reduce, bytes) +
+                  collective_time(tree, perf, Collective::Broadcast,
+                                  bytes),
+              1e-12);
+}
+
+TEST(Pipelines, SingleMemberDegenerates) {
+  const auto perf = uniform_perf(1, 0.0, 1.0);
+  const Chain chain = rank_order_chain(1, 0);
+  EXPECT_EQ(pipeline_broadcast_time(chain, perf, 100, 4), 0.0);
+  EXPECT_EQ(ring_allgather_time(chain, perf, 100), 0.0);
+}
+
+}  // namespace
+}  // namespace netconst::collective

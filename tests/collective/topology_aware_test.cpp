@@ -1,0 +1,70 @@
+#include "collective/topology_aware.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.hpp"
+
+namespace netconst::collective {
+namespace {
+
+TEST(TopologyAware, SpansAllMembers) {
+  const std::vector<std::size_t> racks{0, 0, 1, 1, 2, 2, 2};
+  const CommTree tree = topology_aware_tree(racks, 0);
+  EXPECT_TRUE(tree.complete());
+  EXPECT_EQ(tree.subtree_size(0), 7u);
+}
+
+TEST(TopologyAware, CrossRackEdgesOnlyBetweenRepresentatives) {
+  const std::vector<std::size_t> racks{0, 0, 0, 1, 1, 1, 2, 2, 2};
+  const CommTree tree = topology_aware_tree(racks, 1);
+  // Count edges crossing racks; each non-root rack must be entered
+  // exactly once.
+  std::set<std::size_t> entered;
+  for (std::size_t node = 0; node < racks.size(); ++node) {
+    const auto parent = node == tree.root() ? std::nullopt
+                                            : tree.parent(node);
+    if (parent && racks[*parent] != racks[node]) {
+      EXPECT_TRUE(entered.insert(racks[node]).second)
+          << "rack " << racks[node] << " entered twice";
+    }
+  }
+  EXPECT_EQ(entered.size(), 2u);  // racks 0-root's rack
+}
+
+TEST(TopologyAware, IntraRackMembersHangOffTheirRepresentative) {
+  const std::vector<std::size_t> racks{0, 0, 1, 1};
+  const CommTree tree = topology_aware_tree(racks, 0);
+  // Member 3's ancestors within rack 1 must stay in rack 1 until the
+  // representative (member 2).
+  const auto p3 = *tree.parent(3);
+  EXPECT_EQ(racks[p3], 1u);
+}
+
+TEST(TopologyAware, SingleRackDegeneratesToBinomial) {
+  const std::vector<std::size_t> racks{0, 0, 0, 0, 0, 0, 0, 0};
+  const CommTree tree = topology_aware_tree(racks, 0);
+  EXPECT_TRUE(tree.complete());
+  EXPECT_EQ(tree.depth(), 3u);  // binomial over 8
+}
+
+TEST(TopologyAware, RootNotLowestIndexInItsRack) {
+  const std::vector<std::size_t> racks{0, 0, 1, 1};
+  const CommTree tree = topology_aware_tree(racks, 1);
+  EXPECT_TRUE(tree.complete());
+  EXPECT_EQ(tree.root(), 1u);
+}
+
+TEST(TopologyAware, SingleMember) {
+  const CommTree tree = topology_aware_tree({0}, 0);
+  EXPECT_TRUE(tree.complete());
+}
+
+TEST(TopologyAware, InvalidRootThrows) {
+  EXPECT_THROW(topology_aware_tree({0, 1}, 5), ContractViolation);
+  EXPECT_THROW(topology_aware_tree({}, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netconst::collective

@@ -1,0 +1,81 @@
+#include "core/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace netconst::core {
+namespace {
+
+TEST(Advisor, Names) {
+  EXPECT_STREQ(effectiveness_name(Effectiveness::Stable), "stable");
+  EXPECT_STREQ(effectiveness_name(Effectiveness::Moderate), "moderate");
+  EXPECT_STREQ(effectiveness_name(Effectiveness::Dynamic), "dynamic");
+}
+
+TEST(Advisor, InvalidOptionsThrow) {
+  AdvisorOptions reversed;
+  reversed.stable_threshold = 0.5;
+  reversed.dynamic_threshold = 0.2;
+  EXPECT_THROW(EffectivenessAdvisor{reversed}, ContractViolation);
+  AdvisorOptions huge_hysteresis;
+  huge_hysteresis.hysteresis = 0.5;
+  EXPECT_THROW(EffectivenessAdvisor{huge_hysteresis}, ContractViolation);
+}
+
+TEST(Advisor, FirstObservationClassifiesDirectly) {
+  EffectivenessAdvisor a;
+  EXPECT_EQ(a.observe(0.05), Effectiveness::Stable);
+  EffectivenessAdvisor b;
+  EXPECT_EQ(b.observe(0.25), Effectiveness::Moderate);
+  EffectivenessAdvisor c;
+  EXPECT_EQ(c.observe(0.6), Effectiveness::Dynamic);
+}
+
+TEST(Advisor, OutOfRangeNormThrows) {
+  EffectivenessAdvisor advisor;
+  EXPECT_THROW(advisor.observe(-0.1), ContractViolation);
+  EXPECT_THROW(advisor.observe(1.1), ContractViolation);
+}
+
+TEST(Advisor, HysteresisPreventsFlapping) {
+  AdvisorOptions options;  // stable < 0.12, hysteresis 0.03
+  EffectivenessAdvisor advisor(options);
+  advisor.observe(0.05);
+  EXPECT_EQ(advisor.level(), Effectiveness::Stable);
+  // Oscillating right around the boundary must not change the level.
+  for (const double norm : {0.125, 0.11, 0.13, 0.12, 0.14}) {
+    advisor.observe(norm);
+    EXPECT_EQ(advisor.level(), Effectiveness::Stable) << norm;
+  }
+  // A clear crossing does.
+  advisor.observe(0.2);
+  EXPECT_EQ(advisor.level(), Effectiveness::Moderate);
+  // And coming back needs to clear the band minus hysteresis.
+  advisor.observe(0.10);
+  EXPECT_EQ(advisor.level(), Effectiveness::Moderate);
+  advisor.observe(0.05);
+  EXPECT_EQ(advisor.level(), Effectiveness::Stable);
+}
+
+TEST(Advisor, BigJumpSkipsABand) {
+  EffectivenessAdvisor advisor;
+  advisor.observe(0.05);
+  advisor.observe(0.9);
+  EXPECT_EQ(advisor.level(), Effectiveness::Dynamic);
+  advisor.observe(0.02);
+  EXPECT_EQ(advisor.level(), Effectiveness::Stable);
+}
+
+TEST(Advisor, AdviceAndIntervalFactorTrackTheLevel) {
+  EffectivenessAdvisor advisor;
+  advisor.observe(0.05);
+  EXPECT_NE(advisor.advice().find("stable"), std::string::npos);
+  EXPECT_GT(advisor.recalibration_interval_factor(), 1.0);
+  advisor.observe(0.9);
+  EXPECT_LT(advisor.recalibration_interval_factor(), 1.0);
+  EXPECT_EQ(advisor.last_norm(), 0.9);
+}
+
+}  // namespace
+}  // namespace netconst::core

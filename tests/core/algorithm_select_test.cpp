@@ -1,0 +1,108 @@
+#include "core/algorithm_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include "collective/binomial.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace netconst::core {
+namespace {
+
+netmodel::PerformanceMatrix uniform_perf(std::size_t n, double alpha,
+                                         double beta) {
+  netmodel::PerformanceMatrix p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) p.set_link(i, j, {alpha, beta});
+    }
+  }
+  return p;
+}
+
+TEST(AlgorithmSelect, Names) {
+  EXPECT_STREQ(broadcast_algorithm_name(BroadcastAlgorithm::Binomial),
+               "binomial");
+  EXPECT_STREQ(broadcast_algorithm_name(BroadcastAlgorithm::FnfTree),
+               "fnf-tree");
+  EXPECT_STREQ(broadcast_algorithm_name(BroadcastAlgorithm::Pipeline),
+               "pipeline");
+  EXPECT_STREQ(
+      broadcast_algorithm_name(BroadcastAlgorithm::ScatterAllgather),
+      "scatter-allgather");
+}
+
+TEST(AlgorithmSelect, Contracts) {
+  const auto perf = uniform_perf(4, 1e-4, 1e8);
+  EXPECT_THROW(plan_broadcast(perf, 9, 1024), ContractViolation);
+}
+
+TEST(AlgorithmSelect, SmallMessagesPickATree) {
+  // Latency-dominated: per-segment latencies make pipelines lose.
+  const auto perf = uniform_perf(16, 1e-3, 1e9);
+  const BroadcastPlan plan = plan_broadcast(perf, 0, 1024);
+  EXPECT_TRUE(plan.algorithm == BroadcastAlgorithm::Binomial ||
+              plan.algorithm == BroadcastAlgorithm::FnfTree)
+      << broadcast_algorithm_name(plan.algorithm);
+}
+
+TEST(AlgorithmSelect, HugeMessagesPickABandwidthAlgorithm) {
+  const auto perf = uniform_perf(16, 1e-4, 1e8);
+  const BroadcastPlan plan = plan_broadcast(perf, 0, 256ull << 20);
+  EXPECT_TRUE(plan.algorithm == BroadcastAlgorithm::Pipeline ||
+              plan.algorithm == BroadcastAlgorithm::ScatterAllgather)
+      << broadcast_algorithm_name(plan.algorithm);
+}
+
+TEST(AlgorithmSelect, PredictionMatchesEvaluationOnGuidance) {
+  Rng rng(7);
+  netmodel::PerformanceMatrix perf(12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) {
+      if (i != j) {
+        perf.set_link(i, j, {rng.uniform(1e-4, 1e-3),
+                             rng.uniform(1e7, 1e8)});
+      }
+    }
+  }
+  for (const std::uint64_t bytes :
+       {std::uint64_t{4} << 10, std::uint64_t{8} << 20,
+        std::uint64_t{128} << 20}) {
+    const BroadcastPlan plan = plan_broadcast(perf, 3, bytes);
+    EXPECT_NEAR(broadcast_plan_time(plan, perf, bytes),
+                plan.predicted_seconds,
+                plan.predicted_seconds * 1e-12)
+        << bytes;
+  }
+}
+
+TEST(AlgorithmSelect, WinnerBeatsEveryOtherCandidateOnGuidance) {
+  Rng rng(8);
+  netmodel::PerformanceMatrix perf(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      if (i != j) {
+        perf.set_link(i, j, {rng.uniform(1e-4, 2e-3),
+                             rng.uniform(5e6, 2e8)});
+      }
+    }
+  }
+  const std::uint64_t bytes = 8ull << 20;
+  const BroadcastPlan plan = plan_broadcast(perf, 0, bytes);
+  // The binomial candidate is always available: the plan must not lose
+  // to it.
+  BroadcastPlan binomial;
+  binomial.algorithm = BroadcastAlgorithm::Binomial;
+  binomial.tree = collective::binomial_tree(10, 0);
+  EXPECT_LE(plan.predicted_seconds,
+            broadcast_plan_time(binomial, perf, bytes) + 1e-12);
+}
+
+TEST(AlgorithmSelect, SingleMemberDegenerates) {
+  const auto perf = uniform_perf(1, 0.0, 1.0);
+  const BroadcastPlan plan = plan_broadcast(perf, 0, 1024);
+  EXPECT_EQ(plan.predicted_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace netconst::core

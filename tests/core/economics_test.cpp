@@ -1,0 +1,83 @@
+#include "core/economics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace netconst::core {
+namespace {
+
+PricingModel per_second_pricing() {
+  PricingModel pricing;
+  pricing.price_per_instance_hour = 0.12;
+  pricing.billing_granularity_seconds = 1.0;
+  return pricing;
+}
+
+TEST(Economics, OccupancyCostLinearInInstancesAndTime) {
+  const auto pricing = per_second_pricing();
+  // 10 instances x 1 hour x $0.12.
+  EXPECT_NEAR(occupancy_cost(pricing, 10, 3600.0), 1.2, 1e-12);
+  EXPECT_NEAR(occupancy_cost(pricing, 20, 3600.0), 2.4, 1e-12);
+  EXPECT_NEAR(occupancy_cost(pricing, 10, 7200.0), 2.4, 1e-12);
+  EXPECT_EQ(occupancy_cost(pricing, 10, 0.0), 0.0);
+}
+
+TEST(Economics, HourlyBillingRoundsUp) {
+  PricingModel hourly = per_second_pricing();
+  hourly.billing_granularity_seconds = 3600.0;
+  // 61 minutes billed as 2 hours (the classic EC2 scheme).
+  EXPECT_NEAR(occupancy_cost(hourly, 1, 3660.0), 0.24, 1e-12);
+  // 1 second billed as 1 hour.
+  EXPECT_NEAR(occupancy_cost(hourly, 1, 1.0), 0.12, 1e-12);
+}
+
+TEST(Economics, Contracts) {
+  PricingModel bad = per_second_pricing();
+  bad.billing_granularity_seconds = 0.0;
+  EXPECT_THROW(occupancy_cost(bad, 1, 1.0), ContractViolation);
+  EXPECT_THROW(occupancy_cost(per_second_pricing(), 1, -1.0),
+               ContractViolation);
+}
+
+TEST(Economics, ApplicationCostSplitsRuntimeAndOverhead) {
+  const auto pricing = per_second_pricing();
+  AppBreakdown breakdown;
+  breakdown.compute_seconds = 1800.0;
+  breakdown.communication_seconds = 1800.0;
+  breakdown.overhead_seconds = 600.0;
+  const CostReport report = application_cost(pricing, 32, breakdown);
+  EXPECT_NEAR(report.runtime_cost, 32 * 1.0 * 0.12, 1e-9);
+  EXPECT_NEAR(report.overhead_cost, 32 * (600.0 / 3600.0) * 0.12, 1e-9);
+  EXPECT_NEAR(report.total(),
+              report.runtime_cost + report.overhead_cost, 1e-12);
+}
+
+TEST(Economics, BreakEvenCountsRunsToAmortize) {
+  const auto pricing = per_second_pricing();
+  // Each optimized run saves 60 s on 10 VMs; the calibration cost
+  // 600 s on the same 10 VMs -> 10 runs to break even.
+  const BreakEven be = break_even(pricing, 10, 300.0, 240.0, 600.0);
+  EXPECT_GT(be.saving_per_run, 0.0);
+  EXPECT_NEAR(be.runs_to_break_even, 10.0, 1e-9);
+}
+
+TEST(Economics, NoSavingMeansNeverBreaksEven) {
+  const auto pricing = per_second_pricing();
+  const BreakEven be = break_even(pricing, 10, 240.0, 300.0, 600.0);
+  EXPECT_LT(be.saving_per_run, 0.0);
+  EXPECT_TRUE(std::isinf(be.runs_to_break_even));
+}
+
+TEST(Economics, FreeCloudCostsNothing) {
+  PricingModel free = per_second_pricing();
+  free.price_per_instance_hour = 0.0;
+  EXPECT_EQ(occupancy_cost(free, 100, 1e6), 0.0);
+  const BreakEven be = break_even(free, 100, 300.0, 200.0, 600.0);
+  EXPECT_TRUE(std::isinf(be.runs_to_break_even));  // nothing to save
+}
+
+}  // namespace
+}  // namespace netconst::core

@@ -1,0 +1,200 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/synthetic.hpp"
+#include "support/error.hpp"
+
+namespace netconst::core {
+namespace {
+
+cloud::SyntheticCloudConfig test_cloud(std::size_t n,
+                                       std::uint64_t seed = 99) {
+  cloud::SyntheticCloudConfig config;
+  config.cluster_size = n;
+  config.datacenter_racks = 4;  // heterogeneous placement
+  config.seed = seed;
+  return config;
+}
+
+CampaignOptions fast_campaign() {
+  CampaignOptions options;
+  options.repeats = 10;
+  options.interval_seconds = 120.0;
+  options.calibration.time_step = 3;
+  options.calibration.interval = 5.0;
+  return options;
+}
+
+TEST(CollectiveCampaign, ProducesSamplesForEveryStrategy) {
+  cloud::SyntheticCloud provider(test_cloud(8));
+  const auto result = run_collective_campaign(provider, fast_campaign());
+  for (const auto strategy :
+       {Strategy::Baseline, Strategy::Heuristics, Strategy::Rpca}) {
+    ASSERT_EQ(result.times.at(strategy).size(), 10u)
+        << strategy_name(strategy);
+    for (double t : result.times.at(strategy)) EXPECT_GT(t, 0.0);
+  }
+  EXPECT_GT(result.calibration_seconds, 0.0);
+  EXPECT_GT(result.rpca_solve_seconds, 0.0);
+  EXPECT_GE(result.error_norm, 0.0);
+}
+
+TEST(CollectiveCampaign, AwareStrategiesBeatBaselineOnHeterogeneousCloud) {
+  cloud::SyntheticCloud provider(test_cloud(16, 7));
+  CampaignOptions options = fast_campaign();
+  options.repeats = 20;
+  const auto result = run_collective_campaign(provider, options);
+  EXPECT_GT(result.improvement_over(Strategy::Rpca, Strategy::Baseline),
+            0.0);
+  EXPECT_GT(
+      result.improvement_over(Strategy::Heuristics, Strategy::Baseline),
+      0.0);
+}
+
+TEST(CollectiveCampaign, OracleIsTheLowerEnvelope) {
+  cloud::SyntheticCloud provider(test_cloud(10, 17));
+  CampaignOptions options = fast_campaign();
+  options.strategies = {Strategy::Baseline, Strategy::Rpca,
+                        Strategy::Oracle};
+  const auto result = run_collective_campaign(provider, options);
+  // The oracle plans with the true instantaneous matrix — per-repeat no
+  // FNF plan from stale data can beat it on average.
+  EXPECT_LE(result.mean_time(Strategy::Oracle),
+            result.mean_time(Strategy::Rpca) * 1.05);
+}
+
+TEST(CollectiveCampaign, ResultHelpersAndContracts) {
+  cloud::SyntheticCloud provider(test_cloud(6));
+  const auto result = run_collective_campaign(provider, fast_campaign());
+  EXPECT_NEAR(result.normalized_mean(Strategy::Baseline,
+                                     Strategy::Baseline),
+              1.0, 1e-12);
+  EXPECT_THROW(result.mean_time(Strategy::TopologyAware), ContractViolation);
+  CampaignOptions bad = fast_campaign();
+  bad.strategies.clear();
+  EXPECT_THROW(run_collective_campaign(provider, bad), ContractViolation);
+}
+
+TEST(CollectiveCampaign, CustomTimerIsUsed) {
+  cloud::SyntheticCloud provider(test_cloud(5));
+  CampaignOptions options = fast_campaign();
+  options.repeats = 3;
+  int calls = 0;
+  options.timer = [&calls](const collective::CommTree&,
+                           const netmodel::PerformanceMatrix&) {
+    ++calls;
+    return 1.0;
+  };
+  const auto result = run_collective_campaign(provider, options);
+  EXPECT_EQ(calls, 9);  // 3 strategies x 3 repeats
+  EXPECT_EQ(result.mean_time(Strategy::Baseline), 1.0);
+}
+
+TEST(MappingCampaign, ProducesValidComparisons) {
+  cloud::SyntheticCloud provider(test_cloud(8, 23));
+  MappingCampaignOptions options;
+  options.repeats = 8;
+  options.calibration.time_step = 3;
+  options.calibration.interval = 5.0;
+  const auto result = run_mapping_campaign(provider, options);
+  for (const auto strategy :
+       {Strategy::Baseline, Strategy::Heuristics, Strategy::Rpca}) {
+    EXPECT_EQ(result.times.at(strategy).size(), 8u);
+  }
+  EXPECT_GT(result.improvement_over(Strategy::Rpca, Strategy::Baseline),
+            -0.2);
+}
+
+TEST(AppCampaign, BreakdownAccounting) {
+  cloud::SyntheticCloud provider(test_cloud(8, 31));
+  apps::DistributedProfile profile;
+  profile.instances = 8;
+  profile.rounds = 20;
+  profile.bytes_per_member = 1 << 20;
+  profile.compute_seconds_per_round = 0.01;
+  AppCampaignOptions options;
+  options.calibration.time_step = 3;
+  options.calibration.interval = 5.0;
+  const auto result = run_app_campaign(provider, profile, options);
+
+  const AppBreakdown& baseline = result.at(Strategy::Baseline);
+  EXPECT_EQ(baseline.overhead_seconds, 0.0);  // no calibration needed
+  EXPECT_NEAR(baseline.compute_seconds, 0.2, 1e-9);
+  EXPECT_GT(baseline.communication_seconds, 0.0);
+
+  const AppBreakdown& rpca = result.at(Strategy::Rpca);
+  EXPECT_GT(rpca.overhead_seconds, 0.0);  // calibration + solve
+  EXPECT_NEAR(rpca.compute_seconds, baseline.compute_seconds, 1e-9);
+  EXPECT_GT(rpca.total(), 0.0);
+}
+
+TEST(AppCampaign, CommunicationAdvantageGrowsWithRounds) {
+  // More rounds amortize the calibration overhead (Figure 9 trend).
+  auto run_total = [](std::size_t rounds) {
+    cloud::SyntheticCloud provider(test_cloud(8, 37));
+    apps::DistributedProfile profile;
+    profile.instances = 8;
+    profile.rounds = rounds;
+    profile.bytes_per_member = 1 << 21;
+    profile.compute_seconds_per_round = 0.0001;
+    AppCampaignOptions options;
+    options.calibration.time_step = 3;
+    options.calibration.interval = 5.0;
+    const auto result = run_app_campaign(provider, profile, options);
+    return std::pair{result.at(Strategy::Baseline).total(),
+                     result.at(Strategy::Rpca).total()};
+  };
+  const auto [base_few, rpca_few] = run_total(2);
+  const auto [base_many, rpca_many] = run_total(200);
+  // With few rounds the overhead dominates; with many rounds RPCA's
+  // per-round advantage wins.
+  EXPECT_GT(rpca_few / base_few, rpca_many / base_many);
+}
+
+
+TEST(MappingCampaign, DensityOptionControlsTaskGraphs) {
+  // A density-1.0 (complete) task graph makes every mapping cost nearly
+  // the same; sparse graphs give placement room to matter. The sparse
+  // campaign must show at least as much improvement as the dense one.
+  auto improvement = [](double density) {
+    cloud::SyntheticCloud provider(test_cloud(10, 41));
+    MappingCampaignOptions options;
+    options.repeats = 10;
+    options.density = density;
+    options.calibration.time_step = 3;
+    options.calibration.interval = 5.0;
+    const auto result = run_mapping_campaign(provider, options);
+    return result.improvement_over(Strategy::Rpca, Strategy::Baseline);
+  };
+  EXPECT_GE(improvement(0.15) + 0.02, improvement(1.0));
+}
+
+TEST(CollectiveCampaign, MaintenanceThresholdControlsRecalibrations) {
+  auto recals = [](double threshold) {
+    cloud::SyntheticCloudConfig config = test_cloud(8, 43);
+    config.mean_quiet_duration = 1500.0;  // dynamic cloud
+    config.mean_spike_duration = 600.0;
+    cloud::SyntheticCloud provider(config);
+    CampaignOptions options;
+    options.strategies = {Strategy::Rpca};
+    options.repeats = 15;
+    options.interval_seconds = 600.0;
+    options.calibration.time_step = 3;
+    options.calibration.interval = 5.0;
+    options.maintenance_threshold = threshold;
+    return run_collective_campaign(provider, options).recalibrations;
+  };
+  EXPECT_GE(recals(0.1), recals(5.0));
+}
+
+TEST(AppCampaign, ProfileMismatchThrows) {
+  cloud::SyntheticCloud provider(test_cloud(6));
+  apps::DistributedProfile profile;
+  profile.instances = 4;  // != 6
+  profile.rounds = 1;
+  EXPECT_THROW(run_app_campaign(provider, profile, {}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netconst::core

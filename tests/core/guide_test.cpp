@@ -1,0 +1,145 @@
+#include "core/guide.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/synthetic.hpp"
+#include "support/error.hpp"
+
+namespace netconst::core {
+namespace {
+
+cloud::SyntheticCloudConfig quiet_cloud(std::size_t n) {
+  cloud::SyntheticCloudConfig config;
+  config.cluster_size = n;
+  config.band_sigma = 0.02;
+  config.mean_quiet_duration = 1e9;  // effectively no spikes
+  config.seed = 2024;
+  return config;
+}
+
+GuideOptions fast_options() {
+  GuideOptions options;
+  options.series.time_step = 3;
+  options.series.interval = 5.0;
+  return options;
+}
+
+TEST(RpcaGuide, CalibratesOnConstruction) {
+  cloud::SyntheticCloud cloud(quiet_cloud(6));
+  RpcaGuide guide(cloud, fast_options());
+  EXPECT_EQ(guide.calibration_count(), 1u);
+  EXPECT_GT(guide.maintenance_seconds(), 0.0);
+  EXPECT_TRUE(guide.constant().is_valid());
+  EXPECT_GE(guide.error_norm(), 0.0);
+}
+
+TEST(RpcaGuide, StableNetworkNeedsNoRecalibration) {
+  cloud::SyntheticCloud cloud(quiet_cloud(6));
+  RpcaGuide guide(cloud, fast_options());
+  // Executor: evaluate the tree on the instantaneous oracle — close to
+  // the expectation on a quiet cloud.
+  const OperationExecutor executor =
+      [&cloud](const collective::CommTree& tree) {
+        return collective::collective_time(
+            tree, cloud.oracle_snapshot(),
+            collective::Collective::Broadcast, 1 << 23);
+      };
+  for (int k = 0; k < 5; ++k) {
+    const auto report = guide.run_operation(
+        collective::Collective::Broadcast, 0, 1 << 23, executor);
+    EXPECT_FALSE(report.recalibrated);
+    EXPECT_GT(report.real_seconds, 0.0);
+    EXPECT_NEAR(report.real_seconds / report.expected_seconds, 1.0, 0.5);
+    cloud.advance(60.0);
+  }
+  EXPECT_EQ(guide.calibration_count(), 1u);
+}
+
+TEST(RpcaGuide, LargeDeviationTriggersRecalibration) {
+  cloud::SyntheticCloud cloud(quiet_cloud(6));
+  GuideOptions options = fast_options();
+  options.threshold = 0.5;
+  RpcaGuide guide(cloud, options);
+  // Executor reports 10x the expectation — a significant change.
+  int calls = 0;
+  const OperationExecutor executor =
+      [&](const collective::CommTree& tree) {
+        ++calls;
+        return collective::collective_time(
+                   tree, guide.constant(),
+                   collective::Collective::Broadcast, 1 << 23) *
+               10.0;
+      };
+  const auto report = guide.run_operation(
+      collective::Collective::Broadcast, 0, 1 << 23, executor);
+  EXPECT_TRUE(report.recalibrated);
+  EXPECT_GT(report.maintenance_seconds, 0.0);
+  EXPECT_EQ(guide.calibration_count(), 2u);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RpcaGuide, ThresholdGovernsSensitivity) {
+  // The same 60% deviation recalibrates at threshold 0.5 but not at 1.0.
+  for (const auto& [threshold, expect_recal] :
+       {std::pair{0.5, true}, std::pair{2.0, false}}) {
+    cloud::SyntheticCloud cloud(quiet_cloud(6));
+    GuideOptions options = fast_options();
+    options.threshold = threshold;
+    RpcaGuide guide(cloud, options);
+    const OperationExecutor executor =
+        [&](const collective::CommTree& tree) {
+          return collective::collective_time(
+                     tree, guide.constant(),
+                     collective::Collective::Broadcast, 1 << 23) *
+                 1.6;
+        };
+    const auto report = guide.run_operation(
+        collective::Collective::Broadcast, 0, 1 << 23, executor);
+    EXPECT_EQ(report.recalibrated, expect_recal)
+        << "threshold " << threshold;
+  }
+}
+
+TEST(RpcaGuide, InvalidThresholdThrows) {
+  cloud::SyntheticCloud cloud(quiet_cloud(4));
+  GuideOptions options = fast_options();
+  options.threshold = 0.0;
+  EXPECT_THROW(RpcaGuide(cloud, options), ContractViolation);
+}
+
+TEST(RpcaGuide, ForcedRecalibrationAdvancesClockAndCounts) {
+  cloud::SyntheticCloud cloud(quiet_cloud(4));
+  RpcaGuide guide(cloud, fast_options());
+  const double before_time = cloud.now();
+  const double cost = guide.recalibrate();
+  EXPECT_GT(cost, 0.0);
+  EXPECT_GT(cloud.now(), before_time);
+  EXPECT_EQ(guide.calibration_count(), 2u);
+}
+
+TEST(RpcaGuide, DetectsMigrationOnDynamicCloud) {
+  // A cloud with migrations: after a forced placement change the real
+  // performance deviates and maintenance eventually re-calibrates.
+  cloud::SyntheticCloudConfig config = quiet_cloud(8);
+  config.mean_migration_interval = 400.0;  // frequent for the test
+  cloud::SyntheticCloud cloud(config);
+  GuideOptions options = fast_options();
+  options.threshold = 0.35;
+  RpcaGuide guide(cloud, options);
+  const OperationExecutor executor =
+      [&cloud](const collective::CommTree& tree) {
+        return collective::collective_time(
+            tree, cloud.oracle_snapshot(),
+            collective::Collective::Broadcast, 1 << 23);
+      };
+  for (int k = 0; k < 30 && guide.calibration_count() == 1; ++k) {
+    guide.run_operation(collective::Collective::Broadcast, 0, 1 << 23,
+                        executor);
+    cloud.advance(300.0);
+  }
+  EXPECT_GT(cloud.migration_count(), 0u);
+  EXPECT_GE(guide.calibration_count(), 2u);
+}
+
+}  // namespace
+}  // namespace netconst::core

@@ -1,0 +1,84 @@
+#include "core/heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace netconst::core {
+namespace {
+
+netmodel::TemporalPerformance three_row_series() {
+  netmodel::TemporalPerformance series;
+  for (int r = 0; r < 3; ++r) {
+    netmodel::PerformanceMatrix snap(2);
+    snap.set_link(0, 1, {0.1 * (r + 1), 100.0 * (r + 1)});
+    snap.set_link(1, 0, {0.5, 500.0});
+    series.append(static_cast<double>(r), std::move(snap));
+  }
+  return series;
+}
+
+TEST(Heuristics, Names) {
+  EXPECT_STREQ(heuristic_name(HeuristicKind::Mean), "mean");
+  EXPECT_STREQ(heuristic_name(HeuristicKind::Min), "min");
+  EXPECT_STREQ(heuristic_name(HeuristicKind::Ewa), "ewa");
+  EXPECT_STREQ(heuristic_name(HeuristicKind::LastValue), "last");
+}
+
+TEST(Heuristics, MeanAveragesEachLink) {
+  const auto m = heuristic_matrix(three_row_series(), HeuristicKind::Mean);
+  EXPECT_NEAR(m.link(0, 1).alpha, 0.2, 1e-12);
+  EXPECT_NEAR(m.link(0, 1).beta, 200.0, 1e-12);
+  EXPECT_NEAR(m.link(1, 0).beta, 500.0, 1e-12);
+}
+
+TEST(Heuristics, MinTakesBestObserved) {
+  const auto m = heuristic_matrix(three_row_series(), HeuristicKind::Min);
+  EXPECT_NEAR(m.link(0, 1).alpha, 0.1, 1e-12);   // smallest latency
+  EXPECT_NEAR(m.link(0, 1).beta, 300.0, 1e-12);  // largest bandwidth
+}
+
+TEST(Heuristics, LastValueUsesNewestRow) {
+  const auto m =
+      heuristic_matrix(three_row_series(), HeuristicKind::LastValue);
+  EXPECT_NEAR(m.link(0, 1).beta, 300.0, 1e-12);
+  EXPECT_NEAR(m.link(0, 1).alpha, 0.3, 1e-12);
+}
+
+TEST(Heuristics, EwaWeighsNewestMost) {
+  const auto m =
+      heuristic_matrix(three_row_series(), HeuristicKind::Ewa, 0.5);
+  // alpha: ((0.1*0.5 + 0.2*0.5)*0.5 + 0.3*0.5) = 0.225.
+  EXPECT_NEAR(m.link(0, 1).alpha, 0.225, 1e-12);
+  // Between the mean (0.2) and the last value (0.3).
+  EXPECT_GT(m.link(0, 1).alpha, 0.2);
+  EXPECT_LT(m.link(0, 1).alpha, 0.3);
+}
+
+TEST(Heuristics, Contracts) {
+  netmodel::TemporalPerformance empty;
+  EXPECT_THROW(heuristic_matrix(empty, HeuristicKind::Mean),
+               ContractViolation);
+  EXPECT_THROW(
+      heuristic_matrix(three_row_series(), HeuristicKind::Ewa, 0.0),
+      ContractViolation);
+  EXPECT_THROW(
+      heuristic_matrix(three_row_series(), HeuristicKind::Ewa, 1.5),
+      ContractViolation);
+}
+
+TEST(Heuristics, SingleRowAllKindsAgree) {
+  netmodel::TemporalPerformance series;
+  netmodel::PerformanceMatrix snap(2);
+  snap.set_link(0, 1, {0.25, 123.0});
+  snap.set_link(1, 0, {0.5, 456.0});
+  series.append(0.0, std::move(snap));
+  for (const auto kind : {HeuristicKind::Mean, HeuristicKind::Min,
+                          HeuristicKind::Ewa, HeuristicKind::LastValue}) {
+    const auto m = heuristic_matrix(series, kind);
+    EXPECT_EQ(m.link(0, 1).beta, 123.0) << heuristic_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace netconst::core

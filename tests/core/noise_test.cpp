@@ -1,0 +1,138 @@
+#include "core/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace netconst::core {
+namespace {
+
+netmodel::TemporalPerformance clean_series(std::size_t n, std::size_t rows,
+                                           Rng& rng) {
+  netmodel::PerformanceMatrix constant(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        constant.set_link(i, j,
+                          {rng.uniform(1e-4, 5e-4), rng.uniform(4e7, 9e7)});
+      }
+    }
+  }
+  netmodel::TemporalPerformance series;
+  for (std::size_t r = 0; r < rows; ++r) {
+    netmodel::PerformanceMatrix snap(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        auto link = constant.link(i, j);
+        link.beta *= std::exp(0.01 * rng.normal());
+        snap.set_link(i, j, link);
+      }
+    }
+    series.append(static_cast<double>(r), std::move(snap));
+  }
+  return series;
+}
+
+TEST(NoiseInjection, ReachesTargetNorm) {
+  Rng rng(1);
+  auto series = clean_series(8, 8, rng);
+  Rng noise_rng(2);
+  const auto result = inject_noise_to_norm(series, 0.2, noise_rng);
+  EXPECT_NEAR(result.achieved_norm, 0.2, 0.08);
+  EXPECT_GE(result.rpca_evaluations, 2);
+  EXPECT_EQ(result.series.row_count(), series.row_count());
+}
+
+TEST(NoiseInjection, ZeroTargetReturnsOriginal) {
+  Rng rng(3);
+  auto series = clean_series(6, 6, rng);
+  Rng noise_rng(4);
+  const auto result = inject_noise_to_norm(series, 0.0, noise_rng);
+  // The series is already at (or above) a zero target.
+  EXPECT_EQ(result.series.row_count(), series.row_count());
+  EXPECT_EQ(result.rpca_evaluations, 1);
+}
+
+TEST(NoiseInjection, HigherTargetGivesHigherNorm) {
+  Rng rng(5);
+  auto series = clean_series(8, 8, rng);
+  Rng r1(6), r2(6);
+  const auto low = inject_noise_to_norm(series, 0.1, r1);
+  const auto high = inject_noise_to_norm(series, 0.4, r2);
+  EXPECT_GT(high.achieved_norm, low.achieved_norm);
+}
+
+TEST(NoiseInjection, PerturbedSeriesStaysPhysical) {
+  Rng rng(7);
+  auto series = clean_series(6, 6, rng);
+  Rng noise_rng(8);
+  const auto result = inject_noise_to_norm(series, 0.3, noise_rng);
+  for (std::size_t r = 0; r < result.series.row_count(); ++r) {
+    EXPECT_TRUE(result.series.snapshot(r).is_valid());
+  }
+}
+
+TEST(NoiseInjection, Contracts) {
+  Rng rng(9);
+  auto series = clean_series(4, 4, rng);
+  Rng noise_rng(10);
+  EXPECT_THROW(inject_noise_to_norm(series, 0.95, noise_rng),
+               ContractViolation);
+  EXPECT_THROW(inject_noise_to_norm(series, -0.1, noise_rng),
+               ContractViolation);
+  netmodel::TemporalPerformance tiny;
+  tiny.append(0.0, netmodel::PerformanceMatrix(3));
+  EXPECT_THROW(inject_noise_to_norm(tiny, 0.2, noise_rng),
+               ContractViolation);
+}
+
+
+TEST(NoiseInjection, SymmetricNoiseBoostsAndDegrades) {
+  Rng rng(11);
+  auto series = clean_series(8, 10, rng);
+  Rng noise_rng(12);
+  NoiseOptions options;  // symmetric by default
+  const auto result =
+      inject_noise_to_norm(series, 0.3, noise_rng, options);
+  // Some perturbed cells must exceed the clean value (optimistic) and
+  // some must fall below it (pessimistic).
+  int boosted = 0, degraded = 0;
+  for (std::size_t r = 0; r < series.row_count(); ++r) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      for (std::size_t j = 0; j < 8; ++j) {
+        if (i == j) continue;
+        const double clean = series.snapshot(r).link(i, j).beta;
+        const double noisy = result.series.snapshot(r).link(i, j).beta;
+        if (noisy > clean * 1.5) ++boosted;
+        if (noisy < clean / 1.5) ++degraded;
+      }
+    }
+  }
+  EXPECT_GT(boosted, 0);
+  EXPECT_GT(degraded, 0);
+}
+
+TEST(NoiseInjection, AsymmetricModeOnlyDegrades) {
+  Rng rng(13);
+  auto series = clean_series(8, 10, rng);
+  Rng noise_rng(14);
+  NoiseOptions options;
+  options.symmetric = false;
+  const auto result =
+      inject_noise_to_norm(series, 0.3, noise_rng, options);
+  for (std::size_t r = 0; r < series.row_count(); ++r) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      for (std::size_t j = 0; j < 8; ++j) {
+        if (i == j) continue;
+        EXPECT_LE(result.series.snapshot(r).link(i, j).beta,
+                  series.snapshot(r).link(i, j).beta * 1.05);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netconst::core

@@ -1,0 +1,123 @@
+#include "core/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace netconst::core {
+namespace {
+
+netmodel::PerformanceMatrix heterogeneous_perf(std::size_t n, Rng& rng) {
+  netmodel::PerformanceMatrix p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        p.set_link(i, j, {rng.uniform(1e-4, 1e-3),
+                          rng.uniform(1e7, 1e8)});
+      }
+    }
+  }
+  return p;
+}
+
+TEST(Strategy, Names) {
+  EXPECT_STREQ(strategy_name(Strategy::Baseline), "Baseline");
+  EXPECT_STREQ(strategy_name(Strategy::Heuristics), "Heuristics");
+  EXPECT_STREQ(strategy_name(Strategy::Rpca), "RPCA");
+  EXPECT_STREQ(strategy_name(Strategy::TopologyAware), "Topology-aware");
+  EXPECT_STREQ(strategy_name(Strategy::Oracle), "Oracle");
+}
+
+TEST(PlanTree, BaselineIsBinomial) {
+  const auto tree = plan_tree(Strategy::Baseline, 8, 3, {});
+  EXPECT_TRUE(tree.complete());
+  EXPECT_EQ(tree.root(), 3u);
+  EXPECT_EQ(tree.depth(), 3u);
+}
+
+TEST(PlanTree, GuidedStrategiesNeedGuidance) {
+  EXPECT_THROW(plan_tree(Strategy::Rpca, 4, 0, {}), ContractViolation);
+  EXPECT_THROW(plan_tree(Strategy::Heuristics, 4, 0, {}),
+               ContractViolation);
+  EXPECT_THROW(plan_tree(Strategy::Oracle, 4, 0, {}), ContractViolation);
+}
+
+TEST(PlanTree, GuidanceSizeMismatchThrows) {
+  Rng rng(1);
+  const auto perf = heterogeneous_perf(4, rng);
+  PlanContext context;
+  context.guidance = &perf;
+  EXPECT_THROW(plan_tree(Strategy::Rpca, 5, 0, context),
+               ContractViolation);
+}
+
+TEST(PlanTree, RpcaBuildsFnfOnGuidance) {
+  Rng rng(2);
+  const auto perf = heterogeneous_perf(8, rng);
+  PlanContext context;
+  context.guidance = &perf;
+  const auto tree = plan_tree(Strategy::Rpca, 8, 0, context);
+  EXPECT_TRUE(tree.complete());
+  // First child of the root is the best root link by transfer time.
+  std::size_t best = 1;
+  for (std::size_t j = 1; j < 8; ++j) {
+    if (perf.transfer_time(0, j, context.bytes) <
+        perf.transfer_time(0, best, context.bytes)) {
+      best = j;
+    }
+  }
+  EXPECT_EQ(tree.children(0)[0], best);
+}
+
+TEST(PlanTree, TopologyAwareNeedsRacks) {
+  EXPECT_THROW(plan_tree(Strategy::TopologyAware, 4, 0, {}),
+               ContractViolation);
+  const std::vector<std::size_t> racks{0, 0, 1, 1};
+  PlanContext context;
+  context.racks = &racks;
+  const auto tree = plan_tree(Strategy::TopologyAware, 4, 0, context);
+  EXPECT_TRUE(tree.complete());
+}
+
+TEST(PlanMapping, BaselineIsRing) {
+  const mapping::TaskGraph tasks(4);
+  const auto m = plan_mapping(Strategy::Baseline, tasks, {});
+  EXPECT_EQ(m, mapping::ring_mapping(4));
+}
+
+TEST(PlanMapping, GuidedMappingIsValid) {
+  Rng rng(3);
+  const auto perf = heterogeneous_perf(6, rng);
+  const auto tasks = mapping::random_task_graph(6, rng);
+  PlanContext context;
+  context.guidance = &perf;
+  const auto m = plan_mapping(Strategy::Rpca, tasks, context);
+  EXPECT_TRUE(mapping::is_valid_mapping(m, 6, 6));
+}
+
+TEST(PlanMapping, TopologyAwarePacksByRack) {
+  const std::vector<std::size_t> racks{0, 0, 0, 1, 1, 1};
+  PlanContext context;
+  context.racks = &racks;
+  // Tasks 0-2 heavy among themselves; the greedy should co-locate them.
+  mapping::TaskGraph tasks(6);
+  for (std::size_t u = 0; u < 3; ++u) {
+    for (std::size_t v = 0; v < 3; ++v) {
+      if (u != v) tasks.set_volume(u, v, 1e7);
+    }
+  }
+  const auto m = plan_mapping(Strategy::TopologyAware, tasks, context);
+  EXPECT_TRUE(mapping::is_valid_mapping(m, 6, 6));
+  EXPECT_EQ(racks[m[0]], racks[m[1]]);
+  EXPECT_EQ(racks[m[1]], racks[m[2]]);
+}
+
+TEST(PlanMapping, GuidanceRequired) {
+  const mapping::TaskGraph tasks(4);
+  EXPECT_THROW(plan_mapping(Strategy::Oracle, tasks, {}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace netconst::core

@@ -1,0 +1,86 @@
+#include "core/time_step.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace netconst::core {
+namespace {
+
+netmodel::TemporalPerformance banded_series(std::size_t n, std::size_t rows,
+                                            double band_sigma, Rng& rng) {
+  netmodel::PerformanceMatrix constant(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        constant.set_link(i, j,
+                          {rng.uniform(1e-4, 5e-4), rng.uniform(4e7, 9e7)});
+      }
+    }
+  }
+  netmodel::TemporalPerformance series;
+  for (std::size_t r = 0; r < rows; ++r) {
+    netmodel::PerformanceMatrix snap(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        auto link = constant.link(i, j);
+        link.alpha *= std::exp(band_sigma * rng.normal());
+        link.beta *= std::exp(band_sigma * rng.normal());
+        snap.set_link(i, j, link);
+      }
+    }
+    series.append(static_cast<double>(r), std::move(snap));
+  }
+  return series;
+}
+
+TEST(TimeStep, FullPrefixHasZeroDifference) {
+  Rng rng(1);
+  const auto series = banded_series(5, 8, 0.05, rng);
+  const auto diff = long_term_difference(series, 8);
+  EXPECT_NEAR(diff.l0_difference, 0.0, 1e-12);
+  EXPECT_NEAR(diff.frobenius_difference, 0.0, 1e-12);
+}
+
+TEST(TimeStep, DifferenceShrinksWithMoreRows) {
+  Rng rng(2);
+  const auto series = banded_series(6, 24, 0.15, rng);
+  const auto small = long_term_difference(series, 3);
+  const auto large = long_term_difference(series, 16);
+  EXPECT_LE(large.frobenius_difference, small.frobenius_difference);
+}
+
+TEST(TimeStep, Contracts) {
+  Rng rng(3);
+  const auto series = banded_series(4, 6, 0.05, rng);
+  EXPECT_THROW(long_term_difference(series, 1), ContractViolation);
+  EXPECT_THROW(long_term_difference(series, 7), ContractViolation);
+}
+
+TEST(TimeStep, SelectionFindsSmallStepOnQuietSeries) {
+  Rng rng(4);
+  // Tiny band: even 2 rows nail the constant.
+  const auto series = banded_series(5, 12, 0.01, rng);
+  const std::size_t step = select_time_step(series, 12, 0.10);
+  EXPECT_LE(step, 4u);
+}
+
+TEST(TimeStep, SelectionReturnsLimitWhenTargetUnreachable) {
+  Rng rng(5);
+  const auto series = banded_series(5, 8, 0.5, rng);
+  const std::size_t step = select_time_step(series, 8, 1e-6);
+  EXPECT_EQ(step, 8u);
+}
+
+TEST(TimeStep, SelectMaxStepBelowTwoThrows) {
+  Rng rng(6);
+  const auto series = banded_series(4, 6, 0.05, rng);
+  EXPECT_THROW(select_time_step(series, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netconst::core

@@ -1,0 +1,158 @@
+// Integration tests: the full paper pipeline on both providers —
+// calibrate -> RPCA -> plan -> execute -> maintain — plus trace
+// round-trips through the CSV store.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cloud/calibration.hpp"
+#include "cloud/simnet_provider.hpp"
+#include "cloud/synthetic.hpp"
+#include "core/experiment.hpp"
+#include "core/guide.hpp"
+#include "core/noise.hpp"
+#include "netmodel/trace.hpp"
+
+namespace netconst {
+namespace {
+
+TEST(EndToEnd, SyntheticCloudFullPipeline) {
+  cloud::SyntheticCloudConfig config;
+  config.cluster_size = 12;
+  config.datacenter_racks = 3;
+  config.seed = 404;
+  cloud::SyntheticCloud provider(config);
+
+  // Calibrate and decompose.
+  cloud::SeriesOptions series_options;
+  series_options.time_step = 4;
+  series_options.interval = 10.0;
+  const auto series = cloud::calibrate_series(provider, series_options);
+  const auto component = core::find_constant(series.series);
+  EXPECT_TRUE(component.constant.is_valid());
+
+  // The constant component should rank intra-rack links above
+  // cross-rack links, like the ground truth does.
+  const auto truth = provider.ground_truth_constant();
+  const auto& placement = provider.placement();
+  double agreement = 0.0, comparisons = 0.0;
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) {
+      for (std::size_t k = 0; k < 12; ++k) {
+        if (i == j || i == k || j == k) continue;
+        const bool truth_better =
+            truth.link(i, j).beta > truth.link(i, k).beta;
+        const bool est_better = component.constant.link(i, j).beta >
+                                component.constant.link(i, k).beta;
+        agreement += truth_better == est_better ? 1.0 : 0.0;
+        comparisons += 1.0;
+      }
+    }
+  }
+  EXPECT_GT(agreement / comparisons, 0.8);
+  (void)placement;
+
+  // Plan + execute one broadcast via the guide.
+  core::GuideOptions guide_options;
+  guide_options.series = series_options;
+  core::RpcaGuide guide(provider, guide_options);
+  const auto report = guide.run_operation(
+      collective::Collective::Broadcast, 0, 1 << 23,
+      [&provider](const collective::CommTree& tree) {
+        return collective::collective_time(
+            tree, provider.oracle_snapshot(),
+            collective::Collective::Broadcast, 1 << 23);
+      });
+  EXPECT_GT(report.real_seconds, 0.0);
+}
+
+TEST(EndToEnd, SimulatorProviderPipeline) {
+  simnet::TreeSpec spec;
+  spec.racks = 4;
+  spec.servers_per_rack = 8;
+  auto sim = std::make_shared<simnet::FlowSimulator>(
+      simnet::make_tree_topology(spec), Rng(5));
+  // Background traffic on a few random pairs.
+  Rng rng(6);
+  for (int k = 0; k < 6; ++k) {
+    simnet::BackgroundSource bg;
+    bg.src = static_cast<simnet::NodeId>(rng.uniform_int(0, 31));
+    do {
+      bg.dst = static_cast<simnet::NodeId>(rng.uniform_int(0, 31));
+    } while (bg.dst == bg.src);
+    bg.bytes = 4 << 20;
+    bg.mean_wait = 2.0;
+    sim->add_background_source(bg);
+  }
+  auto hosts = cloud::pick_random_hosts(sim->topology(), 8, rng);
+  cloud::SimnetProvider provider(sim, hosts);
+
+  // Calibrate against the live simulator.
+  cloud::SeriesOptions series_options;
+  series_options.time_step = 3;
+  series_options.interval = 1.0;
+  series_options.calibration.round_setup_overhead = 0.05;
+  const auto series = cloud::calibrate_series(provider, series_options);
+  EXPECT_EQ(series.series.row_count(), 3u);
+  const auto component = core::find_constant(series.series);
+  EXPECT_TRUE(component.constant.is_valid());
+
+  // Execute a broadcast with the planned tree inside the simulator.
+  core::PlanContext context;
+  context.guidance = &component.constant;
+  const auto tree = core::plan_tree(core::Strategy::Rpca, 8, 0, context);
+  const double elapsed = collective::run_collective_sim(
+      *sim, hosts, tree, collective::Collective::Broadcast, 1 << 22);
+  EXPECT_GT(elapsed, 0.0);
+  EXPECT_LT(elapsed, 60.0);
+}
+
+TEST(EndToEnd, TraceRoundTripPreservesCampaignBehaviour) {
+  cloud::SyntheticCloudConfig config;
+  config.cluster_size = 6;
+  config.seed = 777;
+  cloud::SyntheticCloud provider(config);
+  cloud::SeriesOptions series_options;
+  series_options.time_step = 4;
+  series_options.interval = 10.0;
+  const auto series = cloud::calibrate_series(provider, series_options);
+
+  const netmodel::Trace trace(series.series);
+  const std::string path = ::testing::TempDir() + "/e2e_trace.csv";
+  trace.save_csv(path);
+  const netmodel::Trace loaded = netmodel::Trace::load_csv(path);
+
+  const auto original = core::find_constant(series.series);
+  const auto replayed = core::find_constant(loaded.series());
+  EXPECT_NEAR(original.error_norm, replayed.error_norm, 1e-9);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      if (i == j) continue;
+      EXPECT_NEAR(original.constant.link(i, j).beta,
+                  replayed.constant.link(i, j).beta, 1.0);
+    }
+  }
+}
+
+TEST(EndToEnd, NoiseInjectionDegradesImprovement) {
+  // Figure 10's causal chain: higher Norm(N_E) -> smaller improvement.
+  cloud::SyntheticCloudConfig config;
+  config.cluster_size = 10;
+  config.datacenter_racks = 3;
+  config.seed = 51;
+  cloud::SyntheticCloud provider(config);
+  cloud::SeriesOptions series_options;
+  series_options.time_step = 4;
+  series_options.interval = 10.0;
+  const auto series = cloud::calibrate_series(provider, series_options);
+
+  Rng noise_rng(52);
+  const auto noisy =
+      core::inject_noise_to_norm(series.series, 0.35, noise_rng);
+  const auto clean_component = core::find_constant(series.series);
+  const auto noisy_component = core::find_constant(noisy.series);
+  EXPECT_GT(noisy_component.error_norm, clean_component.error_norm);
+}
+
+}  // namespace
+}  // namespace netconst

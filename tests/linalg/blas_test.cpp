@@ -1,0 +1,163 @@
+#include "linalg/blas.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace netconst::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+TEST(Blas, MultiplySmallKnown) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c = multiply(a, b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Blas, MultiplyIdentity) {
+  Rng rng(1);
+  Matrix a = random_matrix(7, 5, rng);
+  Matrix c = multiply(a, Matrix::identity(5));
+  EXPECT_LT(a.max_abs_diff(c), 1e-15);
+}
+
+TEST(Blas, MultiplyDimensionMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(multiply(a, b), ContractViolation);
+}
+
+TEST(Blas, MultiplyAssociativity) {
+  Rng rng(2);
+  Matrix a = random_matrix(4, 6, rng);
+  Matrix b = random_matrix(6, 5, rng);
+  Matrix c = random_matrix(5, 3, rng);
+  Matrix left = multiply(multiply(a, b), c);
+  Matrix right = multiply(a, multiply(b, c));
+  EXPECT_LT(left.max_abs_diff(right), 1e-12);
+}
+
+TEST(Blas, GramMatchesExplicitProduct) {
+  Rng rng(3);
+  Matrix a = random_matrix(8, 5, rng);
+  Matrix g = gram(a);
+  Matrix expected = multiply(a.transposed(), a);
+  EXPECT_LT(g.max_abs_diff(expected), 1e-12);
+}
+
+TEST(Blas, OuterGramMatchesExplicitProduct) {
+  Rng rng(4);
+  Matrix a = random_matrix(5, 9, rng);
+  Matrix g = outer_gram(a);
+  Matrix expected = multiply(a, a.transposed());
+  EXPECT_LT(g.max_abs_diff(expected), 1e-12);
+}
+
+TEST(Blas, GramIsSymmetric) {
+  Rng rng(5);
+  Matrix g = gram(random_matrix(6, 4, rng));
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    for (std::size_t j = 0; j < g.cols(); ++j) {
+      EXPECT_EQ(g(i, j), g(j, i));
+    }
+  }
+}
+
+TEST(Blas, Gemv) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  std::vector<double> x{1, 1, 1};
+  const auto y = multiply(a, x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_EQ(y[0], 6.0);
+  EXPECT_EQ(y[1], 15.0);
+}
+
+TEST(Blas, GemvTransposed) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  std::vector<double> x{1, 2};
+  const auto y = multiply_transposed(a, x);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_EQ(y[0], 9.0);
+  EXPECT_EQ(y[1], 12.0);
+  EXPECT_EQ(y[2], 15.0);
+}
+
+TEST(Blas, GemvMatchesGemm) {
+  Rng rng(6);
+  Matrix a = random_matrix(6, 4, rng);
+  Matrix x(4, 1);
+  for (auto& v : x.data()) v = rng.uniform(-1.0, 1.0);
+  const auto y = multiply(a, x.column(0));
+  const Matrix y2 = multiply(a, x);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], y2(i, 0), 1e-14);
+  }
+}
+
+TEST(Blas, DotAndNorm) {
+  std::vector<double> x{3, 4};
+  std::vector<double> y{1, 2};
+  EXPECT_EQ(dot(x, y), 11.0);
+  EXPECT_EQ(norm2(x), 5.0);
+}
+
+TEST(Blas, DotMismatchThrows) {
+  std::vector<double> x{1, 2}, y{1};
+  EXPECT_THROW(dot(x, y), ContractViolation);
+}
+
+TEST(Blas, Axpy) {
+  std::vector<double> x{1, 2};
+  std::vector<double> y{10, 20};
+  axpy(2.0, x, y);
+  EXPECT_EQ(y[0], 12.0);
+  EXPECT_EQ(y[1], 24.0);
+}
+
+TEST(Blas, Scale) {
+  std::vector<double> x{2, -4};
+  scale(0.5, x);
+  EXPECT_EQ(x[0], 1.0);
+  EXPECT_EQ(x[1], -2.0);
+}
+
+// Parameterized: gemm against a naive reference over a size sweep.
+class GemmSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmSweep, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 10007 + k * 101 + n));
+  Matrix a = random_matrix(static_cast<std::size_t>(m),
+                           static_cast<std::size_t>(k), rng);
+  Matrix b = random_matrix(static_cast<std::size_t>(k),
+                           static_cast<std::size_t>(n), rng);
+  Matrix c = multiply(a, b);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double expected = 0.0;
+      for (std::size_t kk = 0; kk < a.cols(); ++kk) {
+        expected += a(i, kk) * b(kk, j);
+      }
+      ASSERT_NEAR(c(i, j), expected, 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GemmSweep,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 7, 3},
+                      std::tuple{5, 1, 5}, std::tuple{8, 8, 8},
+                      std::tuple{17, 3, 29}, std::tuple{33, 65, 9},
+                      std::tuple{64, 64, 64}));
+
+}  // namespace
+}  // namespace netconst::linalg

@@ -1,0 +1,109 @@
+#include "linalg/eigen_sym.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace netconst::linalg {
+namespace {
+
+Matrix random_symmetric(std::size_t n, Rng& rng) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  return m;
+}
+
+double reconstruction_error(const Matrix& a, const SymmetricEigen& eig) {
+  // ||A - V diag(w) V^T||_max
+  Matrix scaled = eig.eigenvectors;
+  for (std::size_t j = 0; j < scaled.cols(); ++j) {
+    for (std::size_t i = 0; i < scaled.rows(); ++i) {
+      scaled(i, j) *= eig.eigenvalues[j];
+    }
+  }
+  const Matrix rebuilt = multiply(scaled, eig.eigenvectors.transposed());
+  return a.max_abs_diff(rebuilt);
+}
+
+TEST(EigenSym, DiagonalMatrix) {
+  Matrix d{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}};
+  const auto eig = eigen_symmetric(d);
+  ASSERT_EQ(eig.eigenvalues.size(), 3u);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[2], 1.0, 1e-12);
+}
+
+TEST(EigenSym, Known2x2) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  Matrix a{{2, 1}, {1, 2}};
+  const auto eig = eigen_symmetric(a);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-12);
+}
+
+TEST(EigenSym, RejectsNonSquare) {
+  EXPECT_THROW(eigen_symmetric(Matrix(2, 3)), ContractViolation);
+}
+
+TEST(EigenSym, RejectsAsymmetric) {
+  Matrix a{{1, 5}, {0, 1}};
+  EXPECT_THROW(eigen_symmetric(a), ContractViolation);
+}
+
+TEST(EigenSym, EigenvaluesDescending) {
+  Rng rng(11);
+  const auto eig = eigen_symmetric(random_symmetric(12, rng));
+  for (std::size_t k = 1; k < eig.eigenvalues.size(); ++k) {
+    EXPECT_GE(eig.eigenvalues[k - 1], eig.eigenvalues[k]);
+  }
+}
+
+TEST(EigenSym, TraceEqualsSumOfEigenvalues) {
+  Rng rng(12);
+  Matrix a = random_symmetric(9, rng);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 9; ++i) trace += a(i, i);
+  const auto eig = eigen_symmetric(a);
+  double sum = 0.0;
+  for (double w : eig.eigenvalues) sum += w;
+  EXPECT_NEAR(trace, sum, 1e-10);
+}
+
+class EigenSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenSweep, ReconstructsAndOrthonormal) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(100 + GetParam());
+  Matrix a = random_symmetric(n, rng);
+  const auto eig = eigen_symmetric(a);
+  EXPECT_LT(reconstruction_error(a, eig), 1e-9);
+  // V^T V = I.
+  const Matrix vtv =
+      multiply(eig.eigenvectors.transposed(), eig.eigenvectors);
+  EXPECT_LT(vtv.max_abs_diff(Matrix::identity(n)), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(EigenSym, PsdGramHasNonNegativeEigenvalues) {
+  Rng rng(13);
+  Matrix a(4, 10);
+  for (auto& v : a.data()) v = rng.uniform(-1.0, 1.0);
+  const auto eig = eigen_symmetric(outer_gram(a));
+  for (double w : eig.eigenvalues) EXPECT_GE(w, -1e-10);
+}
+
+}  // namespace
+}  // namespace netconst::linalg

@@ -1,0 +1,147 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace netconst::linalg {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 2, 7.5);
+  EXPECT_EQ(m(0, 0), 7.5);
+  EXPECT_EQ(m(1, 1), 7.5);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), ContractViolation);
+}
+
+TEST(Matrix, FromRowsRoundTrip) {
+  Matrix m = Matrix::from_rows(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m(0, 2), 3.0);
+  EXPECT_EQ(m(1, 0), 4.0);
+}
+
+TEST(Matrix, FromRowsSizeMismatchThrows) {
+  EXPECT_THROW(Matrix::from_rows(2, 3, {1, 2, 3}), ContractViolation);
+}
+
+TEST(Matrix, Identity) {
+  Matrix id = Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, CheckedAccessThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), ContractViolation);
+  EXPECT_THROW(m.at(0, 2), ContractViolation);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, RowSpanWritesThrough) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[2] = 9.0;
+  EXPECT_EQ(m(1, 2), 9.0);
+}
+
+TEST(Matrix, ColumnRoundTrip) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  const auto col = m.column(1);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col[2], 6.0);
+  m.set_column(0, std::vector<double>{9, 8, 7});
+  EXPECT_EQ(m(2, 0), 7.0);
+}
+
+TEST(Matrix, SetRow) {
+  Matrix m(2, 2);
+  m.set_row(0, std::vector<double>{5, 6});
+  EXPECT_EQ(m(0, 1), 6.0);
+  EXPECT_THROW(m.set_row(0, std::vector<double>{1}), ContractViolation);
+}
+
+TEST(Matrix, Transposed) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, DoubleTransposeIsIdentity) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.max_abs_diff(m.transposed().transposed()), 0.0);
+}
+
+TEST(Matrix, Block) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  Matrix b = m.block(1, 1, 2, 2);
+  EXPECT_EQ(b(0, 0), 5.0);
+  EXPECT_EQ(b(1, 1), 9.0);
+  EXPECT_THROW(m.block(2, 2, 2, 2), ContractViolation);
+}
+
+TEST(Matrix, Arithmetic) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  Matrix sum = a + b;
+  EXPECT_EQ(sum(0, 0), 5.0);
+  EXPECT_EQ(sum(1, 1), 5.0);
+  Matrix diff = a - b;
+  EXPECT_EQ(diff(0, 0), -3.0);
+  Matrix scaled = a * 2.0;
+  EXPECT_EQ(scaled(1, 0), 6.0);
+  Matrix scaled2 = 3.0 * a;
+  EXPECT_EQ(scaled2(0, 1), 6.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  Matrix b(2, 3);
+  EXPECT_THROW(a += b, ContractViolation);
+  EXPECT_THROW(a.max_abs_diff(b), ContractViolation);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{1, 2}, {3, 7}};
+  EXPECT_EQ(a.max_abs_diff(b), 3.0);
+}
+
+TEST(Matrix, Fill) {
+  Matrix m(2, 2, 1.0);
+  m.fill(-2.0);
+  EXPECT_EQ(m(0, 0), -2.0);
+  EXPECT_EQ(m(1, 1), -2.0);
+}
+
+}  // namespace
+}  // namespace netconst::linalg

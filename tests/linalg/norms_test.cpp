@@ -1,0 +1,75 @@
+#include "linalg/norms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/svd.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace netconst::linalg {
+namespace {
+
+TEST(Norms, Frobenius) {
+  Matrix a{{3, 0}, {0, 4}};
+  EXPECT_NEAR(frobenius_norm(a), 5.0, 1e-15);
+}
+
+TEST(Norms, L1) {
+  Matrix a{{1, -2}, {-3, 4}};
+  EXPECT_EQ(l1_norm(a), 10.0);
+}
+
+TEST(Norms, MaxAbs) {
+  Matrix a{{1, -7}, {3, 4}};
+  EXPECT_EQ(max_abs(a), 7.0);
+}
+
+TEST(Norms, L0CountWithTolerance) {
+  Matrix a{{0.0, 1e-6}, {0.5, -2.0}};
+  EXPECT_EQ(l0_count(a, 1e-3), 2u);
+  EXPECT_EQ(l0_count(a, 0.0), 3u);
+  EXPECT_EQ(l0_count(a, 10.0), 0u);
+}
+
+TEST(Norms, L0NegativeToleranceThrows) {
+  EXPECT_THROW(l0_count(Matrix(1, 1), -1.0), ContractViolation);
+}
+
+TEST(Norms, NuclearOfIdentity) {
+  EXPECT_NEAR(nuclear_norm(Matrix::identity(4)), 4.0, 1e-10);
+}
+
+TEST(Norms, SpectralOfDiagonal) {
+  Matrix a{{2, 0, 0}, {0, -5, 0}, {0, 0, 1}};
+  EXPECT_NEAR(spectral_norm(a), 5.0, 1e-6);
+}
+
+TEST(Norms, SpectralMatchesTopSingularValue) {
+  Rng rng(31);
+  Matrix a(9, 13);
+  for (auto& v : a.data()) v = rng.uniform(-1.0, 1.0);
+  const auto dec = svd(a);
+  EXPECT_NEAR(spectral_norm(a), dec.singular_values.front(), 1e-6);
+}
+
+TEST(Norms, SpectralOfZeroMatrix) {
+  EXPECT_EQ(spectral_norm(Matrix(3, 3)), 0.0);
+}
+
+TEST(Norms, NormInequalities) {
+  Rng rng(32);
+  Matrix a(6, 8);
+  for (auto& v : a.data()) v = rng.uniform(-1.0, 1.0);
+  const double spec = spectral_norm(a);
+  const double fro = frobenius_norm(a);
+  const double nuc = nuclear_norm(a);
+  // ||A||_2 <= ||A||_F <= ||A||_* for any matrix.
+  EXPECT_LE(spec, fro + 1e-9);
+  EXPECT_LE(fro, nuc + 1e-9);
+}
+
+}  // namespace
+}  // namespace netconst::linalg

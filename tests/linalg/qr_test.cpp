@@ -1,0 +1,97 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace netconst::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+TEST(Qr, RejectsWideInput) {
+  EXPECT_THROW(qr_decompose(Matrix(2, 3)), ContractViolation);
+}
+
+TEST(Qr, RIsUpperTriangular) {
+  Rng rng(21);
+  const auto qr = qr_decompose(random_matrix(8, 5, rng));
+  for (std::size_t i = 0; i < qr.r.rows(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) EXPECT_EQ(qr.r(i, j), 0.0);
+  }
+}
+
+class QrSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrSweep, ReconstructsAndOrthonormal) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 1000 + n));
+  Matrix a = random_matrix(static_cast<std::size_t>(m),
+                           static_cast<std::size_t>(n), rng);
+  const auto qr = qr_decompose(a);
+  EXPECT_LT(a.max_abs_diff(multiply(qr.q, qr.r)), 1e-12);
+  const Matrix qtq = multiply(qr.q.transposed(), qr.q);
+  EXPECT_LT(qtq.max_abs_diff(Matrix::identity(a.cols())), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrSweep,
+                         ::testing::Values(std::pair{1, 1}, std::pair{3, 3},
+                                           std::pair{5, 2}, std::pair{10, 10},
+                                           std::pair{20, 7},
+                                           std::pair{50, 12}));
+
+TEST(Qr, SolveUpperTriangular) {
+  Matrix r{{2, 1}, {0, 4}};
+  const auto x = solve_upper_triangular(r, {4, 8});
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+  EXPECT_NEAR(x[0], 1.0, 1e-14);
+}
+
+TEST(Qr, SolveSingularThrows) {
+  Matrix r{{1, 1}, {0, 0}};
+  EXPECT_THROW(solve_upper_triangular(r, {1, 1}), ContractViolation);
+}
+
+TEST(Qr, LeastSquaresExactSystem) {
+  Matrix a{{1, 0}, {0, 2}, {0, 0}};
+  // b = A * [3, 4]^T = [3, 8, 0]^T.
+  const auto x = least_squares(a, {3, 8, 0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 4.0, 1e-12);
+}
+
+TEST(Qr, LeastSquaresRecoversPlantedSolution) {
+  Rng rng(22);
+  Matrix a = random_matrix(30, 6, rng);
+  std::vector<double> truth(6);
+  for (auto& v : truth) v = rng.uniform(-2.0, 2.0);
+  const auto b = multiply(a, truth);
+  const auto x = least_squares(a, b);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(x[i], truth[i], 1e-10);
+  }
+}
+
+TEST(Qr, LeastSquaresResidualOrthogonalToColumns) {
+  Rng rng(23);
+  Matrix a = random_matrix(20, 4, rng);
+  std::vector<double> b(20);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  const auto x = least_squares(a, b);
+  const auto ax = multiply(a, x);
+  std::vector<double> residual(20);
+  for (std::size_t i = 0; i < 20; ++i) residual[i] = b[i] - ax[i];
+  const auto at_r = multiply_transposed(a, residual);
+  for (double v : at_r) EXPECT_NEAR(v, 0.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace netconst::linalg

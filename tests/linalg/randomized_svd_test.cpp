@@ -1,0 +1,98 @@
+#include "linalg/randomized_svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.hpp"
+#include "linalg/norms.hpp"
+#include "support/error.hpp"
+
+namespace netconst::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+Matrix random_low_rank(std::size_t rows, std::size_t cols,
+                       std::size_t rank, Rng& rng) {
+  return multiply(random_matrix(rows, rank, rng),
+                  random_matrix(rank, cols, rng));
+}
+
+TEST(RandomizedSvd, Contracts) {
+  Rng rng(1);
+  EXPECT_THROW(randomized_svd(Matrix(), 1, rng), ContractViolation);
+  EXPECT_THROW(randomized_svd(Matrix(2, 2), 0, rng), ContractViolation);
+}
+
+TEST(RandomizedSvd, ExactOnLowRankInput) {
+  Rng rng(2);
+  const Matrix a = random_low_rank(12, 200, 3, rng);
+  const SvdResult result = randomized_svd(a, 3, rng);
+  ASSERT_EQ(result.singular_values.size(), 3u);
+  EXPECT_LT(a.max_abs_diff(result.reconstruct()), 1e-8);
+}
+
+TEST(RandomizedSvd, MatchesExactSvdLeadingValues) {
+  Rng rng(3);
+  const Matrix a = random_matrix(20, 120, rng);
+  const SvdResult approx = randomized_svd(a, 5, rng);
+  const SvdResult exact = svd(a);
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(approx.singular_values[k], exact.singular_values[k],
+                exact.singular_values[k] * 0.05 + 1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(RandomizedSvd, TallInputHandledByTranspose) {
+  Rng rng(4);
+  const Matrix a = random_low_rank(300, 10, 2, rng);
+  const SvdResult result = randomized_svd(a, 2, rng);
+  EXPECT_EQ(result.u.rows(), 300u);
+  EXPECT_EQ(result.v.rows(), 10u);
+  EXPECT_LT(a.max_abs_diff(result.reconstruct()), 1e-8);
+}
+
+TEST(RandomizedSvd, RankBudgetCapsOutput) {
+  Rng rng(5);
+  const Matrix a = random_matrix(6, 40, rng);
+  const SvdResult result = randomized_svd(a, 100, rng);
+  EXPECT_EQ(result.singular_values.size(), 6u);  // min(m, n)
+}
+
+TEST(RandomizedSvd, OrthonormalFactors) {
+  Rng rng(6);
+  const Matrix a = random_low_rank(15, 90, 4, rng);
+  const SvdResult r = randomized_svd(a, 4, rng);
+  const Matrix utu = multiply(r.u.transposed(), r.u);
+  const Matrix vtv = multiply(r.v.transposed(), r.v);
+  EXPECT_LT(utu.max_abs_diff(Matrix::identity(4)), 1e-8);
+  EXPECT_LT(vtv.max_abs_diff(Matrix::identity(4)), 1e-8);
+}
+
+TEST(RandomizedSvd, DeterministicGivenRngState) {
+  Rng a(7), b(7);
+  Rng data_rng(8);
+  const Matrix m = random_matrix(10, 50, data_rng);
+  const SvdResult ra = randomized_svd(m, 3, a);
+  const SvdResult rb = randomized_svd(m, 3, b);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(ra.singular_values[k], rb.singular_values[k]);
+  }
+}
+
+// The shape RPCA would use it for: rank-1 TP-matrix sketches.
+TEST(RandomizedSvd, TpShapedRankOne) {
+  Rng rng(9);
+  const Matrix a = random_low_rank(10, 1024, 1, rng);
+  const SvdResult result = randomized_svd(a, 1, rng);
+  ASSERT_EQ(result.singular_values.size(), 1u);
+  EXPECT_LT(a.max_abs_diff(result.reconstruct()),
+            1e-8 * max_abs(a) + 1e-10);
+}
+
+}  // namespace
+}  // namespace netconst::linalg

@@ -1,0 +1,95 @@
+#include "linalg/shrinkage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/norms.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace netconst::linalg {
+namespace {
+
+TEST(SoftThreshold, Elementwise) {
+  Matrix a{{2.0, -2.0}, {0.5, -0.5}};
+  const Matrix s = soft_threshold(a, 1.0);
+  EXPECT_EQ(s(0, 0), 1.0);
+  EXPECT_EQ(s(0, 1), -1.0);
+  EXPECT_EQ(s(1, 0), 0.0);
+  EXPECT_EQ(s(1, 1), 0.0);
+}
+
+TEST(SoftThreshold, ZeroTauIsIdentity) {
+  Matrix a{{1, -2}, {3, -4}};
+  EXPECT_EQ(a.max_abs_diff(soft_threshold(a, 0.0)), 0.0);
+}
+
+TEST(SoftThreshold, NegativeTauThrows) {
+  Matrix a(1, 1);
+  EXPECT_THROW(soft_threshold(a, -1.0), ContractViolation);
+}
+
+TEST(SoftThreshold, IsProxOfL1) {
+  // prox property: |s| decreases by exactly tau where nonzero.
+  Rng rng(41);
+  Matrix a(5, 5);
+  for (auto& v : a.data()) v = rng.uniform(-3.0, 3.0);
+  const double tau = 0.7;
+  const Matrix s = soft_threshold(a, tau);
+  for (std::size_t k = 0; k < a.data().size(); ++k) {
+    const double orig = a.data()[k];
+    const double shrunk = s.data()[k];
+    if (std::abs(orig) <= tau) {
+      EXPECT_EQ(shrunk, 0.0);
+    } else {
+      EXPECT_NEAR(std::abs(shrunk), std::abs(orig) - tau, 1e-14);
+      EXPECT_GT(shrunk * orig, 0.0);  // sign preserved
+    }
+  }
+}
+
+TEST(Svt, ShrinksSingularValues) {
+  Matrix a{{3, 0}, {0, 1}};
+  const auto result = singular_value_threshold(a, 2.0);
+  EXPECT_EQ(result.rank, 1u);
+  EXPECT_NEAR(result.top_singular_value, 3.0, 1e-12);
+  // Surviving singular value 3 - 2 = 1 on the first axis.
+  EXPECT_NEAR(result.value(0, 0), 1.0, 1e-10);
+  EXPECT_NEAR(result.value(1, 1), 0.0, 1e-10);
+}
+
+TEST(Svt, LargeTauGivesZero) {
+  Rng rng(42);
+  Matrix a(4, 6);
+  for (auto& v : a.data()) v = rng.uniform(-1.0, 1.0);
+  const auto result = singular_value_threshold(a, 1e6);
+  EXPECT_EQ(result.rank, 0u);
+  EXPECT_LT(max_abs(result.value), 1e-9);
+}
+
+TEST(Svt, ZeroTauReconstructs) {
+  Rng rng(43);
+  Matrix a(5, 7);
+  for (auto& v : a.data()) v = rng.uniform(-1.0, 1.0);
+  const auto result = singular_value_threshold(a, 0.0);
+  EXPECT_LT(a.max_abs_diff(result.value), 1e-9);
+}
+
+TEST(Svt, NuclearNormDropsByRankTimesTau) {
+  Rng rng(44);
+  Matrix a(6, 6);
+  for (auto& v : a.data()) v = rng.uniform(-2.0, 2.0);
+  const double tau = 0.3;
+  const auto before = svd(a);
+  const auto result = singular_value_threshold(a, tau);
+  double expected = 0.0;
+  for (double s : before.singular_values) {
+    expected += s > tau ? s - tau : 0.0;
+  }
+  EXPECT_NEAR(nuclear_norm(result.value), expected, 1e-8);
+}
+
+}  // namespace
+}  // namespace netconst::linalg

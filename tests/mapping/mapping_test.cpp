@@ -1,0 +1,138 @@
+#include "mapping/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace netconst::mapping {
+namespace {
+
+netmodel::PerformanceMatrix uniform_perf(std::size_t n, double beta) {
+  netmodel::PerformanceMatrix p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) p.set_link(i, j, {1e-4, beta});
+    }
+  }
+  return p;
+}
+
+TEST(RingMapping, IsIdentity) {
+  const Mapping m = ring_mapping(5);
+  for (std::size_t k = 0; k < 5; ++k) EXPECT_EQ(m[k], k);
+  EXPECT_TRUE(is_valid_mapping(m, 5, 5));
+}
+
+TEST(IsValidMapping, DetectsProblems) {
+  EXPECT_FALSE(is_valid_mapping({0, 0}, 2, 2));      // duplicate
+  EXPECT_FALSE(is_valid_mapping({0, 5}, 2, 2));      // out of range
+  EXPECT_FALSE(is_valid_mapping({0}, 2, 2));         // wrong size
+  EXPECT_TRUE(is_valid_mapping({1, 0}, 2, 2));
+}
+
+TEST(GreedyMapping, ProducesBijection) {
+  Rng rng(1);
+  const TaskGraph tasks = random_task_graph(10, rng);
+  MachineGraph machines(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      if (i != j) machines.set_bandwidth(i, j, rng.uniform(1e6, 1e8));
+    }
+  }
+  const Mapping m = greedy_mapping(tasks, machines);
+  EXPECT_TRUE(is_valid_mapping(m, 10, 10));
+}
+
+TEST(GreedyMapping, SeedsHeaviestTaskOnHeaviestMachine) {
+  // Task 2 is the heaviest; machine 1 has the highest total bandwidth.
+  TaskGraph tasks(3);
+  tasks.set_volume(2, 0, 100.0);
+  tasks.set_volume(2, 1, 100.0);
+  tasks.set_volume(0, 1, 1.0);
+  MachineGraph machines(3);
+  machines.set_bandwidth(0, 1, 10.0);
+  machines.set_bandwidth(1, 0, 10.0);
+  machines.set_bandwidth(1, 2, 10.0);
+  machines.set_bandwidth(2, 1, 10.0);
+  machines.set_bandwidth(0, 2, 1.0);
+  machines.set_bandwidth(2, 0, 1.0);
+  const Mapping m = greedy_mapping(tasks, machines);
+  EXPECT_EQ(m[2], 1u);
+}
+
+TEST(GreedyMapping, SizeMismatchThrows) {
+  TaskGraph tasks(3);
+  MachineGraph machines(4);
+  EXPECT_THROW(greedy_mapping(tasks, machines), ContractViolation);
+}
+
+TEST(GreedyMapping, BeatsRingOnHeterogeneousNetwork) {
+  // Machines 0..3 form a fast clique; 4..7 are slow. Heavy tasks should
+  // land on the fast machines.
+  Rng rng(2);
+  const std::size_t n = 8;
+  netmodel::PerformanceMatrix perf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const bool fast = i < 4 && j < 4;
+      perf.set_link(i, j, {1e-4, fast ? 1e8 : 1e6});
+    }
+  }
+  // Tasks 4..7 talk heavily to each other; under ring mapping they sit
+  // on the slow machines.
+  TaskGraph tasks(n);
+  for (std::size_t u = 4; u < 8; ++u) {
+    for (std::size_t v = 4; v < 8; ++v) {
+      if (u != v) tasks.set_volume(u, v, 10e6);
+    }
+  }
+  for (std::size_t u = 0; u < 4; ++u) {
+    tasks.set_volume(u, (u + 1) % 4, 1e3);
+  }
+  const MachineGraph machines = MachineGraph::from_performance(perf);
+  const double greedy_cost =
+      mapping_cost(greedy_mapping(tasks, machines), tasks, perf);
+  const double ring_cost =
+      mapping_cost(ring_mapping(n), tasks, perf);
+  EXPECT_LT(greedy_cost, ring_cost);
+}
+
+TEST(MappingCost, PerTaskSerializationParallelAcrossTasks) {
+  TaskGraph tasks(3);
+  tasks.set_volume(0, 1, 100.0);
+  tasks.set_volume(0, 2, 100.0);
+  tasks.set_volume(1, 2, 100.0);
+  netmodel::PerformanceMatrix perf = uniform_perf(3, 100.0);
+  // Task 0 sends twice sequentially: 2 * (1e-4 + 1 s); task 1 once.
+  const double cost = mapping_cost(ring_mapping(3), tasks, perf);
+  EXPECT_NEAR(cost, 2.0 * (1e-4 + 1.0), 1e-9);
+}
+
+TEST(MappingCost, InvalidMappingThrows) {
+  TaskGraph tasks(2);
+  const auto perf = uniform_perf(2, 1.0);
+  EXPECT_THROW(mapping_cost({0, 0}, tasks, perf), ContractViolation);
+}
+
+TEST(MappingVolumeCost, SumsVolumeOverBandwidth) {
+  TaskGraph tasks(2);
+  tasks.set_volume(0, 1, 200.0);
+  netmodel::PerformanceMatrix perf(2);
+  perf.set_link(0, 1, {0.0, 50.0});
+  perf.set_link(1, 0, {0.0, 50.0});
+  EXPECT_NEAR(mapping_volume_cost(ring_mapping(2), tasks, perf), 4.0,
+              1e-12);
+}
+
+TEST(MappingCost, ZeroVolumeEdgesAreFree) {
+  TaskGraph tasks(3);
+  const auto perf = uniform_perf(3, 1.0);
+  EXPECT_EQ(mapping_cost(ring_mapping(3), tasks, perf), 0.0);
+}
+
+}  // namespace
+}  // namespace netconst::mapping

@@ -1,0 +1,102 @@
+#include "mapping/refine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace netconst::mapping {
+namespace {
+
+netmodel::PerformanceMatrix random_perf(std::size_t n, Rng& rng) {
+  netmodel::PerformanceMatrix p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) p.set_link(i, j, {1e-4, rng.uniform(1e6, 1e8)});
+    }
+  }
+  return p;
+}
+
+TEST(RefineMapping, NeverWorsensTheSeed) {
+  Rng rng(1);
+  const std::size_t n = 10;
+  const TaskGraph tasks = random_task_graph(n, rng, 1e6, 2e6, 0.4);
+  const auto perf = random_perf(n, rng);
+  const Mapping seed = ring_mapping(n);
+  const RefineResult refined = refine_mapping(seed, tasks, perf);
+  EXPECT_LE(refined.cost, mapping_volume_cost(seed, tasks, perf) + 1e-12);
+  EXPECT_TRUE(is_valid_mapping(refined.mapping, n, n));
+}
+
+TEST(RefineMapping, ImprovesABadSeed) {
+  Rng rng(2);
+  const std::size_t n = 8;
+  const TaskGraph tasks = random_task_graph(n, rng, 1e6, 2e6, 0.5);
+  const auto perf = random_perf(n, rng);
+  const RefineResult refined =
+      refine_mapping(ring_mapping(n), tasks, perf);
+  // Random instances essentially always admit at least one improving
+  // swap from the identity mapping.
+  EXPECT_GT(refined.swaps, 0u);
+  EXPECT_LT(refined.cost,
+            mapping_volume_cost(ring_mapping(n), tasks, perf));
+}
+
+TEST(RefineMapping, LocalOptimumHasNoImprovingSwap) {
+  Rng rng(3);
+  const std::size_t n = 6;
+  const TaskGraph tasks = random_task_graph(n, rng, 1e6, 2e6, 0.5);
+  const auto perf = random_perf(n, rng);
+  RefineResult refined = refine_mapping(ring_mapping(n), tasks, perf);
+  // Verify 2-swap local optimality by hand.
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      Mapping m = refined.mapping;
+      std::swap(m[u], m[v]);
+      EXPECT_GE(mapping_volume_cost(m, tasks, perf),
+                refined.cost - 1e-12);
+    }
+  }
+}
+
+TEST(RefineMapping, InvalidSeedThrows) {
+  Rng rng(4);
+  const TaskGraph tasks = random_task_graph(4, rng);
+  const auto perf = random_perf(4, rng);
+  EXPECT_THROW(refine_mapping({0, 0, 1, 2}, tasks, perf),
+               ContractViolation);
+}
+
+TEST(OptimalMapping, SizeLimit) {
+  Rng rng(5);
+  const TaskGraph tasks = random_task_graph(9, rng);
+  const auto perf = random_perf(9, rng);
+  EXPECT_THROW(optimal_mapping(tasks, perf), ContractViolation);
+}
+
+class MappingQualitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MappingQualitySweep, GreedyPlusRefineNearOptimal) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 6;
+  const TaskGraph tasks = random_task_graph(n, rng, 1e6, 2e6, 0.5);
+  const auto perf = random_perf(n, rng);
+  const Mapping best = optimal_mapping(tasks, perf);
+  const double best_cost = mapping_volume_cost(best, tasks, perf);
+
+  const Mapping greedy = greedy_mapping(
+      tasks, MachineGraph::from_performance(perf));
+  const RefineResult refined = refine_mapping(greedy, tasks, perf);
+  EXPECT_GE(refined.cost, best_cost - 1e-12);
+  EXPECT_LE(refined.cost, best_cost * 1.5);
+  // Refinement must not be worse than the raw greedy.
+  EXPECT_LE(refined.cost,
+            mapping_volume_cost(greedy, tasks, perf) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MappingQualitySweep,
+                         ::testing::Range(10, 18));
+
+}  // namespace
+}  // namespace netconst::mapping

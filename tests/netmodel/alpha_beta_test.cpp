@@ -1,0 +1,49 @@
+#include "netmodel/alpha_beta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace netconst::netmodel {
+namespace {
+
+TEST(AlphaBeta, TransferTimeFormula) {
+  LinkParams link{0.001, 1e6};
+  EXPECT_NEAR(link.transfer_time(1e6), 1.001, 1e-12);
+  EXPECT_NEAR(link.transfer_time(0), 0.001, 1e-15);
+}
+
+TEST(AlphaBeta, FreeFunctionMatches) {
+  EXPECT_NEAR(transfer_time(0.01, 2e6, 4e6), 2.01, 1e-12);
+  EXPECT_THROW(transfer_time(0.0, 0.0, 1), ContractViolation);
+}
+
+TEST(AlphaBeta, LargerMessagesTakeLonger) {
+  LinkParams link{1e-4, 1e8};
+  EXPECT_LT(link.transfer_time(kOneKiB), link.transfer_time(kOneMiB));
+  EXPECT_LT(link.transfer_time(kOneMiB), link.transfer_time(kEightMiB));
+}
+
+TEST(AlphaBeta, FitRecoversParameters) {
+  // Construct measurements from known parameters.
+  const LinkParams truth{0.0005, 5e7};
+  const double t_small = truth.transfer_time(1);
+  const double t_large = truth.transfer_time(kEightMiB);
+  const LinkParams fit = fit_alpha_beta(t_small, 1, t_large, kEightMiB);
+  EXPECT_NEAR(fit.alpha, truth.alpha, 1e-6);
+  EXPECT_NEAR(fit.beta, truth.beta, truth.beta * 1e-3);
+}
+
+TEST(AlphaBeta, FitRejectsInconsistentMeasurements) {
+  EXPECT_THROW(fit_alpha_beta(0.5, 1, 0.4, kEightMiB), ContractViolation);
+  EXPECT_THROW(fit_alpha_beta(-0.1, 1, 0.4, kEightMiB), ContractViolation);
+  EXPECT_THROW(fit_alpha_beta(0.1, 100, 0.4, 10), ContractViolation);
+}
+
+TEST(AlphaBeta, SizeConstants) {
+  EXPECT_EQ(kOneKiB, 1024u);
+  EXPECT_EQ(kEightMiB, 8u * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace netconst::netmodel

@@ -1,0 +1,87 @@
+#include "netmodel/perf_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace netconst::netmodel {
+namespace {
+
+TEST(PerfMatrix, DefaultsApplied) {
+  PerformanceMatrix p(4, {1e-3, 2e7});
+  const LinkParams link = p.link(0, 1);
+  EXPECT_EQ(link.alpha, 1e-3);
+  EXPECT_EQ(link.beta, 2e7);
+  EXPECT_TRUE(p.is_valid());
+}
+
+TEST(PerfMatrix, SelfLinkIsFree) {
+  PerformanceMatrix p(3);
+  EXPECT_EQ(p.transfer_time(1, 1, kEightMiB), 0.0);
+  EXPECT_EQ(p.link(2, 2).alpha, 0.0);
+}
+
+TEST(PerfMatrix, SetAndGetLink) {
+  PerformanceMatrix p(3);
+  p.set_link(0, 2, {0.5, 1e6});
+  EXPECT_EQ(p.link(0, 2).alpha, 0.5);
+  EXPECT_EQ(p.link(0, 2).beta, 1e6);
+  // Directed: the reverse link is untouched.
+  EXPECT_NE(p.link(2, 0).alpha, 0.5);
+}
+
+TEST(PerfMatrix, SetSelfLinkThrows) {
+  PerformanceMatrix p(3);
+  EXPECT_THROW(p.set_link(1, 1, {0.1, 1e6}), ContractViolation);
+}
+
+TEST(PerfMatrix, InvalidParamsThrow) {
+  PerformanceMatrix p(3);
+  EXPECT_THROW(p.set_link(0, 1, {-0.1, 1e6}), ContractViolation);
+  EXPECT_THROW(p.set_link(0, 1, {0.1, 0.0}), ContractViolation);
+}
+
+TEST(PerfMatrix, OutOfRangeThrows) {
+  PerformanceMatrix p(2);
+  EXPECT_THROW(p.link(2, 0), ContractViolation);
+  EXPECT_THROW(p.set_link(0, 5, {0.1, 1e6}), ContractViolation);
+}
+
+TEST(PerfMatrix, TransferTimeUsesAlphaBeta) {
+  PerformanceMatrix p(2);
+  p.set_link(0, 1, {0.25, 4.0});
+  EXPECT_NEAR(p.transfer_time(0, 1, 8), 0.25 + 2.0, 1e-12);
+}
+
+TEST(PerfMatrix, WeightMatrixDiagonalZeroSmallerIsBetter) {
+  PerformanceMatrix p(3);
+  p.set_link(0, 1, {0.0, 1e9});  // fast link
+  p.set_link(0, 2, {0.0, 1e6});  // slow link
+  const auto w = p.weight_matrix(kOneMiB);
+  EXPECT_EQ(w(0, 0), 0.0);
+  EXPECT_LT(w(0, 1), w(0, 2));
+}
+
+TEST(PerfMatrix, RestrictToSubCluster) {
+  PerformanceMatrix p(4);
+  p.set_link(1, 3, {0.7, 3e6});
+  const PerformanceMatrix sub = p.restrict_to({1, 3});
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.link(0, 1).alpha, 0.7);
+  EXPECT_EQ(sub.link(0, 1).beta, 3e6);
+}
+
+TEST(PerfMatrix, RestrictOutOfRangeThrows) {
+  PerformanceMatrix p(3);
+  EXPECT_THROW(p.restrict_to({0, 5}), ContractViolation);
+}
+
+TEST(PerfMatrix, ValidityDetection) {
+  PerformanceMatrix p(2);
+  EXPECT_TRUE(p.is_valid());
+  p.latency()(0, 1) = -1.0;  // bypass the checked setter
+  EXPECT_FALSE(p.is_valid());
+}
+
+}  // namespace
+}  // namespace netconst::netmodel

@@ -1,0 +1,86 @@
+#include "netmodel/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace netconst::netmodel {
+namespace {
+
+PerformanceMatrix two_class_matrix() {
+  // Links alternate between 1e8 and 2e8 bandwidth, 1e-4 / 3e-4 latency.
+  PerformanceMatrix p(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      const bool fast = (i + j) % 2 == 0;
+      p.set_link(i, j, {fast ? 1e-4 : 3e-4, fast ? 2e8 : 1e8});
+    }
+  }
+  return p;
+}
+
+TEST(NetStats, BandwidthSpreadOfUniformMatrixIsDegenerate) {
+  PerformanceMatrix p(3, {1e-4, 5e7});
+  const LinkSpread spread = bandwidth_spread(p);
+  EXPECT_NEAR(spread.mean, 5e7, 1.0);
+  EXPECT_NEAR(spread.coefficient_of_variation, 0.0, 1e-12);
+  EXPECT_NEAR(spread.dispersion_ratio, 1.0, 1e-12);
+}
+
+TEST(NetStats, TwoClassSpread) {
+  const LinkSpread bw = bandwidth_spread(two_class_matrix());
+  EXPECT_NEAR(bw.min, 1e8, 1.0);
+  EXPECT_NEAR(bw.max, 2e8, 1.0);
+  EXPECT_NEAR(bw.dispersion_ratio, 2.0, 1e-9);
+  EXPECT_GT(bw.coefficient_of_variation, 0.1);
+
+  const LinkSpread lat = latency_spread(two_class_matrix());
+  EXPECT_NEAR(lat.dispersion_ratio, 3.0, 1e-9);
+}
+
+TEST(NetStats, SpreadContracts) {
+  EXPECT_THROW(bandwidth_spread(PerformanceMatrix(1)), ContractViolation);
+}
+
+TEST(NetStats, LinkVariabilityZeroOnConstantSeries) {
+  TemporalPerformance series;
+  for (int r = 0; r < 4; ++r) {
+    series.append(r, PerformanceMatrix(3, {1e-4, 5e7}));
+  }
+  EXPECT_NEAR(link_bandwidth_variability(series, 0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(mean_bandwidth_variability(series), 0.0, 1e-12);
+}
+
+TEST(NetStats, VariabilityTracksFluctuations) {
+  TemporalPerformance series;
+  for (int r = 0; r < 8; ++r) {
+    PerformanceMatrix snap(2);
+    // Link (0,1) alternates between 1e8 and 2e8; (1,0) stays flat.
+    snap.set_link(0, 1, {1e-4, r % 2 == 0 ? 1e8 : 2e8});
+    snap.set_link(1, 0, {1e-4, 1.5e8});
+    series.append(r, std::move(snap));
+  }
+  const double varying = link_bandwidth_variability(series, 0, 1);
+  const double flat = link_bandwidth_variability(series, 1, 0);
+  // CV of alternating {1, 2} around mean 1.5 is 1/3.
+  EXPECT_NEAR(varying, 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(flat, 0.0, 1e-12);
+  EXPECT_NEAR(mean_bandwidth_variability(series), varying / 2.0, 1e-9);
+}
+
+TEST(NetStats, VariabilityContracts) {
+  TemporalPerformance empty;
+  EXPECT_THROW(mean_bandwidth_variability(empty), ContractViolation);
+  TemporalPerformance series;
+  series.append(0.0, PerformanceMatrix(3));
+  EXPECT_THROW(link_bandwidth_variability(series, 1, 1),
+               ContractViolation);
+  EXPECT_THROW(link_bandwidth_variability(series, 0, 9),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace netconst::netmodel

@@ -1,0 +1,101 @@
+#include "netmodel/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/csv.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace netconst::netmodel {
+namespace {
+
+Trace make_trace(std::size_t snapshots, std::size_t n, Rng& rng) {
+  TemporalPerformance series;
+  for (std::size_t s = 0; s < snapshots; ++s) {
+    PerformanceMatrix p(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i != j) {
+          p.set_link(i, j, {rng.uniform(1e-4, 1e-3),
+                            rng.uniform(1e7, 1e8)});
+        }
+      }
+    }
+    series.append(static_cast<double>(s) * 30.0, std::move(p));
+  }
+  return Trace(std::move(series));
+}
+
+TEST(Trace, Duration) {
+  Rng rng(1);
+  const Trace t = make_trace(5, 3, rng);
+  EXPECT_EQ(t.duration(), 120.0);
+  EXPECT_EQ(make_trace(1, 3, rng).duration(), 0.0);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  Rng rng(2);
+  const Trace t = make_trace(4, 3, rng);
+  const std::string path = ::testing::TempDir() + "/netconst_trace.csv";
+  t.save_csv(path);
+  const Trace back = Trace::load_csv(path);
+  ASSERT_EQ(back.snapshot_count(), t.snapshot_count());
+  ASSERT_EQ(back.cluster_size(), t.cluster_size());
+  for (std::size_t s = 0; s < t.snapshot_count(); ++s) {
+    EXPECT_EQ(back.series().time_at(s), t.series().time_at(s));
+    for (std::size_t i = 0; i < t.cluster_size(); ++i) {
+      for (std::size_t j = 0; j < t.cluster_size(); ++j) {
+        if (i == j) continue;
+        EXPECT_EQ(back.series().snapshot(s).link(i, j).alpha,
+                  t.series().snapshot(s).link(i, j).alpha);
+        EXPECT_EQ(back.series().snapshot(s).link(i, j).beta,
+                  t.series().snapshot(s).link(i, j).beta);
+      }
+    }
+  }
+}
+
+TEST(Trace, WindowSelectsInclusiveRange) {
+  Rng rng(3);
+  const Trace t = make_trace(5, 2, rng);  // times 0, 30, 60, 90, 120
+  const Trace w = t.window(30.0, 90.0);
+  EXPECT_EQ(w.snapshot_count(), 3u);
+  EXPECT_EQ(w.series().time_at(0), 30.0);
+  EXPECT_THROW(t.window(10.0, 5.0), ContractViolation);
+}
+
+TEST(Trace, PrefixTruncates) {
+  Rng rng(4);
+  const Trace t = make_trace(5, 2, rng);
+  EXPECT_EQ(t.prefix(3).snapshot_count(), 3u);
+  EXPECT_EQ(t.prefix(99).snapshot_count(), 5u);
+}
+
+TEST(ReplayCursor, ReplaysByTime) {
+  Rng rng(5);
+  const Trace t = make_trace(3, 2, rng);  // times 0, 30, 60
+  ReplayCursor cursor(t);
+  EXPECT_EQ(cursor.start_time(), 0.0);
+  EXPECT_EQ(cursor.end_time(), 60.0);
+  EXPECT_EQ(cursor.at(45.0).link(0, 1).alpha,
+            t.series().snapshot(1).link(0, 1).alpha);
+}
+
+TEST(ReplayCursor, EmptyTraceThrows) {
+  Trace empty;
+  EXPECT_THROW(ReplayCursor{empty}, ContractViolation);
+}
+
+TEST(Trace, LoadRejectsSelfLinks) {
+  const std::string path = ::testing::TempDir() + "/netconst_bad_trace.csv";
+  {
+    CsvTable table;
+    table.header = {"time", "i", "j", "alpha", "beta"};
+    table.rows = {{"0", "1", "1", "0.1", "1e6"}};
+    write_csv_file(path, table);
+  }
+  EXPECT_THROW(Trace::load_csv(path), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netconst::netmodel

@@ -1,0 +1,229 @@
+#include "simnet/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace netconst::simnet {
+namespace {
+
+// Two hosts joined by a switch; both host links 100 B/s, latency 0.01 s
+// per hop.
+Topology two_hosts() {
+  Topology t;
+  const NodeId h0 = t.add_node(NodeKind::Host, "h0");
+  const NodeId s = t.add_node(NodeKind::Switch, "s");
+  const NodeId h1 = t.add_node(NodeKind::Host, "h1");
+  t.add_link(h0, s, 100.0, 0.01);
+  t.add_link(s, h1, 100.0, 0.01);
+  return t;
+}
+
+TEST(Simulator, SingleFlowFullBandwidth) {
+  FlowSimulator sim(two_hosts());
+  const double elapsed = sim.measure_transfer(0, 2, 1000);
+  // latency 0.02 + 1000/100 = 10.02.
+  EXPECT_NEAR(elapsed, 10.02, 1e-9);
+}
+
+TEST(Simulator, TinyMessageMeasuresLatency) {
+  FlowSimulator sim(two_hosts());
+  const double elapsed = sim.measure_transfer(0, 2, 1);
+  EXPECT_NEAR(elapsed, 0.02 + 0.01, 1e-9);
+}
+
+TEST(Simulator, TwoFlowsShareBottleneckFairly) {
+  FlowSimulator sim(two_hosts());
+  const FlowId a = sim.inject(0, 2, 1000);
+  const FlowId b = sim.inject(0, 2, 1000);
+  sim.run_until_complete(a);
+  sim.run_until_complete(b);
+  // Both share the 100 B/s path: each effectively gets 50 B/s.
+  EXPECT_NEAR(sim.record(a).elapsed(), 0.02 + 20.0, 1e-6);
+  EXPECT_NEAR(sim.record(b).elapsed(), 0.02 + 20.0, 1e-6);
+}
+
+TEST(Simulator, ShortFlowFinishesThenLongSpeedsUp) {
+  FlowSimulator sim(two_hosts());
+  const FlowId small = sim.inject(0, 2, 100);
+  const FlowId big = sim.inject(0, 2, 1000);
+  sim.run_until_complete(big);
+  // Small: shares 50 B/s for 2 s -> done at ~2.02.
+  EXPECT_NEAR(sim.record(small).elapsed(), 0.02 + 2.0, 1e-6);
+  // Big: 100 bytes at 50 B/s, then 900 at 100 B/s -> 2 + 9 = 11.
+  EXPECT_NEAR(sim.record(big).elapsed(), 0.02 + 11.0, 1e-6);
+}
+
+TEST(Simulator, OppositeDirectionsDoNotContend) {
+  // Full-duplex links: flows in opposite directions get full capacity.
+  FlowSimulator sim(two_hosts());
+  const FlowId a = sim.inject(0, 2, 1000);
+  const FlowId b = sim.inject(2, 0, 1000);
+  sim.run_until_complete(a);
+  sim.run_until_complete(b);
+  EXPECT_NEAR(sim.record(a).elapsed(), 10.02, 1e-6);
+  EXPECT_NEAR(sim.record(b).elapsed(), 10.02, 1e-6);
+}
+
+TEST(Simulator, DisjointPairsInTreeDoNotContend) {
+  TreeSpec spec;
+  spec.racks = 2;
+  spec.servers_per_rack = 2;
+  spec.host_link_bytes_per_s = 100.0;
+  spec.uplink_bytes_per_s = 1000.0;
+  FlowSimulator sim(make_tree_topology(spec));
+  // Intra-rack pairs (0,1) and (2,3): fully disjoint paths.
+  const auto times = sim.measure_concurrent({{0, 1}, {2, 3}}, 1000);
+  EXPECT_NEAR(times[0], times[1], 1e-9);
+  EXPECT_NEAR(times[0], 2 * spec.host_link_latency_s + 10.0, 1e-6);
+}
+
+TEST(Simulator, UplinkContention) {
+  TreeSpec spec;
+  spec.racks = 2;
+  spec.servers_per_rack = 4;
+  spec.host_link_bytes_per_s = 100.0;
+  spec.uplink_bytes_per_s = 150.0;  // uplink is the bottleneck for 2 flows
+  FlowSimulator sim(make_tree_topology(spec));
+  // Hosts 0,1 (rack 0) both send cross-rack: share the 150 B/s uplink.
+  const FlowId a = sim.inject(0, 4, 750);
+  const FlowId b = sim.inject(1, 5, 750);
+  sim.run_until_complete(a);
+  sim.run_until_complete(b);
+  // Each gets 75 B/s on the uplink -> 10 s transfer.
+  const double latency =
+      2 * spec.host_link_latency_s + 2 * spec.uplink_latency_s;
+  EXPECT_NEAR(sim.record(a).elapsed(), latency + 10.0, 1e-6);
+  EXPECT_NEAR(sim.record(b).elapsed(), latency + 10.0, 1e-6);
+}
+
+TEST(Simulator, BackgroundTrafficSlowsMeasurement) {
+  FlowSimulator sim(two_hosts(), Rng(99));
+  BackgroundSource bg;
+  bg.src = 0;
+  bg.dst = 2;
+  bg.bytes = 70;       // 70 B per message ...
+  bg.mean_wait = 1.0;  // ... per second: ~70% utilization, stable queue
+  sim.add_background_source(bg);
+  sim.advance_to(50.0);  // let background reach steady state
+  const double contended = sim.measure_transfer(0, 2, 1000);
+
+  FlowSimulator quiet(two_hosts());
+  const double clean = quiet.measure_transfer(0, 2, 1000);
+  EXPECT_GT(contended, clean * 1.2);
+}
+
+TEST(Simulator, AdvanceToProcessesBackground) {
+  FlowSimulator sim(two_hosts(), Rng(7));
+  BackgroundSource bg;
+  bg.src = 0;
+  bg.dst = 2;
+  bg.bytes = 10;
+  bg.mean_wait = 1.0;
+  sim.add_background_source(bg);
+  sim.advance_to(100.0);
+  EXPECT_EQ(sim.now(), 100.0);
+  EXPECT_THROW(sim.advance_to(50.0), ContractViolation);
+}
+
+TEST(Simulator, CompletionCallbackFiresForTrackedOnly) {
+  FlowSimulator sim(two_hosts(), Rng(8));
+  BackgroundSource bg;
+  bg.src = 2;
+  bg.dst = 0;
+  bg.bytes = 10;
+  bg.mean_wait = 0.2;
+  sim.add_background_source(bg);
+  int calls = 0;
+  sim.set_completion_callback([&](FlowId, double) { ++calls; });
+  const FlowId f = sim.inject(0, 2, 100);
+  sim.run_until_complete(f);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Simulator, CallbackCanChainFlows) {
+  FlowSimulator sim(two_hosts());
+  int completions = 0;
+  sim.set_completion_callback([&](FlowId, double) {
+    ++completions;
+    if (completions == 1) sim.inject(2, 0, 100);
+  });
+  sim.inject(0, 2, 100);
+  sim.run_until_idle();
+  EXPECT_EQ(completions, 2);
+}
+
+TEST(Simulator, ProbeRateMatchesFairShare) {
+  FlowSimulator sim(two_hosts());
+  EXPECT_NEAR(sim.probe_rate(0, 2), 100.0, 1e-9);
+  sim.inject(0, 2, 1e9);  // long-running flow
+  // Force it into the transferring state.
+  sim.advance_to(1.0);
+  EXPECT_NEAR(sim.probe_rate(0, 2), 50.0, 1e-9);
+  // Opposite direction unaffected.
+  EXPECT_NEAR(sim.probe_rate(2, 0), 100.0, 1e-9);
+}
+
+TEST(Simulator, RecordBookkeeping) {
+  FlowSimulator sim(two_hosts());
+  const FlowId f = sim.inject(0, 2, 100);
+  EXPECT_FALSE(sim.record(f).finished());
+  sim.run_until_complete(f);
+  EXPECT_TRUE(sim.record(f).finished());
+  EXPECT_EQ(sim.record(f).bytes, 100u);
+  EXPECT_EQ(sim.tracked_in_flight(), 0u);
+  EXPECT_THROW(sim.record(99), ContractViolation);
+}
+
+TEST(Simulator, FlowToSelfThrows) {
+  FlowSimulator sim(two_hosts());
+  EXPECT_THROW(sim.inject(0, 0, 10), ContractViolation);
+}
+
+TEST(Simulator, ConservationOfBytes) {
+  // Total delivery time x rate integrates to exactly the flow size:
+  // verified indirectly by exact completion times under rate changes.
+  FlowSimulator sim(two_hosts());
+  const FlowId a = sim.inject(0, 2, 300);
+  sim.advance_to(1.0);  // a transfers alone for ~0.98 s
+  const FlowId b = sim.inject(0, 2, 300);
+  sim.run_until_complete(a);
+  sim.run_until_complete(b);
+  // Bytes conserved: completion times solve the fluid equations.
+  // a transfers alone from 0.02 to 1.02 (100 B), then shares 50 B/s
+  // with b: 200 more bytes -> done at 5.02 (elapsed 5.02).
+  EXPECT_NEAR(sim.record(a).elapsed(), 5.02, 1e-6);
+  // b: from 1.02 to 5.02 at 50 B/s (200 B), then 100 B at full rate ->
+  // done at 6.02, elapsed 5.02.
+  EXPECT_NEAR(sim.record(b).elapsed(), 5.02, 1e-6);
+}
+
+
+TEST(Simulator, RepeatedLargeTransfersTerminate) {
+  // Regression: floating-point residue in the fluid update used to leave
+  // ~1e-9 bytes on 8 MiB flows, scheduling a completion event within one
+  // double ulp of `now` and freezing simulated time. Dozens of
+  // back-to-back large transfers exercise exactly that path.
+  TreeSpec spec;
+  spec.racks = 2;
+  spec.servers_per_rack = 4;
+  FlowSimulator sim(make_tree_topology(spec), Rng(3));
+  BackgroundSource bg;
+  bg.src = 0;
+  bg.dst = 5;
+  bg.bytes = 4 << 20;
+  bg.mean_wait = 0.5;
+  sim.add_background_source(bg);
+  for (int round = 0; round < 40; ++round) {
+    const auto times =
+        sim.measure_concurrent({{1, 6}, {2, 7}}, 8ull << 20);
+    for (double t : times) EXPECT_GT(t, 0.0);
+    sim.advance_to(sim.now() + 0.05);
+  }
+  EXPECT_GT(sim.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace netconst::simnet

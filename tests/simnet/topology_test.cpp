@@ -1,0 +1,121 @@
+#include "simnet/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace netconst::simnet {
+namespace {
+
+Topology make_line() {
+  // h0 - s - h1 with different link speeds.
+  Topology t;
+  const NodeId h0 = t.add_node(NodeKind::Host, "h0");
+  const NodeId s = t.add_node(NodeKind::Switch, "s");
+  const NodeId h1 = t.add_node(NodeKind::Host, "h1");
+  t.add_link(h0, s, 100.0, 0.001);
+  t.add_link(s, h1, 50.0, 0.002);
+  return t;
+}
+
+TEST(Topology, NodeAndLinkBookkeeping) {
+  const Topology t = make_line();
+  EXPECT_EQ(t.node_count(), 3u);
+  EXPECT_EQ(t.link_count(), 2u);
+  EXPECT_EQ(t.node(0).kind, NodeKind::Host);
+  EXPECT_EQ(t.node(1).kind, NodeKind::Switch);
+  EXPECT_EQ(t.hosts().size(), 2u);
+}
+
+TEST(Topology, InvalidLinksThrow) {
+  Topology t;
+  const NodeId a = t.add_node(NodeKind::Host, "a");
+  const NodeId b = t.add_node(NodeKind::Host, "b");
+  EXPECT_THROW(t.add_link(a, a, 1.0, 0.0), ContractViolation);
+  EXPECT_THROW(t.add_link(a, b, 0.0, 0.0), ContractViolation);
+  EXPECT_THROW(t.add_link(a, b, 1.0, -1.0), ContractViolation);
+  EXPECT_THROW(t.add_link(a, 7, 1.0, 0.0), ContractViolation);
+}
+
+TEST(Topology, RouteThroughSwitch) {
+  const Topology t = make_line();
+  const auto& hops = t.route(0, 2);
+  ASSERT_EQ(hops.size(), 2u);
+  EXPECT_EQ(hops[0].link, 0u);
+  EXPECT_EQ(hops[1].link, 1u);
+}
+
+TEST(Topology, RouteDirectionality) {
+  const Topology t = make_line();
+  const auto& forward = t.route(0, 2);
+  const auto& backward = t.route(2, 0);
+  EXPECT_EQ(forward.size(), backward.size());
+  EXPECT_NE(forward[0].forward, backward[1].forward);
+}
+
+TEST(Topology, PathLatencyAndCapacity) {
+  const Topology t = make_line();
+  EXPECT_NEAR(t.path_latency(0, 2), 0.003, 1e-12);
+  EXPECT_EQ(t.path_capacity(0, 2), 50.0);
+  EXPECT_EQ(t.path_latency(1, 1), 0.0);
+}
+
+TEST(Topology, DisconnectedThrows) {
+  Topology t;
+  t.add_node(NodeKind::Host, "a");
+  t.add_node(NodeKind::Host, "b");
+  EXPECT_THROW(t.route(0, 1), Error);
+}
+
+TEST(Topology, RouteToSelfThrows) {
+  const Topology t = make_line();
+  EXPECT_THROW(t.route(1, 1), ContractViolation);
+}
+
+TEST(TreeTopology, PaperDimensions) {
+  TreeSpec spec;  // 32 racks x 32 servers
+  const Topology t = make_tree_topology(spec);
+  EXPECT_EQ(t.hosts().size(), 1024u);
+  // hosts + rack switches + core.
+  EXPECT_EQ(t.node_count(), 1024u + 32u + 1u);
+  // host links + uplinks.
+  EXPECT_EQ(t.link_count(), 1024u + 32u);
+}
+
+TEST(TreeTopology, IntraRackRouteIsTwoHops) {
+  TreeSpec spec;
+  spec.racks = 2;
+  spec.servers_per_rack = 3;
+  const Topology t = make_tree_topology(spec);
+  EXPECT_EQ(t.route(0, 1).size(), 2u);   // same rack: host-tor-host
+  EXPECT_EQ(t.route(0, 3).size(), 4u);   // cross rack: via core
+}
+
+TEST(TreeTopology, CrossRackBottleneckIsHostLink) {
+  TreeSpec spec;
+  spec.racks = 2;
+  spec.servers_per_rack = 2;
+  const Topology t = make_tree_topology(spec);
+  // One flow's bottleneck is its 1 Gb/s host link even across racks.
+  EXPECT_NEAR(t.path_capacity(0, 2), spec.host_link_bytes_per_s, 1e-6);
+}
+
+TEST(TreeTopology, RackOfHost) {
+  TreeSpec spec;
+  spec.racks = 4;
+  spec.servers_per_rack = 8;
+  EXPECT_EQ(tree_rack_of(spec, 0), 0u);
+  EXPECT_EQ(tree_rack_of(spec, 7), 0u);
+  EXPECT_EQ(tree_rack_of(spec, 8), 1u);
+  EXPECT_EQ(tree_rack_of(spec, 31), 3u);
+  EXPECT_THROW(tree_rack_of(spec, 32), ContractViolation);
+}
+
+TEST(TreeTopology, RejectsEmptySpec) {
+  TreeSpec spec;
+  spec.racks = 0;
+  EXPECT_THROW(make_tree_topology(spec), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netconst::simnet

@@ -1,0 +1,91 @@
+#include "support/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace netconst {
+namespace {
+
+TEST(Csv, WriteReadRoundTrip) {
+  CsvTable table;
+  table.header = {"a", "b"};
+  table.rows = {{"1", "2.5"}, {"-3", "4e-2"}};
+  std::stringstream ss;
+  write_csv(ss, table);
+  const CsvTable back = read_csv(ss);
+  ASSERT_EQ(back.header, table.header);
+  ASSERT_EQ(back.rows, table.rows);
+}
+
+TEST(Csv, NumberParsing) {
+  CsvTable table;
+  table.header = {"x"};
+  table.rows = {{"2.5"}, {"bad"}};
+  EXPECT_EQ(table.number(0, 0), 2.5);
+  EXPECT_THROW(table.number(1, 0), Error);
+  EXPECT_THROW(table.number(5, 0), ContractViolation);
+}
+
+TEST(Csv, ColumnIndex) {
+  CsvTable table;
+  table.header = {"time", "value"};
+  EXPECT_EQ(table.column_index("value"), 1u);
+  EXPECT_THROW(table.column_index("missing"), Error);
+}
+
+TEST(Csv, SkipsCommentsAndBlankLines) {
+  std::stringstream ss("# comment\n\na,b\n# another\n1,2\n");
+  const CsvTable table = read_csv(ss);
+  ASSERT_EQ(table.row_count(), 1u);
+  EXPECT_EQ(table.rows[0][1], "2");
+}
+
+TEST(Csv, RaggedRowThrows) {
+  std::stringstream ss("a,b\n1\n");
+  EXPECT_THROW(read_csv(ss), Error);
+}
+
+TEST(Csv, EmptyStreamThrows) {
+  std::stringstream ss("");
+  EXPECT_THROW(read_csv(ss), Error);
+}
+
+TEST(Csv, WriteRaggedThrows) {
+  CsvTable table;
+  table.header = {"a", "b"};
+  table.rows = {{"1"}};
+  std::stringstream ss;
+  EXPECT_THROW(write_csv(ss, table), ContractViolation);
+}
+
+TEST(Csv, FileRoundTrip) {
+  CsvTable table;
+  table.header = {"k", "v"};
+  table.rows = {{"0", "1.25"}};
+  const std::string path = ::testing::TempDir() + "/netconst_csv_test.csv";
+  write_csv_file(path, table);
+  const CsvTable back = read_csv_file(path);
+  EXPECT_EQ(back.rows, table.rows);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/nope.csv"), Error);
+}
+
+TEST(Csv, FormatDoubleRoundTrips) {
+  const double value = 0.1234567890123456789;
+  const std::string s = format_double(value);
+  EXPECT_EQ(std::stod(s), value);
+}
+
+TEST(Csv, CarriageReturnsStripped) {
+  std::stringstream ss("a,b\r\n1,2\r\n");
+  const CsvTable table = read_csv(ss);
+  EXPECT_EQ(table.rows[0][1], "2");
+}
+
+}  // namespace
+}  // namespace netconst

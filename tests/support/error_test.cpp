@@ -1,0 +1,64 @@
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/stopwatch.hpp"
+
+namespace netconst {
+namespace {
+
+TEST(Error, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(NETCONST_CHECK(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Error, CheckThrowsContractViolation) {
+  EXPECT_THROW(NETCONST_CHECK(false, "must fail"), ContractViolation);
+}
+
+TEST(Error, MessageCarriesExpressionFileAndNote) {
+  try {
+    NETCONST_CHECK(2 < 1, "two is not less than one");
+    FAIL() << "expected a throw";
+  } catch (const ContractViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+  }
+}
+
+TEST(Error, ContractViolationIsAnError) {
+  // Catchable through the base class for coarse error handling.
+  EXPECT_THROW(NETCONST_CHECK(false, ""), Error);
+  EXPECT_THROW(NETCONST_CHECK(false, ""), std::runtime_error);
+}
+
+TEST(Error, AssertActsLikeCheckWhenEnabled) {
+#ifndef NETCONST_DISABLE_ASSERTS
+  EXPECT_THROW(NETCONST_ASSERT(false), ContractViolation);
+  EXPECT_NO_THROW(NETCONST_ASSERT(true));
+#endif
+}
+
+TEST(Error, CheckEvaluatesConditionExactlyOnce) {
+  int evaluations = 0;
+  NETCONST_CHECK([&] { return ++evaluations > 0; }(), "side effect");
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  // Burn a bit of CPU deterministically.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + static_cast<double>(i);
+  const double first = watch.seconds();
+  EXPECT_GT(first, 0.0);
+  EXPECT_GE(watch.milliseconds(), first * 1e3 * 0.5);
+  watch.restart();
+  EXPECT_LT(watch.seconds(), first + 1.0);
+}
+
+}  // namespace
+}  // namespace netconst

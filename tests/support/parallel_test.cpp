@@ -1,0 +1,109 @@
+#include "support/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace netconst {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] {
+      counter.fetch_add(1);
+      done.fetch_add(1);
+    });
+  }
+  while (done.load() < 100) std::this_thread::yield();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, GlobalIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> visits(n);
+  parallel_for(0, n, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  parallel_for(7, 3, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SmallRangeRunsSerially) {
+  // Below the grain, the body runs on the calling thread.
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(8);
+  parallel_for(
+      0, 8, [&](std::size_t i) { ids[i] = std::this_thread::get_id(); },
+      /*grain=*/64);
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelFor, SumMatchesSerial) {
+  const std::size_t n = 100000;
+  std::vector<double> data(n);
+  std::iota(data.begin(), data.end(), 0.0);
+  std::atomic<long long> sum{0};
+  parallel_for(0, n, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long long>(data[i]));
+  });
+  EXPECT_EQ(sum.load(),
+            static_cast<long long>(n) * static_cast<long long>(n - 1) / 2);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(
+          0, 10000,
+          [](std::size_t i) {
+            if (i == 5000) throw std::runtime_error("boom");
+          },
+          /*grain=*/1),
+      std::runtime_error);
+}
+
+TEST(ParallelForChunked, ChunksCoverRangeWithoutOverlap) {
+  const std::size_t n = 5000;
+  std::vector<std::atomic<int>> visits(n);
+  parallel_for_chunked(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        ASSERT_LT(lo, hi);
+        for (std::size_t i = lo; i < hi; ++i) visits[i].fetch_add(1);
+      },
+      /*grain=*/16);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelForChunked, ZeroGrainIsTreatedAsOne) {
+  std::atomic<int> count{0};
+  parallel_for_chunked(
+      0, 100, [&](std::size_t lo, std::size_t hi) {
+        count.fetch_add(static_cast<int>(hi - lo));
+      },
+      /*grain=*/0);
+  EXPECT_EQ(count.load(), 100);
+}
+
+}  // namespace
+}  // namespace netconst

@@ -1,0 +1,107 @@
+#include "support/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace netconst {
+namespace {
+
+TEST(Statistics, MeanOfEmptyIsZero) {
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Statistics, MeanSimple) {
+  EXPECT_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Statistics, PercentileEndpoints) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_EQ(percentile(v, 0.5), 3.0);
+}
+
+TEST(Statistics, PercentileInterpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_NEAR(percentile(v, 0.25), 2.5, 1e-12);
+}
+
+TEST(Statistics, PercentileContractViolations) {
+  EXPECT_THROW(percentile({}, 0.5), ContractViolation);
+  EXPECT_THROW(percentile({1.0}, 1.5), ContractViolation);
+}
+
+TEST(Statistics, SummaryKnownValues) {
+  const Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_NEAR(s.mean, 5.0, 1e-12);
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.median, 4.5, 1e-12);
+  // Sample stddev of this classic dataset: sqrt(32/7).
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Statistics, SummaryOfSingleton) {
+  const Summary s = summarize({3.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.median, 3.0);
+}
+
+TEST(Statistics, SummaryOfEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Statistics, EmpiricalCdfMonotone) {
+  std::vector<double> v;
+  for (int i = 100; i > 0; --i) v.push_back(static_cast<double>(i));
+  const auto cdf = empirical_cdf(v, 20);
+  ASSERT_GE(cdf.size(), 2u);
+  EXPECT_EQ(cdf.front().value, 1.0);
+  EXPECT_EQ(cdf.back().value, 100.0);
+  EXPECT_NEAR(cdf.back().probability, 1.0, 1e-12);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].probability, cdf[i - 1].probability);
+  }
+}
+
+TEST(Statistics, EmpiricalCdfSmallSample) {
+  const auto cdf = empirical_cdf({2.0, 1.0}, 50);
+  ASSERT_EQ(cdf.size(), 2u);
+  EXPECT_EQ(cdf[0].value, 1.0);
+  EXPECT_NEAR(cdf[0].probability, 0.5, 1e-12);
+  EXPECT_EQ(cdf[1].value, 2.0);
+  EXPECT_NEAR(cdf[1].probability, 1.0, 1e-12);
+}
+
+TEST(Statistics, EmpiricalCdfContracts) {
+  EXPECT_THROW(empirical_cdf({}, 10), ContractViolation);
+  EXPECT_THROW(empirical_cdf({1.0}, 1), ContractViolation);
+}
+
+TEST(Statistics, NormalizeBy) {
+  const auto out = normalize_by({2.0, 4.0}, 2.0);
+  EXPECT_EQ(out[0], 1.0);
+  EXPECT_EQ(out[1], 2.0);
+  EXPECT_THROW(normalize_by({1.0}, 0.0), ContractViolation);
+}
+
+TEST(Statistics, PearsonPerfectCorrelation) {
+  EXPECT_NEAR(pearson_correlation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Statistics, PearsonContracts) {
+  EXPECT_THROW(pearson_correlation({1, 2}, {1}), ContractViolation);
+  EXPECT_THROW(pearson_correlation({1}, {1}), ContractViolation);
+  EXPECT_THROW(pearson_correlation({1, 1}, {2, 3}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netconst

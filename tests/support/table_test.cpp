@@ -1,0 +1,55 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace netconst {
+namespace {
+
+TEST(ConsoleTable, PrintsAlignedColumns) {
+  ConsoleTable table({"name", "value"});
+  table.add_row({"broadcast", "1.25"});
+  table.add_row({"x", "200.0"});
+  std::stringstream ss;
+  table.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("broadcast"), std::string::npos);
+  EXPECT_NE(out.find("200.0"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(ConsoleTable, RowWidthMismatchThrows) {
+  ConsoleTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(ConsoleTable, EmptyHeaderThrows) {
+  EXPECT_THROW(ConsoleTable({}), ContractViolation);
+}
+
+TEST(ConsoleTable, CellFormatting) {
+  EXPECT_EQ(ConsoleTable::cell(1.23456, 2), "1.23");
+  EXPECT_EQ(ConsoleTable::cell(2.0, 0), "2");
+  EXPECT_EQ(ConsoleTable::cell_percent(0.256, 1), "25.6%");
+}
+
+TEST(ConsoleTable, RowCount) {
+  ConsoleTable table({"a"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"x"});
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(Banner, ContainsTitle) {
+  std::stringstream ss;
+  print_banner(ss, "Figure 7");
+  EXPECT_NE(ss.str().find("Figure 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netconst
