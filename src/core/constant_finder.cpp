@@ -19,6 +19,26 @@ linalg::Matrix constant_row(const linalg::Matrix& low_rank,
   return netmodel::TemporalPerformance::unflatten_row(row, 0, cluster_size);
 }
 
+ConstantComponent assemble_component(const linalg::Matrix& latency_data,
+                                     const rpca::Result& latency,
+                                     const linalg::Matrix& bandwidth_data,
+                                     const rpca::Result& bandwidth,
+                                     std::size_t cluster_size,
+                                     double l0_rel_tolerance) {
+  ConstantComponent component;
+  component.solve_seconds = latency.solve_seconds + bandwidth.solve_seconds;
+  component.latency_rank = latency.rank;
+  component.bandwidth_rank = bandwidth.rank;
+  component.latency_error_norm =
+      rpca::relative_l0(latency.sparse, latency_data, l0_rel_tolerance);
+  component.error_norm =
+      rpca::relative_l0(bandwidth.sparse, bandwidth_data, l0_rel_tolerance);
+  component.constant = netmodel::matrices_to_performance(
+      constant_row(latency.low_rank, cluster_size),
+      constant_row(bandwidth.low_rank, cluster_size));
+  return component;
+}
+
 ConstantComponent find_constant(const netmodel::TemporalPerformance& series,
                                 const ConstantFinderOptions& options) {
   NETCONST_CHECK(series.row_count() >= 2,
@@ -35,16 +55,11 @@ ConstantComponent find_constant(const netmodel::TemporalPerformance& series,
       rpca::solve(lat_data, options.solver, options.rpca);
   const rpca::Result bw = rpca::solve(bw_data, options.solver, options.rpca);
 
-  ConstantComponent component;
+  ConstantComponent component = assemble_component(
+      lat_data, lat, bw_data, bw, n, options.l0_rel_tolerance);
+  // Keep the historical meaning: wall-clock of this whole decomposition
+  // step (flatten + the two solves).
   component.solve_seconds = clock.seconds();
-  component.latency_rank = lat.rank;
-  component.bandwidth_rank = bw.rank;
-  component.latency_error_norm =
-      rpca::relative_l0(lat.sparse, lat_data, options.l0_rel_tolerance);
-  component.error_norm =
-      rpca::relative_l0(bw.sparse, bw_data, options.l0_rel_tolerance);
-  component.constant = netmodel::matrices_to_performance(
-      constant_row(lat.low_rank, n), constant_row(bw.low_rank, n));
   return component;
 }
 

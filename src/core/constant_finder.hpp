@@ -48,6 +48,19 @@ struct ConstantComponent {
 ConstantComponent find_constant(const netmodel::TemporalPerformance& series,
                                 const ConstantFinderOptions& options = {});
 
+/// Assemble a ConstantComponent from per-layer RPCA solves of
+/// already-flattened data. The rows of the data matrices may be any
+/// permutation of the snapshots (everything derived here — the mean
+/// constant row, Norm(N_E), ranks — is row-permutation invariant), which
+/// is what lets the online sliding window hand its ring-ordered buffers
+/// straight to the solver. Shared by find_constant and online::WindowRefresher.
+ConstantComponent assemble_component(const linalg::Matrix& latency_data,
+                                     const rpca::Result& latency,
+                                     const linalg::Matrix& bandwidth_data,
+                                     const rpca::Result& bandwidth,
+                                     std::size_t cluster_size,
+                                     double l0_rel_tolerance);
+
 /// The row of the TC-matrix as an N x N matrix for one flattened layer:
 /// the mean row of the low-rank component (its rows are equal up to
 /// numerical noise; averaging is the consistent estimator for all three

@@ -42,38 +42,46 @@ const PerformanceMatrix& TemporalPerformance::at_time(double t) const {
   return snapshots_[idx];
 }
 
+void TemporalPerformance::flatten_snapshot(const PerformanceMatrix& snapshot,
+                                           Field field, std::span<double> out,
+                                           std::uint64_t reference_bytes) {
+  const std::size_t n = snapshot.size();
+  NETCONST_CHECK(n > 0, "flatten of an empty snapshot");
+  NETCONST_CHECK(out.size() == n * n,
+                 "flatten_snapshot output span must be N^2 wide");
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        // Self-links are a storage placeholder (huge bandwidth), not a
+        // measurement; leaving them in would dominate the norms and
+        // thresholds of everything downstream (RPCA, Norm(N_E)).
+        out[i * n + j] = 0.0;
+        continue;
+      }
+      double value = 0.0;
+      switch (field) {
+        case Field::Latency:
+          value = snapshot.latency()(i, j);
+          break;
+        case Field::Bandwidth:
+          value = snapshot.bandwidth()(i, j);
+          break;
+        case Field::TransferTime:
+          value = snapshot.transfer_time(i, j, reference_bytes);
+          break;
+      }
+      out[i * n + j] = value;
+    }
+  }
+}
+
 linalg::Matrix TemporalPerformance::flatten(
     Field field, std::uint64_t reference_bytes) const {
   NETCONST_CHECK(!snapshots_.empty(), "flatten of empty series");
   const std::size_t n = cluster_size();
   linalg::Matrix flat(snapshots_.size(), n * n);
   for (std::size_t r = 0; r < snapshots_.size(); ++r) {
-    const PerformanceMatrix& p = snapshots_[r];
-    auto row = flat.row(r);
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < n; ++j) {
-        if (i == j) {
-          // Self-links are a storage placeholder (huge bandwidth), not a
-          // measurement; leaving them in would dominate the norms and
-          // thresholds of everything downstream (RPCA, Norm(N_E)).
-          row[i * n + j] = 0.0;
-          continue;
-        }
-        double value = 0.0;
-        switch (field) {
-          case Field::Latency:
-            value = p.latency()(i, j);
-            break;
-          case Field::Bandwidth:
-            value = p.bandwidth()(i, j);
-            break;
-          case Field::TransferTime:
-            value = p.transfer_time(i, j, reference_bytes);
-            break;
-        }
-        row[i * n + j] = value;
-      }
-    }
+    flatten_snapshot(snapshots_[r], field, flat.row(r), reference_bytes);
   }
   return flat;
 }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -45,6 +46,14 @@ class TemporalPerformance {
   /// for Field::TransferTime.
   linalg::Matrix flatten(Field field,
                          std::uint64_t reference_bytes = kEightMiB) const;
+
+  /// Flatten ONE snapshot into a pre-sized N^2 row (the per-row kernel
+  /// of flatten(), exposed so the online sliding window can update a
+  /// single ring row without re-flattening its whole window). Diagonal
+  /// entries are zeroed exactly as flatten() does.
+  static void flatten_snapshot(const PerformanceMatrix& snapshot, Field field,
+                               std::span<double> out,
+                               std::uint64_t reference_bytes = kEightMiB);
 
   /// Rebuild an N x N matrix from one flattened row (inverse of the
   /// row-major layout used by flatten). The diagonal entries are restored

@@ -1,0 +1,45 @@
+#include "online/ingest.hpp"
+
+#include "support/error.hpp"
+
+namespace netconst::online {
+
+SnapshotIngestor::SnapshotIngestor(cloud::NetworkProvider& provider,
+                                   SlidingWindow& window,
+                                   const IngestOptions& options)
+    : provider_(provider), window_(window), options_(options) {
+  NETCONST_CHECK(window.empty() ||
+                     window.cluster_size() == provider.cluster_size(),
+                 "window cluster size does not match the provider");
+}
+
+double SnapshotIngestor::ingest_calibrated() {
+  const cloud::CalibrationResult result =
+      cloud::calibrate_snapshot(provider_, options_.calibration);
+  window_.push(provider_.now(), result.matrix);
+  ++ingested_;
+  calibration_seconds_ += result.elapsed_seconds;
+  return result.elapsed_seconds;
+}
+
+void SnapshotIngestor::ingest_external(
+    double time, const netmodel::PerformanceMatrix& snapshot) {
+  NETCONST_CHECK(snapshot.size() == provider_.cluster_size(),
+                 "external snapshot cluster size mismatch");
+  window_.push(time, snapshot);
+  ++ingested_;
+}
+
+double SnapshotIngestor::fill(double interval) {
+  NETCONST_CHECK(interval >= 0.0, "fill interval must be >= 0");
+  const double start = provider_.now();
+  bool first = window_.empty();
+  while (!window_.full()) {
+    if (!first) provider_.advance(interval);
+    first = false;
+    ingest_calibrated();
+  }
+  return provider_.now() - start;
+}
+
+}  // namespace netconst::online

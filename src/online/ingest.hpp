@@ -1,0 +1,54 @@
+// Streaming snapshot ingestion: one all-link calibration at a time from
+// a NetworkProvider into a SlidingWindow — the online replacement for
+// cloud::calibrate_series' batch loop. Snapshots may also be pushed from
+// outside (a remote measurement agent, a replayed trace), which is the
+// seam future sharded/remote deployments plug into.
+#pragma once
+
+#include <cstdint>
+
+#include "cloud/calibration.hpp"
+#include "cloud/provider.hpp"
+#include "online/window.hpp"
+
+namespace netconst::online {
+
+struct IngestOptions {
+  cloud::CalibrationOptions calibration;
+};
+
+class SnapshotIngestor {
+ public:
+  /// Both references must outlive the ingestor. The provider's cluster
+  /// size must match the window's (once the window is non-empty).
+  SnapshotIngestor(cloud::NetworkProvider& provider, SlidingWindow& window,
+                   const IngestOptions& options = {});
+
+  /// Run one all-link calibration on the provider (consuming provider
+  /// time, the paper's calibration-overhead accounting) and push the
+  /// snapshot. Returns the calibration's elapsed provider seconds.
+  double ingest_calibrated();
+
+  /// Push an externally measured snapshot; consumes no provider time.
+  void ingest_external(double time,
+                       const netmodel::PerformanceMatrix& snapshot);
+
+  /// Calibrate until the window is full, idling `interval` provider
+  /// seconds between consecutive snapshots (spacing rows wider than
+  /// typical interference bursts keeps the error component sparse —
+  /// see cloud::SeriesOptions). Returns total provider seconds consumed,
+  /// 0 when the window was already full.
+  double fill(double interval);
+
+  std::uint64_t ingested() const { return ingested_; }
+  double calibration_seconds() const { return calibration_seconds_; }
+
+ private:
+  cloud::NetworkProvider& provider_;
+  SlidingWindow& window_;
+  IngestOptions options_;
+  std::uint64_t ingested_ = 0;
+  double calibration_seconds_ = 0.0;  // cumulative provider time
+};
+
+}  // namespace netconst::online

@@ -1,0 +1,180 @@
+#include "online/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace netconst::online {
+
+void Counter::increment(double amount) {
+  NETCONST_CHECK(amount >= 0.0, "counters only move forward");
+  value_.fetch_add(amount, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (summary_.count == 0) {
+    summary_.min = value;
+    summary_.max = value;
+  } else {
+    summary_.min = std::min(summary_.min, value);
+    summary_.max = std::max(summary_.max, value);
+  }
+  ++summary_.count;
+  summary_.sum += value;
+}
+
+Histogram::Summary Histogram::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return summary_;
+}
+
+namespace {
+
+template <typename Map>
+bool contains(const Map& map, const std::string& name) {
+  return map.find(name) != map.end();
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  NETCONST_CHECK(!name.empty(), "metric name must not be empty");
+  std::lock_guard<std::mutex> lock(mutex_);
+  NETCONST_CHECK(!contains(gauges_, name) && !contains(histograms_, name),
+                 "metric name already bound to another type");
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  NETCONST_CHECK(!name.empty(), "metric name must not be empty");
+  std::lock_guard<std::mutex> lock(mutex_);
+  NETCONST_CHECK(!contains(counters_, name) && !contains(histograms_, name),
+                 "metric name already bound to another type");
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  NETCONST_CHECK(!name.empty(), "metric name must not be empty");
+  std::lock_guard<std::mutex> lock(mutex_);
+  NETCONST_CHECK(!contains(counters_, name) && !contains(gauges_, name),
+                 "metric name already bound to another type");
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+double MetricsRegistry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second->value();
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
+Histogram::Summary MetricsRegistry::histogram_summary(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? Histogram::Summary{}
+                                 : it->second->summary();
+}
+
+std::size_t MetricsRegistry::metric_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+namespace {
+
+struct ExportRow {
+  std::string name;
+  std::string type;
+  Histogram::Summary summary;  // counters/gauges use count=1, sum=value
+  double value = 0.0;
+};
+
+}  // namespace
+
+CsvTable MetricsRegistry::to_csv() const {
+  CsvTable table;
+  table.header = {"metric", "type",  "count", "value",
+                  "sum",    "min",   "max",   "mean"};
+  std::lock_guard<std::mutex> lock(mutex_);
+  // std::map iteration is already name-sorted per type; interleave by
+  // merging the three sorted ranges into one sorted output.
+  std::vector<ExportRow> rows;
+  rows.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, metric] : counters_) {
+    rows.push_back({name, "counter", {}, metric->value()});
+  }
+  for (const auto& [name, metric] : gauges_) {
+    rows.push_back({name, "gauge", {}, metric->value()});
+  }
+  for (const auto& [name, metric] : histograms_) {
+    rows.push_back({name, "histogram", metric->summary(), 0.0});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ExportRow& a, const ExportRow& b) {
+              return a.name < b.name;
+            });
+  for (const ExportRow& row : rows) {
+    if (row.type == "histogram") {
+      table.rows.push_back({row.name, row.type,
+                            std::to_string(row.summary.count), "",
+                            format_double(row.summary.sum),
+                            format_double(row.summary.min),
+                            format_double(row.summary.max),
+                            format_double(row.summary.mean())});
+    } else {
+      table.rows.push_back({row.name, row.type, "",
+                            format_double(row.value), "", "", "", ""});
+    }
+  }
+  return table;
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  const CsvTable table = to_csv();
+  out << "{\"metrics\":[";
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    const auto& row = table.rows[r];
+    if (r > 0) out << ',';
+    out << "{\"name\":\"" << row[0] << "\",\"type\":\"" << row[1] << '"';
+    if (row[1] == "histogram") {
+      out << ",\"count\":" << row[2] << ",\"sum\":" << row[4]
+          << ",\"min\":" << row[5] << ",\"max\":" << row[6]
+          << ",\"mean\":" << row[7];
+    } else {
+      out << ",\"value\":" << row[3];
+    }
+    out << '}';
+  }
+  out << "]}";
+}
+
+ConsoleTable MetricsRegistry::to_table() const {
+  const CsvTable csv = to_csv();
+  ConsoleTable table({"metric", "type", "value / mean", "count", "min",
+                      "max"});
+  for (const auto& row : csv.rows) {
+    if (row[1] == "histogram") {
+      table.add_row({row[0], row[1], row[7], row[2], row[5], row[6]});
+    } else {
+      table.add_row({row[0], row[1], row[3], "", "", ""});
+    }
+  }
+  return table;
+}
+
+}  // namespace netconst::online

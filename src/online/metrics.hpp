@@ -1,0 +1,100 @@
+// Lightweight metrics for the online service: named counters, gauges
+// and summary histograms behind one thread-safe registry, exportable to
+// CSV (support/csv), JSON, and the console (support/table).
+//
+// Design points:
+//  * metrics are cheap to update from tenant worker threads (atomics for
+//    counters/gauges, one small mutex per histogram);
+//  * metric objects live as long as the registry, so hot paths can hold
+//    references instead of re-resolving names;
+//  * a name is bound to exactly one metric type — reusing it with a
+//    different type is a contract violation, not a silent alias.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+namespace netconst::online {
+
+/// Monotonically increasing value (events, totals).
+class Counter {
+ public:
+  void increment(double amount = 1.0);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Streaming summary of an observed distribution (count/sum/min/max —
+/// enough for latency and Norm(N_E) trajectories without bucket tuning).
+class Histogram {
+ public:
+  struct Summary {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // 0 when count == 0
+    double max = 0.0;
+    double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+
+  void observe(double value);
+  Summary summary() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Summary summary_;
+};
+
+/// Create-or-get registry of named metrics. Returned references stay
+/// valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Read accessors that do NOT create: value of an absent metric is 0
+  /// (an empty Summary for histograms).
+  double counter_value(const std::string& name) const;
+  double gauge_value(const std::string& name) const;
+  Histogram::Summary histogram_summary(const std::string& name) const;
+
+  std::size_t metric_count() const;
+
+  /// Snapshot exports; rows sorted by metric name.
+  /// CSV columns: metric,type,count,value,sum,min,max,mean.
+  CsvTable to_csv() const;
+  /// {"metrics": [{"name": ..., "type": ..., ...}, ...]}
+  void write_json(std::ostream& out) const;
+  ConsoleTable to_table() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // node-based maps + unique_ptr: stable addresses across inserts.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace netconst::online

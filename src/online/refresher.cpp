@@ -1,0 +1,78 @@
+#include "online/refresher.hpp"
+
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+
+namespace netconst::online {
+
+WindowRefresher::WindowRefresher(const RefresherOptions& options)
+    : options_(options) {
+  NETCONST_CHECK(options_.divergence_residual >= 0.0,
+                 "divergence residual must be >= 0");
+}
+
+rpca::Result WindowRefresher::solve_layer(const linalg::Matrix& data,
+                                          rpca::WarmStart& seed,
+                                          LayerRefresh& info) const {
+  const Stopwatch clock;
+  rpca::Options opts = options_.finder.rpca;
+  const bool use_seed =
+      options_.warm_start && !seed.empty() &&
+      seed.low_rank.rows() == data.rows() &&
+      seed.low_rank.cols() == data.cols();
+  if (use_seed) opts.warm_start = std::move(seed);
+  info.warm_attempted = use_seed;
+
+  rpca::Result result = rpca::solve(data, options_.finder.solver, opts);
+  info.seed_ignored = result.warm_start_ignored;
+  info.warm_used = result.warm_started;
+
+  if (result.warm_started &&
+      ((options_.fallback_on_nonconvergence && !result.converged) ||
+       result.solver_residual > options_.divergence_residual ||
+       (result.polished && !result.polish_converged))) {
+    // The seed led the solve astray (window contents changed too much,
+    // or the iterate stalled): discard and solve from scratch.
+    info.cold_fallback = true;
+    info.warm_used = false;
+    result = rpca::solve(data, options_.finder.solver, options_.finder.rpca);
+  }
+  info.iterations = result.iterations;
+  info.residual = result.solver_residual;
+  info.solve_seconds = clock.seconds();
+  return result;
+}
+
+RefreshReport WindowRefresher::refresh(const SlidingWindow& window) {
+  NETCONST_CHECK(window.size() >= 2,
+                 "refresh needs at least two snapshots in the window");
+  const Stopwatch clock;
+  const linalg::Matrix& lat_data = window.latency_data();
+  const linalg::Matrix& bw_data = window.bandwidth_data();
+
+  RefreshReport report;
+  const rpca::Result lat =
+      solve_layer(lat_data, latency_seed_, report.latency);
+  const rpca::Result bw =
+      solve_layer(bw_data, bandwidth_seed_, report.bandwidth);
+
+  report.component = core::assemble_component(
+      lat_data, lat, bw_data, bw, window.cluster_size(),
+      options_.finder.l0_rel_tolerance);
+
+  // The accepted factors seed the next refresh.
+  latency_seed_ = {lat.low_rank, lat.sparse, lat.final_mu, lat.mu_floor};
+  bandwidth_seed_ = {bw.low_rank, bw.sparse, bw.final_mu, bw.mu_floor};
+
+  report.total_seconds = clock.seconds();
+  return report;
+}
+
+void WindowRefresher::reset() {
+  latency_seed_ = rpca::WarmStart{};
+  bandwidth_seed_ = rpca::WarmStart{};
+}
+
+}  // namespace netconst::online

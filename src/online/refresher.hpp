@@ -1,0 +1,98 @@
+// Warm-started incremental RPCA refresh of a sliding window.
+//
+// When the window slides by one snapshot, exactly one row of the ring-
+// ordered data matrices changes, so the previous solve's (D, E) factors
+// are an excellent seed: APG resumes at the small continuation mu it
+// ended with, skips the spectral-norm estimate and the whole mu-decay
+// phase, and only has to repair the replaced row. A warm solve that
+// fails to converge (or whose residual says it converged to the wrong
+// place) is redone cold — correctness never depends on the seed.
+//
+// The online path runs the solver with the rank-1 polish on (see
+// rpca::polish_rank1): APG's continuation endpoint is path-dependent at
+// the mu floor, so a warm and a cold solve of the same window would
+// otherwise land ~1% apart. The polish drives both onto the alternation
+// fixed point determined by the data alone, making a warm refresh
+// reproducible against a cold solve to ~1e-10 — which is also the
+// paper's model (rank(N_D) = 1) enforced exactly.
+#pragma once
+
+#include "core/constant_finder.hpp"
+#include "online/window.hpp"
+#include "rpca/rpca.hpp"
+
+namespace netconst::online {
+
+struct RefresherOptions {
+  /// Solver choice, RPCA options and the Norm(N_E) tolerance. The
+  /// online default turns the rank-1 polish on (warm/cold equivalence —
+  /// see the header comment); pass polish_iterations = 0 to study the
+  /// raw solver endpoints instead.
+  core::ConstantFinderOptions finder = [] {
+    core::ConstantFinderOptions f;
+    f.rpca.polish_iterations = 300;
+    return f;
+  }();
+  /// false = always solve cold (for A/B comparison and benchmarks).
+  bool warm_start = true;
+  /// A warm solve whose pre-polish relative residual
+  /// ||A-D-E||_F/||A||_F exceeds this is declared diverged and redone
+  /// cold. Irrelevant for solvers whose residual is expected nonzero
+  /// (StablePcp ignores seeds anyway).
+  double divergence_residual = 1e-3;
+  /// Also redo cold when the warm solve hit max_iterations.
+  bool fallback_on_nonconvergence = true;
+};
+
+/// Per-layer diagnostics of one refresh.
+struct LayerRefresh {
+  bool warm_attempted = false;  // a seed was offered to the solver
+  bool warm_used = false;       // the accepted result came from a warm solve
+  bool cold_fallback = false;   // warm solve rejected, result is a cold redo
+  bool seed_ignored = false;    // solver cannot seed (cold, not a fallback)
+  int iterations = 0;           // of the accepted solve
+  double residual = 0.0;        // of the accepted solve, pre-polish
+  double solve_seconds = 0.0;   // total, including a rejected warm attempt
+};
+
+struct RefreshReport {
+  core::ConstantComponent component;
+  LayerRefresh latency;
+  LayerRefresh bandwidth;
+  /// Wall-clock of the whole refresh (both layers, fallbacks included).
+  double total_seconds = 0.0;
+
+  bool any_cold_fallback() const {
+    return latency.cold_fallback || bandwidth.cold_fallback;
+  }
+  bool fully_warm() const {
+    return latency.warm_used && bandwidth.warm_used;
+  }
+};
+
+class WindowRefresher {
+ public:
+  explicit WindowRefresher(const RefresherOptions& options = {});
+
+  /// Decompose the window's current contents (requires >= 2 rows),
+  /// seeding each layer from the previous refresh when possible. The
+  /// accepted factors become the seeds for the next call.
+  RefreshReport refresh(const SlidingWindow& window);
+
+  /// Drop the seeds; the next refresh solves cold. Call after replacing
+  /// the window contents wholesale (e.g. a from-scratch recalibration).
+  void reset();
+
+  bool has_seed() const { return !latency_seed_.empty(); }
+  const RefresherOptions& options() const { return options_; }
+
+ private:
+  rpca::Result solve_layer(const linalg::Matrix& data, rpca::WarmStart& seed,
+                           LayerRefresh& info) const;
+
+  RefresherOptions options_;
+  rpca::WarmStart latency_seed_;
+  rpca::WarmStart bandwidth_seed_;
+};
+
+}  // namespace netconst::online

@@ -1,0 +1,89 @@
+#include "online/scheduler.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace netconst::online {
+
+const char* trigger_reason_name(TriggerReason reason) {
+  switch (reason) {
+    case TriggerReason::None:
+      return "none";
+    case TriggerReason::ThresholdBreach:
+      return "threshold_breach";
+    case TriggerReason::IntervalElapsed:
+      return "interval_elapsed";
+  }
+  return "unknown";
+}
+
+RecalibrationScheduler::RecalibrationScheduler(const SchedulerOptions& options)
+    : options_(options), advisor_(options.advisor) {
+  NETCONST_CHECK(options_.threshold > 0.0, "threshold must be positive");
+  NETCONST_CHECK(options_.base_interval > 0.0,
+                 "base interval must be positive");
+}
+
+bool RecalibrationScheduler::record_refresh(double now, double error_norm) {
+  NETCONST_CHECK(!calibrated_ || now >= last_refresh_time_,
+                 "refresh time must be non-decreasing");
+  const core::Effectiveness before = advisor_.level();
+  const bool seeded = calibrated_;
+  advisor_.observe(error_norm);
+  calibrated_ = true;
+  last_refresh_time_ = now;
+  next_base_probe_ = now + options_.base_interval;
+  // The very first observation "changes" nothing to react to.
+  return seeded && advisor_.level() != before;
+}
+
+double RecalibrationScheduler::effective_interval() const {
+  return options_.base_interval * advisor_.recalibration_interval_factor();
+}
+
+void RecalibrationScheduler::check_interval(double now,
+                                            SchedulerDecision& decision) {
+  const double deadline = last_refresh_time_ + effective_interval();
+  if (now >= deadline) {
+    decision.recalibrate = true;
+    decision.reason = TriggerReason::IntervalElapsed;
+    ++interval_triggers_;
+    return;
+  }
+  // Count each base-policy probe that came due before the (stretched)
+  // adaptive deadline — the observable saving of the interval factor.
+  while (next_base_probe_ <= now && next_base_probe_ < deadline) {
+    ++decision.suppressed_probes;
+    ++suppressed_;
+    next_base_probe_ += options_.base_interval;
+  }
+}
+
+SchedulerDecision RecalibrationScheduler::observe_operation(double now,
+                                                            double expected,
+                                                            double observed) {
+  NETCONST_CHECK(calibrated_,
+                 "observe_operation before the first record_refresh");
+  NETCONST_CHECK(expected > 0.0, "expected time must be positive");
+  NETCONST_CHECK(observed >= 0.0, "observed time must be non-negative");
+  SchedulerDecision decision;
+  decision.relative_error = std::abs(observed - expected) / expected;
+  if (decision.relative_error >= options_.threshold) {
+    decision.recalibrate = true;
+    decision.reason = TriggerReason::ThresholdBreach;
+    ++breaches_;
+    return decision;
+  }
+  check_interval(now, decision);
+  return decision;
+}
+
+SchedulerDecision RecalibrationScheduler::poll(double now) {
+  NETCONST_CHECK(calibrated_, "poll before the first record_refresh");
+  SchedulerDecision decision;
+  check_interval(now, decision);
+  return decision;
+}
+
+}  // namespace netconst::online

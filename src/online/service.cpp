@@ -1,0 +1,309 @@
+#include "online/service.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace netconst::online {
+
+struct ConstantFinderService::Tenant {
+  Tenant(const TenantConfig& config_in, MetricsRegistry& metrics)
+      : config(config_in),
+        window(config_in.window_capacity),
+        refresher(config_in.refresher),
+        scheduler(config_in.scheduler),
+        ingestor(*config_in.provider, window, config_in.ingest),
+        rng(config_in.seed),
+        // Hot-path metric handles resolved once; the registry keeps the
+        // referenced objects alive for the service's lifetime.
+        snapshots(metrics.counter(prefix() + "snapshots_ingested")),
+        operations(metrics.counter(prefix() + "operations")),
+        refreshes(metrics.counter(prefix() + "refreshes")),
+        warm_solves(metrics.counter(prefix() + "warm_solves")),
+        cold_solves(metrics.counter(prefix() + "cold_solves")),
+        cold_fallbacks(metrics.counter(prefix() + "cold_fallbacks")),
+        recalibrations(metrics.counter(prefix() + "recalibrations")),
+        suppressed(metrics.counter(prefix() + "recalibrations_suppressed")),
+        error_norm_gauge(metrics.gauge(prefix() + "error_norm")) {
+    NETCONST_CHECK(config.provider != nullptr, "tenant needs a provider");
+    NETCONST_CHECK(config.provider->cluster_size() >= 2,
+                   "tenant cluster must have at least two VMs");
+    NETCONST_CHECK(config.operation_gap >= 0.0,
+                   "operation gap must be >= 0");
+  }
+
+  std::string prefix() const { return "tenant." + config.name + "."; }
+
+  TenantConfig config;
+  SlidingWindow window;
+  WindowRefresher refresher;
+  RecalibrationScheduler scheduler;
+  SnapshotIngestor ingestor;
+  Rng rng;
+  core::ConstantComponent component;
+  bool bootstrapped = false;
+  std::size_t steps = 0;
+
+  Counter& snapshots;
+  Counter& operations;
+  Counter& refreshes;
+  Counter& warm_solves;
+  Counter& cold_solves;
+  Counter& cold_fallbacks;
+  Counter& recalibrations;
+  Counter& suppressed;
+  Gauge& error_norm_gauge;
+};
+
+ConstantFinderService::ConstantFinderService(const ServiceOptions& options)
+    : options_(options),
+      pool_(options.threads),
+      events_(options.event_capacity) {}
+
+ConstantFinderService::~ConstantFinderService() = default;
+
+std::size_t ConstantFinderService::add_tenant(const TenantConfig& config) {
+  NETCONST_CHECK(!config.name.empty(), "tenant name must not be empty");
+  for (const auto& tenant : tenants_) {
+    NETCONST_CHECK(tenant->config.name != config.name,
+                   "duplicate tenant name");
+    NETCONST_CHECK(tenant->config.provider != config.provider,
+                   "providers must not be shared between tenants");
+  }
+  tenants_.push_back(std::make_unique<Tenant>(config, metrics_));
+  return tenants_.size() - 1;
+}
+
+void ConstantFinderService::bootstrap(Tenant& tenant) {
+  cloud::NetworkProvider& provider = *tenant.config.provider;
+  const double fill_seconds =
+      tenant.ingestor.fill(tenant.config.snapshot_interval);
+  const double ingested = static_cast<double>(tenant.window.size());
+  tenant.snapshots.increment(ingested);
+  metrics_.counter("online.snapshots_ingested").increment(ingested);
+  metrics_.histogram("online.calibration_seconds").observe(fill_seconds);
+
+  const RefreshReport report = tenant.refresher.refresh(tenant.window);
+  tenant.component = report.component;
+  tenant.scheduler.record_refresh(provider.now(),
+                                  report.component.error_norm);
+  tenant.refreshes.increment();
+  metrics_.counter("online.refreshes").increment();
+  tenant.cold_solves.increment(2.0);
+  metrics_.counter("online.cold_solves").increment(2.0);
+  metrics_.histogram("online.refresh_seconds").observe(report.total_seconds);
+  metrics_.histogram("online.error_norm").observe(
+      report.component.error_norm);
+  tenant.error_norm_gauge.set(report.component.error_norm);
+  events_.record({provider.now(), tenant.config.name, EventKind::Refresh,
+                  "bootstrap (" + std::to_string(tenant.window.size()) +
+                      " snapshots, cold solve)",
+                  report.component.error_norm});
+  tenant.bootstrapped = true;
+}
+
+void ConstantFinderService::maintain(Tenant& tenant, TriggerReason reason,
+                                     double trigger_value) {
+  cloud::NetworkProvider& provider = *tenant.config.provider;
+
+  // The online analogue of Algorithm 1's "re-calibrate": slide the
+  // window by one fresh all-link calibration — stale rows phase out of
+  // the window instead of being thrown away wholesale, so maintenance
+  // costs one snapshot, not time_step of them.
+  const double calibration_seconds = tenant.ingestor.ingest_calibrated();
+  tenant.snapshots.increment();
+  metrics_.counter("online.snapshots_ingested").increment();
+  metrics_.histogram("online.calibration_seconds")
+      .observe(calibration_seconds);
+  events_.record({provider.now(), tenant.config.name,
+                  EventKind::SnapshotIngested,
+                  trigger_reason_name(reason), calibration_seconds});
+
+  const RefreshReport report = tenant.refresher.refresh(tenant.window);
+  tenant.component = report.component;
+  const bool level_changed = tenant.scheduler.record_refresh(
+      provider.now(), report.component.error_norm);
+
+  tenant.refreshes.increment();
+  metrics_.counter("online.refreshes").increment();
+  for (const LayerRefresh* layer : {&report.latency, &report.bandwidth}) {
+    if (layer->warm_used) {
+      tenant.warm_solves.increment();
+      metrics_.counter("online.warm_solves").increment();
+    } else {
+      tenant.cold_solves.increment();
+      metrics_.counter("online.cold_solves").increment();
+    }
+    if (layer->cold_fallback) {
+      tenant.cold_fallbacks.increment();
+      metrics_.counter("online.cold_fallbacks").increment();
+    }
+  }
+  if (report.any_cold_fallback()) {
+    events_.record({provider.now(), tenant.config.name,
+                    EventKind::ColdSolveFallback,
+                    "warm solve diverged; solved cold",
+                    report.component.error_norm});
+  }
+  metrics_.histogram("online.refresh_seconds").observe(report.total_seconds);
+  metrics_.histogram("online.error_norm").observe(
+      report.component.error_norm);
+  tenant.error_norm_gauge.set(report.component.error_norm);
+
+  tenant.recalibrations.increment();
+  metrics_.counter("online.recalibrations").increment();
+  metrics_
+      .counter(reason == TriggerReason::ThresholdBreach
+                   ? "online.recalibrations.breach"
+                   : "online.recalibrations.interval")
+      .increment();
+  events_.record({provider.now(), tenant.config.name,
+                  EventKind::Recalibration, trigger_reason_name(reason),
+                  trigger_value});
+  if (level_changed) {
+    metrics_.counter("online.level_changes").increment();
+    events_.record(
+        {provider.now(), tenant.config.name, EventKind::LevelChange,
+         core::effectiveness_name(tenant.scheduler.level()),
+         report.component.error_norm});
+  }
+}
+
+void ConstantFinderService::step(Tenant& tenant) {
+  cloud::NetworkProvider& provider = *tenant.config.provider;
+  provider.advance(tenant.config.operation_gap);
+
+  // One operation of the tenant's stream: a point-to-point transfer
+  // between a random pair, planned with the constant component.
+  const auto n = static_cast<std::int64_t>(provider.cluster_size());
+  const auto i = static_cast<std::size_t>(tenant.rng.uniform_int(0, n - 1));
+  auto j = static_cast<std::size_t>(tenant.rng.uniform_int(0, n - 2));
+  if (j >= i) ++j;
+  const double expected =
+      tenant.component.constant.transfer_time(i, j,
+                                              tenant.config.operation_bytes);
+  const double observed =
+      provider.measure(i, j, tenant.config.operation_bytes);
+
+  const SchedulerDecision decision = tenant.scheduler.observe_operation(
+      provider.now(), expected, observed);
+  tenant.operations.increment();
+  metrics_.counter("online.operations").increment();
+  metrics_.histogram("online.operation_relative_error")
+      .observe(decision.relative_error);
+
+  if (decision.suppressed_probes > 0) {
+    const auto count = static_cast<double>(decision.suppressed_probes);
+    tenant.suppressed.increment(count);
+    metrics_.counter("online.recalibrations_suppressed").increment(count);
+    events_.record({provider.now(), tenant.config.name,
+                    EventKind::RecalibrationSuppressed,
+                    "interval factor " +
+                        ConsoleTable::cell(
+                            tenant.scheduler.advisor()
+                                .recalibration_interval_factor(),
+                            2),
+                    count});
+  }
+  if (decision.recalibrate) {
+    if (decision.reason == TriggerReason::ThresholdBreach) {
+      events_.record({provider.now(), tenant.config.name,
+                      EventKind::ThresholdBreach,
+                      "operation deviated from expectation",
+                      decision.relative_error});
+    }
+    maintain(tenant, decision.reason, decision.relative_error);
+  }
+  ++tenant.steps;
+}
+
+void ConstantFinderService::run(std::size_t steps) {
+  NETCONST_CHECK(!tenants_.empty(), "run() with no tenants");
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining = tenants_.size();
+  std::exception_ptr first_error;
+
+  for (const auto& tenant_ptr : tenants_) {
+    Tenant* tenant = tenant_ptr.get();
+    pool_.submit([&, tenant] {
+      std::exception_ptr error;
+      try {
+        if (!tenant->bootstrapped) bootstrap(*tenant);
+        for (std::size_t s = 0; s < steps; ++s) step(*tenant);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      if (error && !first_error) first_error = error;
+      if (--remaining == 0) done_cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(mutex);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+TenantStatus ConstantFinderService::status(std::size_t tenant_index) const {
+  NETCONST_CHECK(tenant_index < tenants_.size(), "tenant out of range");
+  const Tenant& tenant = *tenants_[tenant_index];
+  TenantStatus status;
+  status.name = tenant.config.name;
+  status.steps = tenant.steps;
+  status.provider_time = tenant.config.provider->now();
+  status.error_norm = tenant.component.error_norm;
+  status.level = tenant.scheduler.level();
+  status.snapshots_ingested =
+      static_cast<std::uint64_t>(tenant.snapshots.value());
+  status.refreshes = static_cast<std::uint64_t>(tenant.refreshes.value());
+  status.warm_solves =
+      static_cast<std::uint64_t>(tenant.warm_solves.value());
+  status.cold_solves =
+      static_cast<std::uint64_t>(tenant.cold_solves.value());
+  status.cold_fallbacks =
+      static_cast<std::uint64_t>(tenant.cold_fallbacks.value());
+  status.breaches = tenant.scheduler.breaches();
+  status.interval_recalibrations = tenant.scheduler.interval_triggers();
+  status.suppressed_recalibrations = tenant.scheduler.suppressed();
+  return status;
+}
+
+const core::ConstantComponent& ConstantFinderService::component(
+    std::size_t tenant_index) const {
+  NETCONST_CHECK(tenant_index < tenants_.size(), "tenant out of range");
+  return tenants_[tenant_index]->component;
+}
+
+void ConstantFinderService::print_report(std::ostream& out) const {
+  print_banner(out, "ConstantFinderService report");
+  ConsoleTable table({"tenant", "steps", "Norm(N_E)", "level", "snapshots",
+                      "refreshes", "warm rate", "fallbacks", "breaches",
+                      "interval", "suppressed"});
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    const TenantStatus s = status(t);
+    table.add_row({s.name, std::to_string(s.steps),
+                   ConsoleTable::cell(s.error_norm),
+                   core::effectiveness_name(s.level),
+                   std::to_string(s.snapshots_ingested),
+                   std::to_string(s.refreshes),
+                   ConsoleTable::cell_percent(s.warm_hit_rate()),
+                   std::to_string(s.cold_fallbacks),
+                   std::to_string(s.breaches),
+                   std::to_string(s.interval_recalibrations),
+                   std::to_string(s.suppressed_recalibrations)});
+  }
+  table.print(out);
+  out << '\n';
+  print_banner(out, "Metrics");
+  metrics_.to_table().print(out);
+  out << '\n'
+      << "events recorded: " << events_.recorded() << " (retained "
+      << events_.size() << ")\n";
+}
+
+}  // namespace netconst::online

@@ -1,0 +1,136 @@
+// ConstantFinderService — the paper's model-maintenance loop as a
+// persistent, multi-tenant engine.
+//
+// Each tenant is one virtual cluster (its own NetworkProvider) with its
+// own sliding window, warm-started refresher and adaptive scheduler.
+// The service drives K tenants concurrently on a thread pool; tenants
+// never share mutable state except the metrics registry and the event
+// log, both of which are thread-safe. A tenant's trajectory is fully
+// deterministic given its seed and provider, independent of thread
+// interleaving.
+//
+// One service step per tenant = one Algorithm 1 cycle:
+//   run an operation against the constant component, compare measured
+//   vs expected time, and when the scheduler fires — on a threshold
+//   breach or an (advisor-scaled) interval — slide the window by one
+//   fresh calibration and warm-refresh the decomposition.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/provider.hpp"
+#include "core/constant_finder.hpp"
+#include "online/events.hpp"
+#include "online/ingest.hpp"
+#include "online/metrics.hpp"
+#include "online/refresher.hpp"
+#include "online/scheduler.hpp"
+#include "online/window.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace netconst::online {
+
+struct TenantConfig {
+  std::string name;
+  /// Non-owning; must outlive the service. One provider per tenant —
+  /// providers are not thread-safe and are never shared.
+  cloud::NetworkProvider* provider = nullptr;
+  /// TP-matrix window depth (the paper's "time step" parameter).
+  std::size_t window_capacity = 10;
+  /// Spacing between snapshots while bootstrapping the window, seconds.
+  double snapshot_interval = 600.0;
+  IngestOptions ingest;
+  RefresherOptions refresher;
+  SchedulerOptions scheduler;
+  /// The synthetic operation stream: one point-to-point transfer of
+  /// `operation_bytes` between a random pair every `operation_gap`
+  /// provider seconds.
+  std::uint64_t operation_bytes = 8ull * 1024 * 1024;
+  double operation_gap = 300.0;
+  std::uint64_t seed = 1;
+};
+
+struct ServiceOptions {
+  /// Worker threads; 0 = hardware concurrency. The service owns its
+  /// pool (tenant tasks must not compete with the global pool used by
+  /// the linalg kernels).
+  std::size_t threads = 0;
+  /// Event-log retention; 0 = unbounded.
+  std::size_t event_capacity = 0;
+};
+
+/// Post-run view of one tenant (read via status() after run() returns).
+struct TenantStatus {
+  std::string name;
+  std::size_t steps = 0;
+  double provider_time = 0.0;
+  double error_norm = 0.0;
+  core::Effectiveness level = core::Effectiveness::Stable;
+  std::uint64_t snapshots_ingested = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t warm_solves = 0;  // layers accepted from a warm solve
+  std::uint64_t cold_solves = 0;  // layers accepted from a cold solve
+  std::uint64_t cold_fallbacks = 0;
+  std::uint64_t breaches = 0;
+  std::uint64_t interval_recalibrations = 0;
+  std::uint64_t suppressed_recalibrations = 0;
+
+  double warm_hit_rate() const {
+    const std::uint64_t total = warm_solves + cold_solves;
+    return total == 0 ? 0.0
+                      : static_cast<double>(warm_solves) /
+                            static_cast<double>(total);
+  }
+};
+
+class ConstantFinderService {
+ public:
+  explicit ConstantFinderService(const ServiceOptions& options = {});
+  ~ConstantFinderService();
+
+  ConstantFinderService(const ConstantFinderService&) = delete;
+  ConstantFinderService& operator=(const ConstantFinderService&) = delete;
+
+  /// Register a tenant (before run()). Returns its index.
+  std::size_t add_tenant(const TenantConfig& config);
+
+  std::size_t tenant_count() const { return tenants_.size(); }
+
+  /// Drive every tenant for `steps` operation cycles, concurrently.
+  /// First call bootstraps each tenant (fills its window, cold solve).
+  /// Blocks until all tenants finish; rethrows the first tenant error.
+  /// May be called repeatedly to continue the campaign.
+  void run(std::size_t steps);
+
+  /// Valid after run() returns.
+  TenantStatus status(std::size_t tenant) const;
+  const core::ConstantComponent& component(std::size_t tenant) const;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  const EventLog& events() const { return events_; }
+
+  /// Human-readable per-tenant table + metrics dump.
+  void print_report(std::ostream& out) const;
+
+ private:
+  struct Tenant;
+
+  void bootstrap(Tenant& tenant);
+  void step(Tenant& tenant);
+  void maintain(Tenant& tenant, TriggerReason reason, double trigger_value);
+
+  ServiceOptions options_;
+  ThreadPool pool_;
+  MetricsRegistry metrics_;
+  EventLog events_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace netconst::online

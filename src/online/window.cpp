@@ -1,0 +1,115 @@
+#include "online/window.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace netconst::online {
+
+SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_(capacity) {
+  NETCONST_CHECK(capacity >= 2,
+                 "window capacity must be >= 2 (RPCA needs two rows)");
+}
+
+std::size_t SlidingWindow::cluster_size() const {
+  return snapshots_.empty() ? 0 : snapshots_.front().size();
+}
+
+void SlidingWindow::push(double time,
+                         const netmodel::PerformanceMatrix& snapshot) {
+  NETCONST_CHECK(snapshot.size() > 0, "empty snapshot");
+  if (!times_.empty()) {
+    NETCONST_CHECK(snapshot.size() == snapshots_.front().size(),
+                   "snapshot cluster size changed");
+    NETCONST_CHECK(time >= newest_time(),
+                   "snapshots must be pushed in time order");
+  }
+  const std::size_t n2 = snapshot.size() * snapshot.size();
+
+  std::size_t slot;
+  if (!full()) {
+    // Growth phase: extend the buffers by one row (a straight copy of
+    // the flat storage, not a re-flatten of the older snapshots).
+    slot = times_.size();
+    times_.push_back(time);
+    snapshots_.push_back(snapshot);
+    linalg::Matrix lat(times_.size(), n2);
+    linalg::Matrix bw(times_.size(), n2);
+    if (slot > 0) {
+      std::copy(latency_.data().begin(), latency_.data().end(),
+                lat.data().begin());
+      std::copy(bandwidth_.data().begin(), bandwidth_.data().end(),
+                bw.data().begin());
+    }
+    latency_ = std::move(lat);
+    bandwidth_ = std::move(bw);
+  } else {
+    // Steady state: overwrite the oldest slot in place.
+    slot = head_;
+    head_ = (head_ + 1) % capacity_;
+    times_[slot] = time;
+    snapshots_[slot] = snapshot;
+  }
+  netmodel::TemporalPerformance::flatten_snapshot(
+      snapshot, netmodel::Field::Latency, latency_.row(slot));
+  netmodel::TemporalPerformance::flatten_snapshot(
+      snapshot, netmodel::Field::Bandwidth, bandwidth_.row(slot));
+  ++pushes_;
+}
+
+void SlidingWindow::clear() {
+  times_.clear();
+  snapshots_.clear();
+  latency_ = linalg::Matrix();
+  bandwidth_ = linalg::Matrix();
+  head_ = 0;
+}
+
+double SlidingWindow::oldest_time() const {
+  NETCONST_CHECK(!empty(), "oldest_time of an empty window");
+  return times_[slot_of_age(0)];
+}
+
+double SlidingWindow::newest_time() const {
+  NETCONST_CHECK(!empty(), "newest_time of an empty window");
+  return times_[slot_of_age(times_.size() - 1)];
+}
+
+const linalg::Matrix& SlidingWindow::latency_data() const {
+  NETCONST_CHECK(!empty(), "latency_data of an empty window");
+  return latency_;
+}
+
+const linalg::Matrix& SlidingWindow::bandwidth_data() const {
+  NETCONST_CHECK(!empty(), "bandwidth_data of an empty window");
+  return bandwidth_;
+}
+
+std::size_t SlidingWindow::slot_of_age(std::size_t k) const {
+  NETCONST_CHECK(k < times_.size(), "age out of range");
+  if (!full()) return k;  // growth phase stores in time order
+  return (head_ + k) % capacity_;
+}
+
+double SlidingWindow::time_in_slot(std::size_t slot) const {
+  NETCONST_CHECK(slot < times_.size(), "slot out of range");
+  return times_[slot];
+}
+
+const netmodel::PerformanceMatrix& SlidingWindow::snapshot_in_slot(
+    std::size_t slot) const {
+  NETCONST_CHECK(slot < snapshots_.size(), "slot out of range");
+  return snapshots_[slot];
+}
+
+netmodel::TemporalPerformance SlidingWindow::to_series() const {
+  netmodel::TemporalPerformance series;
+  for (std::size_t k = 0; k < times_.size(); ++k) {
+    const std::size_t slot = slot_of_age(k);
+    series.append(times_[slot], snapshots_[slot]);
+  }
+  return series;
+}
+
+}  // namespace netconst::online

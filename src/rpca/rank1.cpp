@@ -90,4 +90,58 @@ Result solve_rank1(const linalg::Matrix& a, const Options& options) {
   return result;
 }
 
+void polish_rank1(const linalg::Matrix& a, Result& result, double lambda,
+                  int max_iterations, double tolerance) {
+  NETCONST_CHECK(lambda > 0.0, "polish requires lambda > 0");
+  NETCONST_CHECK(max_iterations > 0 && tolerance > 0.0,
+                 "polish needs positive iteration budget and tolerance");
+  NETCONST_CHECK(result.low_rank.same_shape(a) && result.sparse.same_shape(a),
+                 "polish factors do not match the data shape");
+  const double a_fro = linalg::frobenius_norm(a);
+  NETCONST_CHECK(a_fro > 0.0, "polish of an all-zero matrix");
+  // Same threshold scaling as solve_rank1, so a polished convex solve
+  // and a plain Rank1 solve describe the same fixed point.
+  const double mean_abs =
+      linalg::l1_norm(a) / static_cast<double>(a.size());
+  const double tau = lambda * mean_abs;
+
+  linalg::Matrix d = std::move(result.low_rank);
+  linalg::Matrix e = std::move(result.sparse);
+  result.polished = true;
+  result.polish_converged = false;
+  for (int k = 0; k < max_iterations; ++k) {
+    linalg::Matrix target = a;
+    target -= e;
+    linalg::Matrix d_next = rank1_approximation(target);
+
+    linalg::Matrix e_target = a;
+    e_target -= d_next;
+    linalg::Matrix e_next = linalg::soft_threshold(e_target, tau);
+
+    double change = 0.0, scale = 0.0;
+    for (std::size_t idx = 0; idx < d.data().size(); ++idx) {
+      const double dd = d_next.data()[idx] - d.data()[idx];
+      const double de = e_next.data()[idx] - e.data()[idx];
+      change += dd * dd + de * de;
+      scale += d_next.data()[idx] * d_next.data()[idx] +
+               e_next.data()[idx] * e_next.data()[idx];
+    }
+    d = std::move(d_next);
+    e = std::move(e_next);
+    result.polish_iterations = k + 1;
+    if (std::sqrt(change) <= tolerance * std::sqrt(scale)) {
+      result.polish_converged = true;
+      break;
+    }
+  }
+
+  linalg::Matrix residual = a;
+  residual -= d;
+  residual -= e;
+  result.residual = linalg::frobenius_norm(residual) / a_fro;
+  result.rank = 1;
+  result.low_rank = std::move(d);
+  result.sparse = std::move(e);
+}
+
 }  // namespace netconst::rpca

@@ -25,4 +25,18 @@ linalg::Matrix rank1_approximation(const linalg::Matrix& a,
                                    int max_iterations = 200,
                                    double tolerance = 1e-12);
 
+/// Rank-1 polish: refine `result`'s (D, E) in place by the solve_rank1
+/// alternation (D <- rank-1 of A - E, E <- soft-threshold of A - D)
+/// until the relative iterate change drops below `tolerance` or
+/// `max_iterations` is hit. The alternation's fixed point depends only
+/// on (A, lambda), not on the starting factors, as long as they lie in
+/// its attraction basin — so two solves that agree to ~1% (e.g. a
+/// warm-started and a cold APG run) polish to identical answers.
+/// Updates low_rank/sparse/rank/residual and the polish_* diagnostics;
+/// leaves iterations/converged/solver_residual describing the original
+/// solve. `lambda` must be > 0 (each iteration is power-iteration
+/// matvecs, far cheaper than the solvers' full SVDs).
+void polish_rank1(const linalg::Matrix& a, Result& result, double lambda,
+                  int max_iterations, double tolerance);
+
 }  // namespace netconst::rpca

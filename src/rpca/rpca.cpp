@@ -9,6 +9,7 @@
 #include "rpca/rank1.hpp"
 #include "rpca/stable_pcp.hpp"
 #include "support/error.hpp"
+#include "support/stopwatch.hpp"
 
 namespace netconst::rpca {
 
@@ -36,20 +37,36 @@ Result solve(const linalg::Matrix& a, Solver solver,
   NETCONST_CHECK(!a.empty(), "RPCA of an empty matrix");
   Options opts = options;
   if (opts.lambda <= 0.0) opts.lambda = default_lambda(a.rows(), a.cols());
-  switch (solver) {
-    case Solver::Apg:
-      return solve_apg(a, opts);
-    case Solver::Ialm:
-      return solve_ialm(a, opts);
-    case Solver::RankOne:
-      return solve_rank1(a, opts);
-    case Solver::StablePcp: {
-      StablePcpOptions stable;
-      stable.base = opts;
-      return solve_stable_pcp(a, stable);
+  auto dispatch = [&]() -> Result {
+    switch (solver) {
+      case Solver::Apg:
+        return solve_apg(a, opts);
+      case Solver::Ialm:
+        return solve_ialm(a, opts);
+      case Solver::RankOne:
+        return solve_rank1(a, opts);
+      case Solver::StablePcp: {
+        StablePcpOptions stable;
+        stable.base = opts;
+        return solve_stable_pcp(a, stable);
+      }
     }
+    throw Error("unknown RPCA solver");
+  };
+  Result result = dispatch();
+  // A supplied seed must never be dropped silently: solvers without
+  // warm-start support report the cold solve through the diagnostics.
+  if (!opts.warm_start.empty() && !result.warm_started) {
+    result.warm_start_ignored = true;
   }
-  throw Error("unknown RPCA solver");
+  result.solver_residual = result.residual;
+  if (opts.polish_iterations > 0) {
+    const Stopwatch polish_clock;
+    polish_rank1(a, result, opts.lambda, opts.polish_iterations,
+                 opts.polish_tolerance);
+    result.solve_seconds += polish_clock.seconds();
+  }
+  return result;
 }
 
 double relative_l0(const linalg::Matrix& e, const linalg::Matrix& a,

@@ -30,6 +30,20 @@ enum class Solver { Apg, Ialm, RankOne, StablePcp };
 /// Human-readable solver name (for bench output).
 std::string solver_name(Solver solver);
 
+/// Seed for warm-starting a solve from the factors of a previous solve
+/// of a nearby problem (e.g. the same sliding window shifted by one
+/// row). `mu`/`mu_floor` carry the continuation state of the previous
+/// APG solve so the warm solve can skip the mu-decay phase; leave them
+/// at 0 to let the solver re-derive its schedule.
+struct WarmStart {
+  linalg::Matrix low_rank;  // previous D, must match the data shape
+  linalg::Matrix sparse;    // previous E, must match the data shape
+  double mu = 0.0;          // continuation value the previous solve ended at
+  double mu_floor = 0.0;    // the mu_bar it was decaying toward
+
+  bool empty() const { return low_rank.empty() && sparse.empty(); }
+};
+
 struct Options {
   /// Sparsity weight. <= 0 selects the standard 1/sqrt(max(m, n)).
   double lambda = 0.0;
@@ -38,6 +52,21 @@ struct Options {
   /// (Ialm/RankOne) or on the iterate change (Apg).
   double tolerance = 1e-7;
   linalg::SvdOptions svd;
+  /// Optional warm-start seed. Currently honored by Apg; solvers that
+  /// do not support seeding run cold and report it via
+  /// Result::warm_start_ignored (never silently).
+  WarmStart warm_start;
+  /// > 0 runs the rank-1 polish after the solver (see polish_rank1):
+  /// alternating hard rank-1 projection and soft-thresholding from the
+  /// solver's (D, E) until the iterate change drops below
+  /// polish_tolerance or this many iterations. The alternation has a
+  /// strongly attracting fixed point determined by the data alone, so
+  /// polished solves land on the same answer regardless of the path the
+  /// solver took to the basin — this is what makes a warm-started solve
+  /// exactly reproducible against a cold one. 0 = off (default).
+  int polish_iterations = 0;
+  /// Relative iterate-change tolerance of the polish alternation.
+  double polish_tolerance = 1e-10;
 };
 
 struct Result {
@@ -48,6 +77,27 @@ struct Result {
   std::size_t rank = 0;          // numerical rank of D
   double residual = 0.0;         // ||A - D - E||_F / ||A||_F
   double solve_seconds = 0.0;    // wall-clock time of the solve
+  /// True when the solver seeded its iterates from options.warm_start.
+  bool warm_started = false;
+  /// True when a seed was supplied but this solver cannot use one (the
+  /// solve ran cold).
+  bool warm_start_ignored = false;
+  /// Continuation state at exit (Apg); feed into the next WarmStart.
+  double final_mu = 0.0;
+  double mu_floor = 0.0;
+  /// Residual of the raw solver output, before any polish. Equals
+  /// `residual` when the polish is off. This is the health signal for
+  /// warm-start divergence checks (the polished residual carries the
+  /// soft-threshold floor and says nothing about the solve itself).
+  double solver_residual = 0.0;
+  /// True when the rank-1 polish ran on this result.
+  bool polished = false;
+  /// Iterations the polish used (0 when it did not run).
+  int polish_iterations = 0;
+  /// True when the polish reached its tolerance (also true when the
+  /// polish is off, so gating on !polish_converged only fires when the
+  /// polish actually failed to settle).
+  bool polish_converged = true;
 };
 
 /// Decompose `a` with the chosen solver. Throws ContractViolation on an

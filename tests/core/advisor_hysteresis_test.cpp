@@ -1,0 +1,127 @@
+// Edge-case pinning for EffectivenessAdvisor::observe — the policy input
+// of the online recalibration scheduler: exact-boundary values, flap
+// suppression inside the hysteresis band, and the unseeded first
+// observation.
+#include "core/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netconst::core {
+namespace {
+
+// Defaults: stable_threshold 0.12, dynamic_threshold 0.45, hysteresis 0.03.
+
+TEST(AdvisorHysteresis, FirstObservationExactBoundariesAreExclusive) {
+  // Classification is strict-< on both thresholds: a norm exactly AT a
+  // threshold belongs to the band above it.
+  EffectivenessAdvisor at_stable;
+  EXPECT_EQ(at_stable.observe(0.12), Effectiveness::Moderate);
+  EffectivenessAdvisor below_stable;
+  EXPECT_EQ(below_stable.observe(0.11999999), Effectiveness::Stable);
+  EffectivenessAdvisor at_dynamic;
+  EXPECT_EQ(at_dynamic.observe(0.45), Effectiveness::Dynamic);
+  EffectivenessAdvisor below_dynamic;
+  EXPECT_EQ(below_dynamic.observe(0.44999999), Effectiveness::Moderate);
+}
+
+TEST(AdvisorHysteresis, FirstObservationIgnoresHysteresis) {
+  // Unseeded (seeded_ == false): the default level is Stable, but the
+  // first observation classifies directly — no band has to be cleared
+  // by the hysteresis margin.
+  EffectivenessAdvisor advisor;
+  EXPECT_EQ(advisor.level(), Effectiveness::Stable);  // default, unseeded
+  EXPECT_EQ(advisor.observe(0.13), Effectiveness::Moderate);
+  // Seeded now: the same value again obviously keeps the level.
+  EXPECT_EQ(advisor.observe(0.13), Effectiveness::Moderate);
+}
+
+TEST(AdvisorHysteresis, FirstObservationRangeEndpointsAreValid) {
+  EffectivenessAdvisor zero;
+  EXPECT_EQ(zero.observe(0.0), Effectiveness::Stable);
+  EffectivenessAdvisor one;
+  EXPECT_EQ(one.observe(1.0), Effectiveness::Dynamic);
+}
+
+TEST(AdvisorHysteresis, UpwardCrossingNeedsThresholdPlusHysteresis) {
+  EffectivenessAdvisor advisor;
+  advisor.observe(0.05);  // Stable
+  // Exactly threshold + hysteresis triggers (>= comparison)...
+  EffectivenessAdvisor exact = advisor;
+  EXPECT_EQ(exact.observe(0.15), Effectiveness::Moderate);
+  // ...one ulp under it does not.
+  EffectivenessAdvisor under = advisor;
+  EXPECT_EQ(under.observe(0.14999999), Effectiveness::Stable);
+}
+
+TEST(AdvisorHysteresis, DownwardCrossingNeedsThresholdMinusHysteresis) {
+  EffectivenessAdvisor advisor;
+  advisor.observe(0.2);  // Moderate
+  // Exactly threshold - hysteresis does NOT trigger (strict <)...
+  EffectivenessAdvisor exact = advisor;
+  EXPECT_EQ(exact.observe(0.09), Effectiveness::Moderate);
+  // ...just below it does.
+  EffectivenessAdvisor below = advisor;
+  EXPECT_EQ(below.observe(0.08999999), Effectiveness::Stable);
+}
+
+TEST(AdvisorHysteresis, FlapSuppressionInsideTheBand) {
+  // Any sequence confined to (stable - h, stable + h) around the 0.12
+  // boundary must never move the level, whichever side it started on.
+  EffectivenessAdvisor from_stable;
+  from_stable.observe(0.05);
+  for (const double norm :
+       {0.119, 0.121, 0.135, 0.0901, 0.149, 0.12, 0.1499}) {
+    from_stable.observe(norm);
+    EXPECT_EQ(from_stable.level(), Effectiveness::Stable) << norm;
+  }
+
+  EffectivenessAdvisor from_moderate;
+  from_moderate.observe(0.2);
+  for (const double norm : {0.121, 0.119, 0.0901, 0.149, 0.09, 0.1}) {
+    from_moderate.observe(norm);
+    EXPECT_EQ(from_moderate.level(), Effectiveness::Moderate) << norm;
+  }
+}
+
+TEST(AdvisorHysteresis, DynamicBoundaryBothDirections) {
+  EffectivenessAdvisor advisor;
+  advisor.observe(0.2);  // Moderate
+  // Up: needs dynamic + h = 0.48.
+  EffectivenessAdvisor up = advisor;
+  EXPECT_EQ(up.observe(0.47999999), Effectiveness::Moderate);
+  EXPECT_EQ(up.observe(0.48), Effectiveness::Dynamic);
+  // Down from Dynamic: needs < dynamic - h = 0.42 (values chosen clear
+  // of the 0.45 - 0.03 rounding edge).
+  EXPECT_EQ(up.observe(0.425), Effectiveness::Dynamic);
+  EXPECT_EQ(up.observe(0.41), Effectiveness::Moderate);
+}
+
+TEST(AdvisorHysteresis, StableToDynamicJumpAtExactBoundary) {
+  EffectivenessAdvisor advisor;
+  advisor.observe(0.05);  // Stable
+  // The direct Stable -> Dynamic jump requires dynamic + h.
+  EXPECT_EQ(advisor.observe(0.47999999), Effectiveness::Moderate);
+  EffectivenessAdvisor again;
+  again.observe(0.05);
+  EXPECT_EQ(again.observe(0.48), Effectiveness::Dynamic);
+  // Dynamic with a low-but-banded norm steps DOWN one level only: 0.09
+  // is inside the Stable hysteresis band, so it lands on Moderate...
+  EXPECT_EQ(again.observe(0.09), Effectiveness::Moderate);
+  // ...while a norm below stable - h from Dynamic goes straight to
+  // Stable.
+  EffectivenessAdvisor direct;
+  direct.observe(0.05);
+  direct.observe(0.48);  // Dynamic
+  EXPECT_EQ(direct.observe(0.08999999), Effectiveness::Stable);
+}
+
+TEST(AdvisorHysteresis, LastNormAlwaysRecordedEvenWithoutLevelChange) {
+  EffectivenessAdvisor advisor;
+  advisor.observe(0.05);
+  advisor.observe(0.13);  // inside the band: level unchanged
+  EXPECT_EQ(advisor.level(), Effectiveness::Stable);
+  EXPECT_DOUBLE_EQ(advisor.last_norm(), 0.13);
+}
+
+}  // namespace
+}  // namespace netconst::core

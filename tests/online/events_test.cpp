@@ -1,0 +1,109 @@
+#include "online/events.hpp"
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace netconst::online {
+namespace {
+
+Event make_event(double time, EventKind kind, double value = 0.0) {
+  Event event;
+  event.time = time;
+  event.tenant = "t0";
+  event.kind = kind;
+  event.detail = "d";
+  event.value = value;
+  return event;
+}
+
+TEST(EventLog, RecordsAndCountsPerKind) {
+  EventLog log;
+  log.record(make_event(1.0, EventKind::Refresh, 0.1));
+  log.record(make_event(2.0, EventKind::Refresh, 0.2));
+  log.record(make_event(3.0, EventKind::ThresholdBreach, 1.5));
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.recorded(), 3u);
+  EXPECT_EQ(log.count(EventKind::Refresh), 2u);
+  EXPECT_EQ(log.count(EventKind::ThresholdBreach), 1u);
+  EXPECT_EQ(log.count(EventKind::LevelChange), 0u);
+
+  const std::vector<Event> events = log.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_DOUBLE_EQ(events[0].time, 1.0);
+  EXPECT_EQ(events[2].kind, EventKind::ThresholdBreach);
+  EXPECT_DOUBLE_EQ(events[2].value, 1.5);
+}
+
+TEST(EventLog, BoundedLogDropsOldestButKeepsCounting) {
+  EventLog log(2);
+  log.record(make_event(1.0, EventKind::Refresh));
+  log.record(make_event(2.0, EventKind::Recalibration));
+  log.record(make_event(3.0, EventKind::Recalibration));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.recorded(), 3u);
+  // The dropped Refresh still counts.
+  EXPECT_EQ(log.count(EventKind::Refresh), 1u);
+  const std::vector<Event> events = log.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].time, 2.0);
+  EXPECT_DOUBLE_EQ(events[1].time, 3.0);
+}
+
+TEST(EventLog, KindNamesAreDistinct) {
+  for (std::size_t i = 0; i < kEventKindCount; ++i) {
+    for (std::size_t j = i + 1; j < kEventKindCount; ++j) {
+      EXPECT_STRNE(event_kind_name(static_cast<EventKind>(i)),
+                   event_kind_name(static_cast<EventKind>(j)));
+    }
+  }
+  EXPECT_STREQ(event_kind_name(EventKind::ColdSolveFallback),
+               "cold_solve_fallback");
+}
+
+TEST(EventLog, CsvExport) {
+  EventLog log;
+  log.record(make_event(5.0, EventKind::LevelChange, 2.0));
+  const CsvTable table = log.to_csv();
+  ASSERT_EQ(table.row_count(), 1u);
+  EXPECT_DOUBLE_EQ(table.number(0, table.column_index("time")), 5.0);
+  EXPECT_EQ(table.rows[0][table.column_index("tenant")], "t0");
+  EXPECT_EQ(table.rows[0][table.column_index("kind")], "level_change");
+  EXPECT_DOUBLE_EQ(table.number(0, table.column_index("value")), 2.0);
+  EXPECT_EQ(table.rows[0][table.column_index("detail")], "d");
+}
+
+TEST(EventLog, JsonExport) {
+  EventLog log;
+  log.record(make_event(1.0, EventKind::SnapshotIngested));
+  std::ostringstream out;
+  log.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"events\":["), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"snapshot_ingested\""), std::string::npos);
+  EXPECT_NE(json.find("\"tenant\":\"t0\""), std::string::npos);
+}
+
+TEST(EventLog, ConcurrentRecordsAreLossless) {
+  EventLog log;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log] {
+      for (int k = 0; k < kPerThread; ++k) {
+        log.record(make_event(static_cast<double>(k), EventKind::Refresh));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(log.recorded(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(log.count(EventKind::Refresh),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace netconst::online

@@ -1,0 +1,191 @@
+#include "online/refresher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/synthetic.hpp"
+#include "linalg/norms.hpp"
+#include "support/error.hpp"
+
+namespace netconst::online {
+namespace {
+
+cloud::SyntheticCloudConfig small_cloud_config(std::uint64_t seed) {
+  cloud::SyntheticCloudConfig config;
+  config.cluster_size = 8;
+  config.datacenter_racks = 4;
+  config.seed = seed;
+  return config;
+}
+
+SlidingWindow filled_window(cloud::SyntheticCloud& cloud,
+                            std::size_t capacity, double interval) {
+  SlidingWindow window(capacity);
+  while (!window.full()) {
+    window.push(cloud.now(), cloud.oracle_snapshot());
+    cloud.advance(interval);
+  }
+  return window;
+}
+
+double relative_frobenius_diff(const linalg::Matrix& a,
+                               const linalg::Matrix& b) {
+  linalg::Matrix diff = a;
+  diff -= b;
+  const double scale = linalg::frobenius_norm(b);
+  return scale == 0.0 ? linalg::frobenius_norm(diff)
+                      : linalg::frobenius_norm(diff) / scale;
+}
+
+TEST(WindowRefresher, RequiresTwoRows) {
+  SlidingWindow window(2);
+  cloud::SyntheticCloud cloud(small_cloud_config(1));
+  window.push(0.0, cloud.oracle_snapshot());
+  WindowRefresher refresher;
+  EXPECT_THROW(refresher.refresh(window), ContractViolation);
+}
+
+TEST(WindowRefresher, FirstRefreshIsColdAndSeedsTheNext) {
+  cloud::SyntheticCloud cloud(small_cloud_config(2));
+  SlidingWindow window = filled_window(cloud, 6, 600.0);
+  WindowRefresher refresher;
+  EXPECT_FALSE(refresher.has_seed());
+
+  const RefreshReport first = refresher.refresh(window);
+  EXPECT_FALSE(first.latency.warm_attempted);
+  EXPECT_FALSE(first.bandwidth.warm_attempted);
+  EXPECT_TRUE(refresher.has_seed());
+  EXPECT_GT(first.component.constant.size(), 0u);
+
+  // Same window again: the warm solve must be accepted.
+  const RefreshReport second = refresher.refresh(window);
+  EXPECT_TRUE(second.latency.warm_attempted);
+  EXPECT_TRUE(second.bandwidth.warm_attempted);
+  EXPECT_TRUE(second.fully_warm());
+  EXPECT_FALSE(second.any_cold_fallback());
+}
+
+TEST(WindowRefresher, WarmSlideMatchesColdWithinTolerance) {
+  cloud::SyntheticCloud cloud(small_cloud_config(3));
+  SlidingWindow window = filled_window(cloud, 8, 600.0);
+
+  WindowRefresher warm_refresher;
+  warm_refresher.refresh(window);  // cold solve of W1 -> seeds
+
+  // Slide by one snapshot.
+  cloud.advance(600.0);
+  window.push(cloud.now(), cloud.oracle_snapshot());
+
+  const RefreshReport warm = warm_refresher.refresh(window);
+  EXPECT_TRUE(warm.fully_warm());
+
+  WindowRefresher cold_refresher;  // no seeds: from-scratch solve of W2
+  const RefreshReport cold = cold_refresher.refresh(window);
+
+  // Same decomposition within tight tolerance (the acceptance bound).
+  EXPECT_LT(relative_frobenius_diff(warm.component.constant.bandwidth(),
+                                    cold.component.constant.bandwidth()),
+            1e-6);
+  EXPECT_LT(relative_frobenius_diff(warm.component.constant.latency(),
+                                    cold.component.constant.latency()),
+            1e-6);
+  // Norm(N_E) is a discrete l0 count: an entry sitting exactly at the
+  // significance threshold may flip on a ~1e-7 solver difference, so
+  // allow the counts to differ by at most one cell.
+  const double one_cell =
+      1.0 / static_cast<double>(8 * (8 * 8 - 8));  // rows * offdiag
+  EXPECT_NEAR(warm.component.error_norm, cold.component.error_norm,
+              one_cell);
+  EXPECT_NEAR(warm.component.latency_error_norm,
+              cold.component.latency_error_norm, one_cell);
+
+  // And the warm path must actually be cheaper in iterations.
+  EXPECT_LT(warm.bandwidth.iterations, cold.bandwidth.iterations);
+  EXPECT_LT(warm.latency.iterations, cold.latency.iterations);
+}
+
+TEST(WindowRefresher, DivergenceGateForcesColdFallback) {
+  cloud::SyntheticCloud cloud(small_cloud_config(4));
+  SlidingWindow window = filled_window(cloud, 6, 600.0);
+
+  RefresherOptions options;
+  options.divergence_residual = 0.0;  // any nonzero residual is "diverged"
+  WindowRefresher refresher(options);
+  refresher.refresh(window);  // cold, builds seeds
+
+  const RefreshReport report = refresher.refresh(window);
+  EXPECT_TRUE(report.latency.warm_attempted);
+  EXPECT_TRUE(report.latency.cold_fallback);
+  EXPECT_FALSE(report.latency.warm_used);
+  EXPECT_TRUE(report.bandwidth.cold_fallback);
+  EXPECT_TRUE(report.any_cold_fallback());
+
+  // The fallback result is a plain cold solve.
+  WindowRefresher cold_refresher;
+  const RefreshReport cold = cold_refresher.refresh(window);
+  EXPECT_LT(relative_frobenius_diff(report.component.constant.bandwidth(),
+                                    cold.component.constant.bandwidth()),
+            1e-12);
+}
+
+TEST(WindowRefresher, SolverWithoutSeedingReportsIgnoredSeed) {
+  cloud::SyntheticCloud cloud(small_cloud_config(5));
+  SlidingWindow window = filled_window(cloud, 6, 600.0);
+
+  RefresherOptions options;
+  options.finder.solver = rpca::Solver::RankOne;
+  WindowRefresher refresher(options);
+  refresher.refresh(window);
+
+  const RefreshReport report = refresher.refresh(window);
+  EXPECT_TRUE(report.latency.warm_attempted);
+  EXPECT_TRUE(report.latency.seed_ignored);   // Rank1 cannot seed
+  EXPECT_FALSE(report.latency.warm_used);
+  EXPECT_FALSE(report.latency.cold_fallback);  // cold, but not a fallback
+}
+
+TEST(WindowRefresher, WarmStartCanBeDisabled) {
+  cloud::SyntheticCloud cloud(small_cloud_config(6));
+  SlidingWindow window = filled_window(cloud, 6, 600.0);
+
+  RefresherOptions options;
+  options.warm_start = false;
+  WindowRefresher refresher(options);
+  refresher.refresh(window);
+  const RefreshReport report = refresher.refresh(window);
+  EXPECT_FALSE(report.latency.warm_attempted);
+  EXPECT_FALSE(report.bandwidth.warm_attempted);
+}
+
+TEST(WindowRefresher, ResetDropsSeeds) {
+  cloud::SyntheticCloud cloud(small_cloud_config(7));
+  SlidingWindow window = filled_window(cloud, 6, 600.0);
+  WindowRefresher refresher;
+  refresher.refresh(window);
+  EXPECT_TRUE(refresher.has_seed());
+  refresher.reset();
+  EXPECT_FALSE(refresher.has_seed());
+  const RefreshReport report = refresher.refresh(window);
+  EXPECT_FALSE(report.latency.warm_attempted);
+}
+
+TEST(WindowRefresher, SeedInvalidatedByShapeChange) {
+  cloud::SyntheticCloud cloud(small_cloud_config(8));
+  SlidingWindow window = filled_window(cloud, 4, 600.0);
+  WindowRefresher refresher;
+  refresher.refresh(window);
+
+  // A different window depth changes the data shape: the stale seed
+  // must be bypassed, not fed to the solver.
+  SlidingWindow bigger(6);
+  cloud::SyntheticCloud cloud2(small_cloud_config(8));
+  while (!bigger.full()) {
+    bigger.push(cloud2.now(), cloud2.oracle_snapshot());
+    cloud2.advance(600.0);
+  }
+  const RefreshReport report = refresher.refresh(bigger);
+  EXPECT_FALSE(report.latency.warm_attempted);
+  EXPECT_GT(report.component.constant.size(), 0u);
+}
+
+}  // namespace
+}  // namespace netconst::online

@@ -1,0 +1,145 @@
+#include "online/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace netconst::online {
+namespace {
+
+SchedulerOptions fast_options() {
+  SchedulerOptions options;
+  options.threshold = 1.0;
+  options.base_interval = 100.0;
+  return options;
+}
+
+TEST(RecalibrationScheduler, OptionContracts) {
+  SchedulerOptions bad_threshold;
+  bad_threshold.threshold = 0.0;
+  EXPECT_THROW(RecalibrationScheduler{bad_threshold}, ContractViolation);
+  SchedulerOptions bad_interval;
+  bad_interval.base_interval = -1.0;
+  EXPECT_THROW(RecalibrationScheduler{bad_interval}, ContractViolation);
+}
+
+TEST(RecalibrationScheduler, RequiresRefreshBeforeObservations) {
+  RecalibrationScheduler scheduler(fast_options());
+  EXPECT_THROW(scheduler.observe_operation(0.0, 1.0, 1.0),
+               ContractViolation);
+  EXPECT_THROW(scheduler.poll(0.0), ContractViolation);
+}
+
+TEST(RecalibrationScheduler, ThresholdBreachTriggersImmediately) {
+  RecalibrationScheduler scheduler(fast_options());
+  scheduler.record_refresh(0.0, 0.2);  // Moderate: interval factor 1
+  // |2.5 - 1.0| / 1.0 = 1.5 >= 1.0.
+  const SchedulerDecision decision =
+      scheduler.observe_operation(10.0, 1.0, 2.5);
+  EXPECT_TRUE(decision.recalibrate);
+  EXPECT_EQ(decision.reason, TriggerReason::ThresholdBreach);
+  EXPECT_DOUBLE_EQ(decision.relative_error, 1.5);
+  EXPECT_EQ(scheduler.breaches(), 1u);
+  EXPECT_EQ(scheduler.interval_triggers(), 0u);
+}
+
+TEST(RecalibrationScheduler, BreachBoundaryIsInclusive) {
+  RecalibrationScheduler scheduler(fast_options());
+  scheduler.record_refresh(0.0, 0.2);
+  // Exactly at the threshold fires (the paper triggers at >= 100%).
+  EXPECT_TRUE(scheduler.observe_operation(1.0, 1.0, 2.0).recalibrate);
+  // Just below does not.
+  RecalibrationScheduler other(fast_options());
+  other.record_refresh(0.0, 0.2);
+  const SchedulerDecision decision =
+      other.observe_operation(1.0, 1.0, 1.999);
+  EXPECT_FALSE(decision.recalibrate);
+  EXPECT_EQ(decision.reason, TriggerReason::None);
+}
+
+TEST(RecalibrationScheduler, SlowObservationsAlsoBreach) {
+  // Deviation is symmetric: an operation much FASTER than expected also
+  // signals a stale model.
+  RecalibrationScheduler scheduler(fast_options());
+  scheduler.record_refresh(0.0, 0.2);
+  EXPECT_FALSE(scheduler.observe_operation(1.0, 1.0, 0.5).recalibrate);
+  EXPECT_TRUE(scheduler.observe_operation(1.0, 10.0, 0.0).recalibrate);
+}
+
+TEST(RecalibrationScheduler, IntervalElapsesAtModerateFactor) {
+  RecalibrationScheduler scheduler(fast_options());
+  scheduler.record_refresh(0.0, 0.2);  // Moderate: factor 1, interval 100
+  EXPECT_DOUBLE_EQ(scheduler.effective_interval(), 100.0);
+  EXPECT_FALSE(scheduler.poll(99.0).recalibrate);
+  const SchedulerDecision due = scheduler.poll(100.0);
+  EXPECT_TRUE(due.recalibrate);
+  EXPECT_EQ(due.reason, TriggerReason::IntervalElapsed);
+  EXPECT_EQ(scheduler.interval_triggers(), 1u);
+}
+
+TEST(RecalibrationScheduler, StableTenantStretchesIntervalAndSuppresses) {
+  RecalibrationScheduler scheduler(fast_options());
+  scheduler.record_refresh(0.0, 0.05);  // Stable: factor 4 -> interval 400
+  EXPECT_DOUBLE_EQ(scheduler.effective_interval(), 400.0);
+
+  // The base policy would have probed at t=100: suppressed, once.
+  SchedulerDecision decision = scheduler.poll(150.0);
+  EXPECT_FALSE(decision.recalibrate);
+  EXPECT_EQ(decision.suppressed_probes, 1u);
+  decision = scheduler.poll(160.0);  // no new base probe yet
+  EXPECT_EQ(decision.suppressed_probes, 0u);
+  // t=200 and t=300 probes skipped in one go.
+  decision = scheduler.poll(310.0);
+  EXPECT_EQ(decision.suppressed_probes, 2u);
+  EXPECT_EQ(scheduler.suppressed(), 3u);
+
+  // The stretched deadline itself still fires.
+  decision = scheduler.poll(400.0);
+  EXPECT_TRUE(decision.recalibrate);
+  EXPECT_EQ(decision.reason, TriggerReason::IntervalElapsed);
+  // The t=400 base probe coincides with the real trigger: not counted
+  // as suppressed.
+  EXPECT_EQ(scheduler.suppressed(), 3u);
+}
+
+TEST(RecalibrationScheduler, DynamicTenantShortensInterval) {
+  RecalibrationScheduler scheduler(fast_options());
+  scheduler.record_refresh(0.0, 0.6);  // Dynamic: factor 0.25 -> 25 s
+  EXPECT_DOUBLE_EQ(scheduler.effective_interval(), 25.0);
+  EXPECT_FALSE(scheduler.poll(24.0).recalibrate);
+  EXPECT_TRUE(scheduler.poll(25.0).recalibrate);
+  // Probing MORE often than the base policy suppresses nothing.
+  EXPECT_EQ(scheduler.suppressed(), 0u);
+}
+
+TEST(RecalibrationScheduler, RefreshRestartsTheIntervalClock) {
+  RecalibrationScheduler scheduler(fast_options());
+  scheduler.record_refresh(0.0, 0.2);
+  EXPECT_TRUE(scheduler.poll(100.0).recalibrate);
+  scheduler.record_refresh(100.0, 0.2);
+  EXPECT_FALSE(scheduler.poll(199.0).recalibrate);
+  EXPECT_TRUE(scheduler.poll(200.0).recalibrate);
+}
+
+TEST(RecalibrationScheduler, RecordRefreshReportsLevelChanges) {
+  RecalibrationScheduler scheduler(fast_options());
+  // First observation never reports a change (nothing to react to).
+  EXPECT_FALSE(scheduler.record_refresh(0.0, 0.6));
+  EXPECT_EQ(scheduler.level(), core::Effectiveness::Dynamic);
+  EXPECT_FALSE(scheduler.record_refresh(10.0, 0.6));
+  EXPECT_TRUE(scheduler.record_refresh(20.0, 0.05));
+  EXPECT_EQ(scheduler.level(), core::Effectiveness::Stable);
+}
+
+TEST(RecalibrationScheduler, ObservationContracts) {
+  RecalibrationScheduler scheduler(fast_options());
+  scheduler.record_refresh(0.0, 0.2);
+  EXPECT_THROW(scheduler.observe_operation(1.0, 0.0, 1.0),
+               ContractViolation);
+  EXPECT_THROW(scheduler.observe_operation(1.0, 1.0, -0.1),
+               ContractViolation);
+  EXPECT_THROW(scheduler.record_refresh(-1.0, 0.2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netconst::online

@@ -1,0 +1,199 @@
+// Deterministic multi-tenant smoke test for ConstantFinderService: the
+// per-tenant trajectory must not depend on worker-thread interleaving,
+// and the bookkeeping (status, metrics, events) must stay consistent.
+#include "online/service.hpp"
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cloud/synthetic.hpp"
+#include "support/error.hpp"
+
+namespace netconst::online {
+namespace {
+
+cloud::SyntheticCloudConfig tiny_cloud(std::uint64_t seed) {
+  cloud::SyntheticCloudConfig config;
+  config.cluster_size = 6;
+  config.datacenter_racks = 3;
+  config.seed = seed;
+  return config;
+}
+
+TenantConfig tenant_config(const std::string& name,
+                           cloud::NetworkProvider& provider,
+                           std::uint64_t seed) {
+  TenantConfig config;
+  config.name = name;
+  config.provider = &provider;
+  config.window_capacity = 4;
+  config.snapshot_interval = 600.0;
+  config.operation_gap = 300.0;
+  // Base interval of 1500 s = 5 operation gaps: interval recalibrations
+  // fire within a short run even without breaches.
+  config.scheduler.base_interval = 1500.0;
+  config.seed = seed;
+  return config;
+}
+
+TEST(ConstantFinderService, TenantRegistrationContracts) {
+  ConstantFinderService service;
+  cloud::SyntheticCloud cloud_a(tiny_cloud(1));
+  cloud::SyntheticCloud cloud_b(tiny_cloud(2));
+
+  TenantConfig nameless = tenant_config("", cloud_a, 1);
+  EXPECT_THROW(service.add_tenant(nameless), ContractViolation);
+
+  TenantConfig no_provider = tenant_config("a", cloud_a, 1);
+  no_provider.provider = nullptr;
+  EXPECT_THROW(service.add_tenant(no_provider), ContractViolation);
+
+  EXPECT_EQ(service.add_tenant(tenant_config("a", cloud_a, 1)), 0u);
+  EXPECT_THROW(service.add_tenant(tenant_config("a", cloud_b, 2)),
+               ContractViolation);  // duplicate name
+  EXPECT_THROW(service.add_tenant(tenant_config("b", cloud_a, 2)),
+               ContractViolation);  // shared provider
+  EXPECT_EQ(service.add_tenant(tenant_config("b", cloud_b, 2)), 1u);
+  EXPECT_EQ(service.tenant_count(), 2u);
+}
+
+TEST(ConstantFinderService, RunWithNoTenantsThrows) {
+  ConstantFinderService service;
+  EXPECT_THROW(service.run(1), ContractViolation);
+}
+
+TEST(ConstantFinderService, SmokeRunKeepsBookkeepingConsistent) {
+  ConstantFinderService service;
+  std::vector<std::unique_ptr<cloud::SyntheticCloud>> clouds;
+  for (std::uint64_t t = 0; t < 3; ++t) {
+    clouds.push_back(
+        std::make_unique<cloud::SyntheticCloud>(tiny_cloud(10 + t)));
+    service.add_tenant(
+        tenant_config("tenant" + std::to_string(t), *clouds.back(), t + 1));
+  }
+
+  // Long enough that even a Stable tenant (interval stretched 4x to
+  // 6000 s) passes its recalibration deadline: 24 x 300 s = 7200 s.
+  constexpr std::size_t kSteps = 24;
+  service.run(kSteps);
+
+  std::uint64_t total_refreshes = 0;
+  std::uint64_t total_snapshots = 0;
+  for (std::size_t t = 0; t < 3; ++t) {
+    const TenantStatus status = service.status(t);
+    EXPECT_EQ(status.steps, kSteps);
+    // Bootstrap filled the whole window, and every recalibration adds one.
+    EXPECT_GE(status.snapshots_ingested, 4u);
+    EXPECT_GE(status.refreshes, 1u);
+    // Bootstrap is a cold solve of both layers.
+    EXPECT_GE(status.cold_solves, 2u);
+    // 12 steps x 300 s past the 1500 s interval: maintenance must have
+    // run at least once beyond bootstrap.
+    EXPECT_EQ(status.refreshes,
+              1u + status.breaches + status.interval_recalibrations);
+    EXPECT_GE(status.breaches + status.interval_recalibrations, 1u);
+    EXPECT_GT(status.error_norm, 0.0);
+    EXPECT_EQ(service.component(t).constant.size(), 6u);
+    total_refreshes += status.refreshes;
+    total_snapshots += status.snapshots_ingested;
+  }
+
+  // Global metrics aggregate the per-tenant ones exactly.
+  const MetricsRegistry& metrics = service.metrics();
+  EXPECT_DOUBLE_EQ(metrics.counter_value("online.operations"),
+                   3.0 * kSteps);
+  EXPECT_DOUBLE_EQ(metrics.counter_value("online.refreshes"),
+                   static_cast<double>(total_refreshes));
+  EXPECT_DOUBLE_EQ(metrics.counter_value("online.snapshots_ingested"),
+                   static_cast<double>(total_snapshots));
+  EXPECT_EQ(
+      metrics.histogram_summary("online.operation_relative_error").count,
+      3u * kSteps);
+
+  // The event log saw every refresh (bootstrap Refresh + Recalibration).
+  const EventLog& events = service.events();
+  EXPECT_EQ(events.count(EventKind::Refresh) +
+                events.count(EventKind::Recalibration),
+            total_refreshes);
+  EXPECT_EQ(events.count(EventKind::SnapshotIngested),
+            total_snapshots - 3u * 4u);  // bootstrap fills are not events
+
+  // Report renders without blowing up.
+  std::ostringstream report;
+  service.print_report(report);
+  EXPECT_NE(report.str().find("tenant0"), std::string::npos);
+}
+
+TEST(ConstantFinderService, RepeatedRunContinuesTheCampaign) {
+  ConstantFinderService service;
+  cloud::SyntheticCloud cloud(tiny_cloud(20));
+  service.add_tenant(tenant_config("t", cloud, 3));
+  service.run(4);
+  const double time_after_first = service.status(0).provider_time;
+  service.run(4);
+  const TenantStatus status = service.status(0);
+  EXPECT_EQ(status.steps, 8u);
+  EXPECT_GT(status.provider_time, time_after_first);
+  // Second run() must not re-bootstrap.
+  EXPECT_EQ(service.status(0).snapshots_ingested,
+            4u + status.refreshes - 1u);
+}
+
+TEST(ConstantFinderService, TrajectoryIndependentOfThreadCount) {
+  // Same tenant configs driven by a single worker and by four workers
+  // must produce bit-identical trajectories: tenants share no mutable
+  // state, so the interleaving cannot leak into the results.
+  const auto drive = [](std::size_t threads) {
+    ServiceOptions options;
+    options.threads = threads;
+    auto service = std::make_unique<ConstantFinderService>(options);
+    std::vector<std::unique_ptr<cloud::SyntheticCloud>> clouds;
+    for (std::uint64_t t = 0; t < 3; ++t) {
+      clouds.push_back(
+          std::make_unique<cloud::SyntheticCloud>(tiny_cloud(30 + t)));
+      service->add_tenant(tenant_config("tenant" + std::to_string(t),
+                                        *clouds.back(), 100 + t));
+    }
+    service->run(10);
+    struct Outcome {
+      TenantStatus status;
+      core::ConstantComponent component;
+    };
+    std::vector<Outcome> outcomes;
+    for (std::size_t t = 0; t < 3; ++t) {
+      outcomes.push_back({service->status(t), service->component(t)});
+    }
+    return outcomes;
+  };
+
+  const auto serial = drive(1);
+  const auto threaded = drive(4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t t = 0; t < serial.size(); ++t) {
+    const TenantStatus& a = serial[t].status;
+    const TenantStatus& b = threaded[t].status;
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_DOUBLE_EQ(a.provider_time, b.provider_time);
+    EXPECT_EQ(a.error_norm, b.error_norm);
+    EXPECT_EQ(a.level, b.level);
+    EXPECT_EQ(a.snapshots_ingested, b.snapshots_ingested);
+    EXPECT_EQ(a.refreshes, b.refreshes);
+    EXPECT_EQ(a.warm_solves, b.warm_solves);
+    EXPECT_EQ(a.cold_solves, b.cold_solves);
+    EXPECT_EQ(a.breaches, b.breaches);
+    EXPECT_EQ(a.interval_recalibrations, b.interval_recalibrations);
+    EXPECT_EQ(a.suppressed_recalibrations, b.suppressed_recalibrations);
+    EXPECT_EQ(serial[t].component.constant.bandwidth().max_abs_diff(
+                  threaded[t].component.constant.bandwidth()),
+              0.0);
+    EXPECT_EQ(serial[t].component.constant.latency().max_abs_diff(
+                  threaded[t].component.constant.latency()),
+              0.0);
+  }
+}
+
+}  // namespace
+}  // namespace netconst::online

@@ -1,0 +1,144 @@
+#include "online/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace netconst::online {
+namespace {
+
+using netmodel::PerformanceMatrix;
+
+/// Snapshot with a recognizable per-entry pattern parameterized by `t`.
+PerformanceMatrix make_snapshot(std::size_t n, double t) {
+  PerformanceMatrix p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      netmodel::LinkParams link;
+      link.alpha = 1e-4 * (1.0 + static_cast<double>(i * n + j)) + 1e-6 * t;
+      link.beta = 1e8 / (1.0 + static_cast<double>(i + j) + 0.01 * t);
+      p.set_link(i, j, link);
+    }
+  }
+  return p;
+}
+
+TEST(SlidingWindow, CapacityContract) {
+  EXPECT_THROW(SlidingWindow(0), ContractViolation);
+  EXPECT_THROW(SlidingWindow(1), ContractViolation);
+  SlidingWindow window(2);
+  EXPECT_EQ(window.capacity(), 2u);
+  EXPECT_TRUE(window.empty());
+  EXPECT_EQ(window.cluster_size(), 0u);
+}
+
+TEST(SlidingWindow, GrowthPhaseMatchesBatchFlatten) {
+  const std::size_t n = 4;
+  SlidingWindow window(5);
+  for (std::size_t k = 0; k < 3; ++k) {
+    window.push(100.0 * static_cast<double>(k),
+                make_snapshot(n, static_cast<double>(k)));
+  }
+  EXPECT_EQ(window.size(), 3u);
+  EXPECT_FALSE(window.full());
+  EXPECT_EQ(window.cluster_size(), n);
+
+  const auto series = window.to_series();
+  const linalg::Matrix lat_batch = series.flatten(netmodel::Field::Latency);
+  const linalg::Matrix bw_batch = series.flatten(netmodel::Field::Bandwidth);
+  // While filling, ring order == time order.
+  EXPECT_EQ(window.latency_data().max_abs_diff(lat_batch), 0.0);
+  EXPECT_EQ(window.bandwidth_data().max_abs_diff(bw_batch), 0.0);
+}
+
+TEST(SlidingWindow, RingContentsEqualBatchRebuiltTpMatrixAfterEviction) {
+  const std::size_t n = 3;
+  const std::size_t capacity = 4;
+  SlidingWindow window(capacity);
+  // Push 7 snapshots: 3 evictions; window holds snapshots 3..6.
+  netmodel::TemporalPerformance expected;
+  for (std::size_t k = 0; k < 7; ++k) {
+    const double time = 10.0 * static_cast<double>(k);
+    const PerformanceMatrix snapshot =
+        make_snapshot(n, static_cast<double>(k));
+    window.push(time, snapshot);
+    if (k >= 3) expected.append(time, snapshot);
+  }
+  EXPECT_TRUE(window.full());
+  EXPECT_EQ(window.pushes(), 7u);
+  EXPECT_DOUBLE_EQ(window.oldest_time(), 30.0);
+  EXPECT_DOUBLE_EQ(window.newest_time(), 60.0);
+
+  // Row-by-row: ring slot of age k holds the k-th oldest snapshot.
+  const linalg::Matrix lat_batch = expected.flatten(netmodel::Field::Latency);
+  const linalg::Matrix bw_batch =
+      expected.flatten(netmodel::Field::Bandwidth);
+  for (std::size_t k = 0; k < capacity; ++k) {
+    const std::size_t slot = window.slot_of_age(k);
+    EXPECT_DOUBLE_EQ(window.time_in_slot(slot), expected.time_at(k));
+    const auto lat_row = window.latency_data().row(slot);
+    const auto bw_row = window.bandwidth_data().row(slot);
+    for (std::size_t c = 0; c < n * n; ++c) {
+      EXPECT_DOUBLE_EQ(lat_row[c], lat_batch(k, c)) << "age " << k;
+      EXPECT_DOUBLE_EQ(bw_row[c], bw_batch(k, c)) << "age " << k;
+    }
+  }
+
+  // And the rebuilt series equals the batch series wholesale.
+  const auto rebuilt = window.to_series();
+  EXPECT_EQ(rebuilt.row_count(), capacity);
+  EXPECT_EQ(rebuilt.flatten(netmodel::Field::Bandwidth)
+                .max_abs_diff(bw_batch),
+            0.0);
+}
+
+TEST(SlidingWindow, SlotAssignmentWrapsRoundRobin) {
+  SlidingWindow window(3);
+  for (std::size_t k = 0; k < 5; ++k) {
+    window.push(static_cast<double>(k), make_snapshot(2, 0.0));
+  }
+  // Pushes 3 and 4 overwrote slots 0 and 1; oldest (age 0) is push 2 in
+  // slot 2.
+  EXPECT_EQ(window.slot_of_age(0), 2u);
+  EXPECT_EQ(window.slot_of_age(1), 0u);
+  EXPECT_EQ(window.slot_of_age(2), 1u);
+}
+
+TEST(SlidingWindow, PushContractViolations) {
+  SlidingWindow window(3);
+  window.push(10.0, make_snapshot(3, 0.0));
+  // Cluster size change.
+  EXPECT_THROW(window.push(11.0, make_snapshot(4, 0.0)), ContractViolation);
+  // Time going backwards.
+  EXPECT_THROW(window.push(9.0, make_snapshot(3, 0.0)), ContractViolation);
+  // Equal time is allowed (matches TemporalPerformance::append).
+  window.push(10.0, make_snapshot(3, 1.0));
+  EXPECT_EQ(window.size(), 2u);
+}
+
+TEST(SlidingWindow, AccessorsOnEmptyWindowThrow) {
+  SlidingWindow window(2);
+  EXPECT_THROW(window.oldest_time(), ContractViolation);
+  EXPECT_THROW(window.newest_time(), ContractViolation);
+  EXPECT_THROW(window.latency_data(), ContractViolation);
+  EXPECT_THROW(window.bandwidth_data(), ContractViolation);
+  EXPECT_THROW(window.slot_of_age(0), ContractViolation);
+}
+
+TEST(SlidingWindow, ClearKeepsCapacityAndCounts) {
+  SlidingWindow window(2);
+  window.push(0.0, make_snapshot(2, 0.0));
+  window.push(1.0, make_snapshot(2, 1.0));
+  window.push(2.0, make_snapshot(2, 2.0));
+  window.clear();
+  EXPECT_TRUE(window.empty());
+  EXPECT_EQ(window.capacity(), 2u);
+  EXPECT_EQ(window.pushes(), 3u);  // lifetime count survives clear
+  // Reusable after clear, and time may restart.
+  window.push(0.5, make_snapshot(2, 3.0));
+  EXPECT_EQ(window.size(), 1u);
+}
+
+}  // namespace
+}  // namespace netconst::online
