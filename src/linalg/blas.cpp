@@ -1,5 +1,6 @@
 #include "linalg/blas.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/error.hpp"
@@ -62,14 +63,48 @@ Matrix gram(const Matrix& a) {
 }
 
 Matrix outer_gram(const Matrix& a) {
+  Matrix g;
+  outer_gram_into(a, g);
+  return g;
+}
+
+void outer_gram_into(const Matrix& a, Matrix& g) {
   const std::size_t m = a.rows();
-  Matrix g(m, m);
+  const std::size_t n = a.cols();
+  g.resize(m, m);  // every element is written below
   parallel_for_chunked(
       0, m,
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i1 = lo; i1 < hi; ++i1) {
           const auto r1 = a.row(i1);
-          for (std::size_t i2 = i1; i2 < m; ++i2) {
+          // Four dots per pass over r1: the accumulators are independent
+          // dependency chains (each individual dot still sums in index
+          // order, so every G entry is bit-identical to a lone dot()),
+          // and r1 is loaded once instead of once per i2.
+          std::size_t i2 = i1;
+          for (; i2 + 4 <= m; i2 += 4) {
+            const auto r2a = a.row(i2);
+            const auto r2b = a.row(i2 + 1);
+            const auto r2c = a.row(i2 + 2);
+            const auto r2d = a.row(i2 + 3);
+            double sa = 0.0, sb = 0.0, sc = 0.0, sd = 0.0;
+            for (std::size_t j = 0; j < n; ++j) {
+              const double x = r1[j];
+              sa += x * r2a[j];
+              sb += x * r2b[j];
+              sc += x * r2c[j];
+              sd += x * r2d[j];
+            }
+            g(i1, i2) = sa;
+            g(i2, i1) = sa;
+            g(i1, i2 + 1) = sb;
+            g(i2 + 1, i1) = sb;
+            g(i1, i2 + 2) = sc;
+            g(i2 + 2, i1) = sc;
+            g(i1, i2 + 3) = sd;
+            g(i2 + 3, i1) = sd;
+          }
+          for (; i2 < m; ++i2) {
             const double s = dot(r1, a.row(i2));
             g(i1, i2) = s;
             g(i2, i1) = s;
@@ -77,27 +112,39 @@ Matrix outer_gram(const Matrix& a) {
         }
       },
       /*grain=*/1);
-  return g;
 }
 
 std::vector<double> multiply(const Matrix& a, std::span<const double> x) {
-  NETCONST_CHECK(a.cols() == x.size(), "gemv dimension mismatch");
   std::vector<double> y(a.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) y[i] = dot(a.row(i), x);
+  multiply_into(a, x, y);
   return y;
+}
+
+void multiply_into(const Matrix& a, std::span<const double> x,
+                   std::span<double> y) {
+  NETCONST_CHECK(a.cols() == x.size(), "gemv dimension mismatch");
+  NETCONST_CHECK(a.rows() == y.size(), "gemv output size mismatch");
+  for (std::size_t i = 0; i < a.rows(); ++i) y[i] = dot(a.row(i), x);
 }
 
 std::vector<double> multiply_transposed(const Matrix& a,
                                         std::span<const double> x) {
-  NETCONST_CHECK(a.rows() == x.size(), "gemv^T dimension mismatch");
   std::vector<double> y(a.cols(), 0.0);
+  multiply_transposed_into(a, x, y);
+  return y;
+}
+
+void multiply_transposed_into(const Matrix& a, std::span<const double> x,
+                              std::span<double> y) {
+  NETCONST_CHECK(a.rows() == x.size(), "gemv^T dimension mismatch");
+  NETCONST_CHECK(a.cols() == y.size(), "gemv^T output size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double xi = x[i];
     if (xi == 0.0) continue;
     const auto ri = a.row(i);
     for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * ri[j];
   }
-  return y;
 }
 
 double dot(std::span<const double> x, std::span<const double> y) {

@@ -19,12 +19,25 @@ Matrix gram(const Matrix& a);
 /// C = A * A^T (m x m), exploiting symmetry.
 Matrix outer_gram(const Matrix& a);
 
+/// outer_gram writing into caller-owned storage (resized to m x m,
+/// reusing capacity). Numerically identical to outer_gram; performs no
+/// allocation once `g` has capacity.
+void outer_gram_into(const Matrix& a, Matrix& g);
+
 /// y = A * x.
 std::vector<double> multiply(const Matrix& a, std::span<const double> x);
+
+/// y = A * x into a preallocated y (y.size() == a.rows()).
+void multiply_into(const Matrix& a, std::span<const double> x,
+                   std::span<double> y);
 
 /// y = A^T * x.
 std::vector<double> multiply_transposed(const Matrix& a,
                                         std::span<const double> x);
+
+/// y = A^T * x into a preallocated y (y.size() == a.cols()).
+void multiply_transposed_into(const Matrix& a, std::span<const double> x,
+                              std::span<double> y);
 
 /// Dot product.
 double dot(std::span<const double> x, std::span<const double> y);

@@ -27,6 +27,15 @@ double frobenius(const Matrix& a) {
 
 SymmetricEigen eigen_symmetric(const Matrix& a,
                                const JacobiOptions& options) {
+  SymmetricEigenScratch scratch;
+  SymmetricEigen result;
+  eigen_symmetric_into(a, options, scratch, result);
+  return result;
+}
+
+void eigen_symmetric_into(const Matrix& a, const JacobiOptions& options,
+                          SymmetricEigenScratch& scratch,
+                          SymmetricEigen& out) {
   NETCONST_CHECK(a.rows() == a.cols(), "eigen_symmetric needs square input");
   const std::size_t n = a.rows();
   // Loose symmetry check: tolerate roundoff from Gram accumulation.
@@ -39,7 +48,8 @@ SymmetricEigen eigen_symmetric(const Matrix& a,
   const double scale = std::max(frobenius(a), 1.0);
   NETCONST_CHECK(asym <= 1e-8 * scale, "input is not symmetric");
 
-  Matrix w = a;  // working copy, symmetrized
+  Matrix& w = scratch.work;  // working copy, symmetrized
+  w = a;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       const double avg = 0.5 * (w(i, j) + w(j, i));
@@ -47,9 +57,12 @@ SymmetricEigen eigen_symmetric(const Matrix& a,
       w(j, i) = avg;
     }
   }
-  Matrix v = Matrix::identity(n);
+  Matrix& v = scratch.rotations;
+  v.resize(n, n);
+  v.fill(0.0);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
 
-  SymmetricEigen result;
+  SymmetricEigen& result = out;
   const double stop = options.tolerance * scale;
   int sweep = 0;
   for (; sweep < options.max_sweeps; ++sweep) {
@@ -91,23 +104,24 @@ SymmetricEigen eigen_symmetric(const Matrix& a,
   result.sweeps = sweep;
 
   // Sort eigenpairs by descending eigenvalue.
-  std::vector<std::size_t> order(n);
+  std::vector<std::size_t>& order = scratch.order;
+  order.resize(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
-  std::vector<double> diag(n);
+  std::vector<double>& diag = scratch.diagonal;
+  diag.resize(n);
   for (std::size_t i = 0; i < n; ++i) diag[i] = w(i, i);
   std::sort(order.begin(), order.end(),
             [&diag](std::size_t x, std::size_t y) {
               return diag[x] > diag[y];
             });
   result.eigenvalues.resize(n);
-  result.eigenvectors = Matrix(n, n);
+  result.eigenvectors.resize(n, n);  // fully overwritten below
   for (std::size_t k = 0; k < n; ++k) {
     result.eigenvalues[k] = diag[order[k]];
     for (std::size_t i = 0; i < n; ++i) {
       result.eigenvectors(i, k) = v(i, order[k]);
     }
   }
-  return result;
 }
 
 }  // namespace netconst::linalg

@@ -25,8 +25,26 @@ struct JacobiOptions {
   double tolerance = 1e-12;  // relative off-diagonal norm stop criterion
 };
 
+/// Reusable working storage of the Jacobi sweep: the symmetrized working
+/// copy, the accumulated rotations, and the sort permutation. Callers on
+/// the RPCA hot path keep one of these per solver workspace so repeated
+/// eigendecompositions of same-sized Gram matrices allocate nothing.
+struct SymmetricEigenScratch {
+  Matrix work;                     // symmetrized working copy of the input
+  Matrix rotations;                // accumulated Jacobi rotations
+  std::vector<std::size_t> order;  // sort permutation
+  std::vector<double> diagonal;    // unsorted eigenvalues
+};
+
 /// Eigendecomposition of a symmetric matrix. The input must be square and
 /// numerically symmetric (max asymmetry is checked against a loose bound).
 SymmetricEigen eigen_symmetric(const Matrix& a, const JacobiOptions& options = {});
+
+/// eigen_symmetric into caller-owned output and scratch storage.
+/// Numerically identical to eigen_symmetric; performs no allocation once
+/// `scratch` and `out` carry capacity for this problem size.
+void eigen_symmetric_into(const Matrix& a, const JacobiOptions& options,
+                          SymmetricEigenScratch& scratch,
+                          SymmetricEigen& out);
 
 }  // namespace netconst::linalg

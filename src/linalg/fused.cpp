@@ -1,0 +1,215 @@
+#include "linalg/fused.hpp"
+
+#include "support/error.hpp"
+#include "support/parallel_for.hpp"
+
+namespace netconst::linalg {
+namespace {
+
+// Elementwise kernels are memory-bound; one chunk should cover enough
+// elements to amortize the fork (same coarse-grain discipline as the
+// row-panel kernels in blas.cpp, expressed in elements instead of rows).
+constexpr std::size_t kElementGrain = 8192;
+
+void check_same_shape(const Matrix& a, const Matrix& b, const char* what) {
+  NETCONST_CHECK(a.same_shape(b), what);
+}
+
+}  // namespace
+
+void axpby(double alpha, const Matrix& x, double beta, const Matrix& y,
+           Matrix& out) {
+  check_same_shape(x, y, "axpby shape mismatch");
+  out.resize(x.rows(), x.cols());
+  const auto xs = x.data();
+  const auto ys = y.data();
+  const auto os = out.data();
+  parallel_for_chunked(
+      0, xs.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          os[i] = alpha * xs[i] + beta * ys[i];
+        }
+      },
+      kElementGrain);
+}
+
+void extrapolate(const Matrix& x, const Matrix& x_prev, double c,
+                 Matrix& out) {
+  check_same_shape(x, x_prev, "extrapolate shape mismatch");
+  out.resize(x.rows(), x.cols());
+  const auto xs = x.data();
+  const auto ps = x_prev.data();
+  const auto os = out.data();
+  parallel_for_chunked(
+      0, xs.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          os[i] = xs[i] + (xs[i] - ps[i]) * c;
+        }
+      },
+      kElementGrain);
+}
+
+void fused_residual(const Matrix& yd, const Matrix& ye, const Matrix& a,
+                    Matrix& out) {
+  check_same_shape(yd, ye, "fused_residual shape mismatch");
+  check_same_shape(yd, a, "fused_residual shape mismatch");
+  out.resize(a.rows(), a.cols());
+  const auto ds = yd.data();
+  const auto es = ye.data();
+  const auto as = a.data();
+  const auto os = out.data();
+  parallel_for_chunked(
+      0, as.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          os[i] = (ds[i] + es[i]) - as[i];
+        }
+      },
+      kElementGrain);
+}
+
+void sub_scaled(const Matrix& y, double alpha, const Matrix& r,
+                Matrix& out) {
+  check_same_shape(y, r, "sub_scaled shape mismatch");
+  out.resize(y.rows(), y.cols());
+  const auto ys = y.data();
+  const auto rs = r.data();
+  const auto os = out.data();
+  parallel_for_chunked(
+      0, ys.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          os[i] = ys[i] - rs[i] * alpha;
+        }
+      },
+      kElementGrain);
+}
+
+void gradient_step(const Matrix& d, const Matrix& d_prev, const Matrix& e,
+                   const Matrix& e_prev, const Matrix& a, double c,
+                   double inv_lf, double soft_tau, Matrix& gd,
+                   Matrix& e_next) {
+  check_same_shape(d, d_prev, "gradient_step shape mismatch");
+  check_same_shape(d, e, "gradient_step shape mismatch");
+  check_same_shape(e, e_prev, "gradient_step shape mismatch");
+  check_same_shape(d, a, "gradient_step shape mismatch");
+  NETCONST_CHECK(soft_tau >= 0.0, "soft threshold must be non-negative");
+  gd.resize(d.rows(), d.cols());
+  e_next.resize(d.rows(), d.cols());
+  const auto ds = d.data();
+  const auto dp = d_prev.data();
+  const auto es = e.data();
+  const auto ep = e_prev.data();
+  const auto as = a.data();
+  const auto gds = gd.data();
+  const auto ens = e_next.data();
+  parallel_for_chunked(
+      0, ds.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double yd = ds[i] + (ds[i] - dp[i]) * c;
+          const double ye = es[i] + (es[i] - ep[i]) * c;
+          const double r = (yd + ye) - as[i];
+          gds[i] = yd - r * inv_lf;
+          const double ge = ye - r * inv_lf;
+          if (ge > soft_tau) {
+            ens[i] = ge - soft_tau;
+          } else if (ge < -soft_tau) {
+            ens[i] = ge + soft_tau;
+          } else {
+            ens[i] = 0.0;
+          }
+        }
+      },
+      kElementGrain);
+}
+
+void sub_add_scaled(const Matrix& a, const Matrix& b, double alpha,
+                    const Matrix& c, Matrix& out) {
+  check_same_shape(a, b, "sub_add_scaled shape mismatch");
+  check_same_shape(a, c, "sub_add_scaled shape mismatch");
+  out.resize(a.rows(), a.cols());
+  const auto as = a.data();
+  const auto bs = b.data();
+  const auto cs = c.data();
+  const auto os = out.data();
+  parallel_for_chunked(
+      0, as.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          os[i] = (as[i] - bs[i]) + cs[i] * alpha;
+        }
+      },
+      kElementGrain);
+}
+
+void sub(const Matrix& a, const Matrix& b, Matrix& out) {
+  check_same_shape(a, b, "sub shape mismatch");
+  out.resize(a.rows(), a.cols());
+  const auto as = a.data();
+  const auto bs = b.data();
+  const auto os = out.data();
+  parallel_for_chunked(
+      0, as.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) os[i] = as[i] - bs[i];
+      },
+      kElementGrain);
+}
+
+void sub_sub(const Matrix& a, const Matrix& b, const Matrix& c,
+             Matrix& out) {
+  check_same_shape(a, b, "sub_sub shape mismatch");
+  check_same_shape(a, c, "sub_sub shape mismatch");
+  out.resize(a.rows(), a.cols());
+  const auto as = a.data();
+  const auto bs = b.data();
+  const auto cs = c.data();
+  const auto os = out.data();
+  parallel_for_chunked(
+      0, as.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          os[i] = (as[i] - bs[i]) - cs[i];
+        }
+      },
+      kElementGrain);
+}
+
+void add_scaled(double alpha, const Matrix& x, Matrix& y) {
+  check_same_shape(x, y, "add_scaled shape mismatch");
+  const auto xs = x.data();
+  const auto ys = y.data();
+  parallel_for_chunked(
+      0, xs.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) ys[i] += xs[i] * alpha;
+      },
+      kElementGrain);
+}
+
+void soft_threshold_into(const Matrix& src, double tau, Matrix& out) {
+  NETCONST_CHECK(tau >= 0.0, "soft threshold must be non-negative");
+  out.resize(src.rows(), src.cols());
+  const auto ss = src.data();
+  const auto os = out.data();
+  parallel_for_chunked(
+      0, ss.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double v = ss[i];
+          if (v > tau) {
+            os[i] = v - tau;
+          } else if (v < -tau) {
+            os[i] = v + tau;
+          } else {
+            os[i] = 0.0;
+          }
+        }
+      },
+      kElementGrain);
+}
+
+}  // namespace netconst::linalg

@@ -1,0 +1,68 @@
+// Fused elementwise kernels for the RPCA iteration loop.
+//
+// The solvers' algebra was originally written as chains of Matrix
+// operator+/-/* calls; each link allocated (and zero-faulted) a fresh
+// m x n temporary and made an extra pass over memory. Every kernel here
+// computes one full right-hand side in a single pass and writes into a
+// caller-owned output, so an APG/IALM/stable-PCP iteration touches each
+// matrix exactly once and allocates nothing (see docs/PERFORMANCE.md).
+//
+// Bit-exactness contract: each kernel performs the same floating-point
+// operations, in the same per-element order, as the operator chain it
+// replaces — this is what lets the workspace solvers match the reference
+// solvers exactly (tests/rpca/workspace_equivalence_test.cpp). All
+// kernels parallelize over the shared pool with a coarse grain, which is
+// safe because every output element is computed independently.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace netconst::linalg {
+
+/// out = alpha * x + beta * y, elementwise (general-purpose axpby).
+void axpby(double alpha, const Matrix& x, double beta, const Matrix& y,
+           Matrix& out);
+
+/// Momentum extrapolation out = x + c * (x - x_prev) in one pass —
+/// replaces {copy, subtract, scale, add} of the APG extrapolation step.
+void extrapolate(const Matrix& x, const Matrix& x_prev, double c,
+                 Matrix& out);
+
+/// out = (yd + ye) - a: the shared residual of the smooth RPCA term.
+void fused_residual(const Matrix& yd, const Matrix& ye, const Matrix& a,
+                    Matrix& out);
+
+/// out = y - alpha * r: the proximal gradient step.
+void sub_scaled(const Matrix& y, double alpha, const Matrix& r, Matrix& out);
+
+/// The whole APG / stable-PCP gradient step plus the sparse-block prox in
+/// one pass. With the extrapolated points yd = d + (d - d_prev) * c and
+/// ye = e + (e - e_prev) * c and the shared residual r = (yd + ye) - a,
+/// writes gd = yd - r * inv_lf and e_next = soft-threshold(ye - r *
+/// inv_lf, soft_tau) without materializing yd, ye, r, or the raw ge: six
+/// kernel launches (eighteen passes over m x n memory) become one launch
+/// with seven passes. The per-element operation order is exactly
+/// extrapolate + fused_residual + sub_scaled + soft_threshold_into.
+void gradient_step(const Matrix& d, const Matrix& d_prev, const Matrix& e,
+                   const Matrix& e_prev, const Matrix& a, double c,
+                   double inv_lf, double soft_tau, Matrix& gd,
+                   Matrix& e_next);
+
+/// out = (a - b) + alpha * c: IALM's shrinkage target A - E + Y/mu.
+void sub_add_scaled(const Matrix& a, const Matrix& b, double alpha,
+                    const Matrix& c, Matrix& out);
+
+/// out = a - b.
+void sub(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = (a - b) - c: the final decomposition residual A - D - E.
+void sub_sub(const Matrix& a, const Matrix& b, const Matrix& c, Matrix& out);
+
+/// y += alpha * x (matrix axpy): IALM's multiplier update Y += mu * R.
+void add_scaled(double alpha, const Matrix& x, Matrix& y);
+
+/// out = soft-threshold(src, tau): sign(v) * max(|v| - tau, 0) without
+/// the copy the out-of-place soft_threshold makes.
+void soft_threshold_into(const Matrix& src, double tau, Matrix& out);
+
+}  // namespace netconst::linalg

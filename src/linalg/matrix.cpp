@@ -73,6 +73,12 @@ void Matrix::fill(double value) {
   std::fill(data_.begin(), data_.end(), value);
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 Matrix Matrix::transposed() const {
   Matrix t(cols_, rows_);
   for (std::size_t i = 0; i < rows_; ++i) {

@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <initializer_list>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace netconst::linalg {
@@ -24,6 +25,24 @@ class Matrix {
 
   /// From nested initializer list; all rows must have equal width.
   Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  // Moves are noexcept and copies are defaulted; workspace code rotates
+  // iterates with swap()/moves and relies on these never deep-copying.
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+  ~Matrix() = default;
+
+  /// O(1) exchange of shape and storage. Never allocates or copies
+  /// elements — the RPCA solvers rotate (iterate, previous-iterate) buffer
+  /// pairs with this instead of assignment.
+  void swap(Matrix& other) noexcept {
+    std::swap(rows_, other.rows_);
+    std::swap(cols_, other.cols_);
+    data_.swap(other.data_);
+  }
+  friend void swap(Matrix& a, Matrix& b) noexcept { a.swap(b); }
 
   /// Build from a flat row-major buffer (copied). size must be rows*cols.
   static Matrix from_rows(std::size_t rows, std::size_t cols,
@@ -63,6 +82,12 @@ class Matrix {
   void set_row(std::size_t i, std::span<const double> values);
 
   void fill(double value);
+
+  /// Reshape to rows x cols, reusing the existing storage when capacity
+  /// allows (the point: a workspace matrix resized to the same shape every
+  /// solve performs zero allocations after the first). Element values are
+  /// unspecified afterwards; callers overwrite or fill().
+  void resize(std::size_t rows, std::size_t cols);
 
   Matrix transposed() const;
 

@@ -38,20 +38,33 @@ std::size_t l0_count(const Matrix& a, double tolerance) {
 double nuclear_norm(const Matrix& a) { return svd(a).nuclear_norm(); }
 
 double spectral_norm(const Matrix& a, int max_iterations, double tolerance) {
+  SpectralNormScratch scratch;
+  return spectral_norm(a, scratch, max_iterations, tolerance);
+}
+
+double spectral_norm(const Matrix& a, SpectralNormScratch& scratch,
+                     int max_iterations, double tolerance) {
   NETCONST_CHECK(!a.empty(), "spectral norm of an empty matrix");
   // Power iteration on the smaller Gram operator.
   const bool wide = a.cols() > a.rows();
   const std::size_t dim = wide ? a.rows() : a.cols();
-  std::vector<double> x(dim, 1.0 / std::sqrt(static_cast<double>(dim)));
+  const std::size_t other = wide ? a.cols() : a.rows();
+  std::vector<double>& x = scratch.x;
+  std::vector<double>& y = scratch.y;
+  std::vector<double>& t = scratch.t;
+  x.assign(dim, 1.0 / std::sqrt(static_cast<double>(dim)));
+  y.resize(dim);
+  t.resize(other);
   double sigma = 0.0;
   for (int it = 0; it < max_iterations; ++it) {
-    std::vector<double> y;
     if (wide) {
       // y = A (A^T x)
-      y = multiply(a, multiply_transposed(a, x));
+      multiply_transposed_into(a, x, t);
+      multiply_into(a, t, y);
     } else {
       // y = A^T (A x)
-      y = multiply_transposed(a, multiply(a, x));
+      multiply_into(a, x, t);
+      multiply_transposed_into(a, t, y);
     }
     const double norm = norm2(y);
     if (norm == 0.0) return 0.0;

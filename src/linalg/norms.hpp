@@ -32,4 +32,17 @@ double nuclear_norm(const Matrix& a);
 double spectral_norm(const Matrix& a, int max_iterations = 100,
                      double tolerance = 1e-9);
 
+/// Power-iteration vectors reused across spectral_norm calls on
+/// same-sized inputs (one per solver workspace).
+struct SpectralNormScratch {
+  std::vector<double> x;  // current iterate, length min(m, n)
+  std::vector<double> y;  // next iterate
+  std::vector<double> t;  // intermediate gemv result, length max(m, n)
+};
+
+/// spectral_norm with caller-owned scratch; numerically identical and
+/// allocation-free once `scratch` carries capacity.
+double spectral_norm(const Matrix& a, SpectralNormScratch& scratch,
+                     int max_iterations = 100, double tolerance = 1e-9);
+
 }  // namespace netconst::linalg

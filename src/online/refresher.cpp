@@ -6,26 +6,47 @@
 #include "support/stopwatch.hpp"
 
 namespace netconst::online {
+namespace {
+
+/// Empty a WarmStart without releasing its matrix capacity (resize(0, 0)
+/// keeps the buffers; assignment of a fresh WarmStart would free them).
+void clear_seed(rpca::WarmStart& seed) {
+  seed.low_rank.resize(0, 0);
+  seed.sparse.resize(0, 0);
+  seed.mu = 0.0;
+  seed.mu_floor = 0.0;
+}
+
+}  // namespace
 
 WindowRefresher::WindowRefresher(const RefresherOptions& options)
-    : options_(options) {
+    : options_(options), solve_opts_(options.finder.rpca) {
   NETCONST_CHECK(options_.divergence_residual >= 0.0,
                  "divergence residual must be >= 0");
 }
 
-rpca::Result WindowRefresher::solve_layer(const linalg::Matrix& data,
-                                          rpca::WarmStart& seed,
-                                          LayerRefresh& info) const {
+void WindowRefresher::solve_layer(const linalg::Matrix& data,
+                                  rpca::WarmStart& seed, rpca::Result& result,
+                                  LayerRefresh& info) {
   const Stopwatch clock;
-  rpca::Options opts = options_.finder.rpca;
   const bool use_seed =
       options_.warm_start && !seed.empty() &&
       seed.low_rank.rows() == data.rows() &&
       seed.low_rank.cols() == data.cols();
-  if (use_seed) opts.warm_start = std::move(seed);
+  // Loan the seed's buffers to the solver: a copy into Options would
+  // duplicate both factor matrices on every refresh.
+  if (use_seed) {
+    solve_opts_.warm_start = std::move(seed);
+  } else {
+    clear_seed(solve_opts_.warm_start);
+  }
   info.warm_attempted = use_seed;
 
-  rpca::Result result = rpca::solve(data, options_.finder.solver, opts);
+  rpca::solve(data, options_.finder.solver, solve_opts_, workspace_, result);
+  if (use_seed) {
+    seed = std::move(solve_opts_.warm_start);
+    clear_seed(solve_opts_.warm_start);
+  }
   info.seed_ignored = result.warm_start_ignored;
   info.warm_used = result.warm_started;
 
@@ -37,12 +58,12 @@ rpca::Result WindowRefresher::solve_layer(const linalg::Matrix& data,
     // or the iterate stalled): discard and solve from scratch.
     info.cold_fallback = true;
     info.warm_used = false;
-    result = rpca::solve(data, options_.finder.solver, options_.finder.rpca);
+    rpca::solve(data, options_.finder.solver, solve_opts_, workspace_,
+                result);
   }
   info.iterations = result.iterations;
   info.residual = result.solver_residual;
   info.solve_seconds = clock.seconds();
-  return result;
 }
 
 RefreshReport WindowRefresher::refresh(const SlidingWindow& window) {
@@ -53,18 +74,23 @@ RefreshReport WindowRefresher::refresh(const SlidingWindow& window) {
   const linalg::Matrix& bw_data = window.bandwidth_data();
 
   RefreshReport report;
-  const rpca::Result lat =
-      solve_layer(lat_data, latency_seed_, report.latency);
-  const rpca::Result bw =
-      solve_layer(bw_data, bandwidth_seed_, report.bandwidth);
+  solve_layer(lat_data, latency_seed_, latency_result_, report.latency);
+  solve_layer(bw_data, bandwidth_seed_, bandwidth_result_, report.bandwidth);
 
   report.component = core::assemble_component(
-      lat_data, lat, bw_data, bw, window.cluster_size(),
-      options_.finder.l0_rel_tolerance);
+      lat_data, latency_result_, bw_data, bandwidth_result_,
+      window.cluster_size(), options_.finder.l0_rel_tolerance);
 
-  // The accepted factors seed the next refresh.
-  latency_seed_ = {lat.low_rank, lat.sparse, lat.final_mu, lat.mu_floor};
-  bandwidth_seed_ = {bw.low_rank, bw.sparse, bw.final_mu, bw.mu_floor};
+  // The accepted factors seed the next refresh; copy-assignment reuses
+  // the seeds' existing capacity (zero allocations in steady state).
+  latency_seed_.low_rank = latency_result_.low_rank;
+  latency_seed_.sparse = latency_result_.sparse;
+  latency_seed_.mu = latency_result_.final_mu;
+  latency_seed_.mu_floor = latency_result_.mu_floor;
+  bandwidth_seed_.low_rank = bandwidth_result_.low_rank;
+  bandwidth_seed_.sparse = bandwidth_result_.sparse;
+  bandwidth_seed_.mu = bandwidth_result_.final_mu;
+  bandwidth_seed_.mu_floor = bandwidth_result_.mu_floor;
 
   report.total_seconds = clock.seconds();
   return report;

@@ -20,6 +20,7 @@
 #include "core/constant_finder.hpp"
 #include "online/window.hpp"
 #include "rpca/rpca.hpp"
+#include "rpca/workspace.hpp"
 
 namespace netconst::online {
 
@@ -86,13 +87,27 @@ class WindowRefresher {
   bool has_seed() const { return !latency_seed_.empty(); }
   const RefresherOptions& options() const { return options_; }
 
+  /// Counters of the persistent solver workspace (solves served,
+  /// spectral-norm estimates, SVT fast-path fallbacks).
+  const rpca::WorkspaceStats& workspace_stats() const {
+    return workspace_.stats;
+  }
+
  private:
-  rpca::Result solve_layer(const linalg::Matrix& data, rpca::WarmStart& seed,
-                           LayerRefresh& info) const;
+  void solve_layer(const linalg::Matrix& data, rpca::WarmStart& seed,
+                   rpca::Result& result, LayerRefresh& info);
 
   RefresherOptions options_;
   rpca::WarmStart latency_seed_;
   rpca::WarmStart bandwidth_seed_;
+  // Persistent solver state: one workspace plus per-layer Result buffers
+  // and a mutable Options whose warm_start slot loans the seed to the
+  // solver (moved in and back out around each solve). Together these make
+  // a steady-state warm refresh allocation-free in the solver path.
+  rpca::SolverWorkspace workspace_;
+  rpca::Options solve_opts_;
+  rpca::Result latency_result_;
+  rpca::Result bandwidth_result_;
 };
 
 }  // namespace netconst::online

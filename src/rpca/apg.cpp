@@ -1,21 +1,30 @@
 #include "rpca/apg.hpp"
 
+#include <algorithm>
 #include <cmath>
 
-#include "linalg/blas.hpp"
+#include "linalg/fused.hpp"
 #include "linalg/norms.hpp"
 #include "linalg/shrinkage.hpp"
+#include "rpca/workspace.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
 
 namespace netconst::rpca {
 
 Result solve_apg(const linalg::Matrix& a, const Options& options) {
-  NETCONST_CHECK(options.lambda > 0.0, "APG requires lambda > 0");
+  SolverWorkspace ws;
+  Result result;
+  solve_apg(a, options, options.lambda, ws, result);
+  return result;
+}
+
+void solve_apg(const linalg::Matrix& a, const Options& options,
+               double lambda, SolverWorkspace& ws, Result& result) {
+  NETCONST_CHECK(lambda > 0.0, "APG requires lambda > 0");
   const Stopwatch clock;
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
-  const double lambda = options.lambda;
   const double a_norm = linalg::frobenius_norm(a);
   NETCONST_CHECK(a_norm > 0.0, "APG of an all-zero matrix is trivial");
 
@@ -26,17 +35,21 @@ Result solve_apg(const linalg::Matrix& a, const Options& options) {
                        seed.sparse.rows() == m && seed.sparse.cols() == n,
                    "warm-start seed shape does not match the data");
   }
+  reset_result(result);
+  ++ws.stats.solves;
 
   // Continuation schedule: mu starts near the spectral norm and decays to
-  // mu_bar (values follow the reference APG implementation). A warm start
-  // resumes the previous solve's continuation state, skipping both the
-  // spectral-norm estimate and the decay phase.
+  // mu_bar. A warm seed carrying its continuation value resumes there; a
+  // seed without a floor gets the same 1e-9 ratio applied to the carried
+  // mu, so a resumed solve never pays for a spectral-norm estimate whose
+  // result it would discard.
   double mu, mu_bar;
-  if (warm && seed.mu > 0.0 && seed.mu_floor > 0.0) {
-    mu_bar = seed.mu_floor;
+  if (warm && seed.mu > 0.0) {
+    mu_bar = seed.mu_floor > 0.0 ? seed.mu_floor : 1e-9 * seed.mu;
     mu = std::max(seed.mu, mu_bar);
   } else {
-    mu = 0.99 * linalg::spectral_norm(a);
+    ++ws.stats.spectral_norm_evals;
+    mu = 0.99 * linalg::spectral_norm(a, ws.spectral);
     if (mu <= 0.0) mu = 1.0;
     mu_bar = 1e-9 * mu;
   }
@@ -44,58 +57,36 @@ Result solve_apg(const linalg::Matrix& a, const Options& options) {
   // Lipschitz constant of the smooth part's gradient is 2 (two blocks).
   const double inv_lf = 0.5;
 
-  linalg::Matrix d = warm ? seed.low_rank : linalg::Matrix(m, n);
-  linalg::Matrix e = warm ? seed.sparse : linalg::Matrix(m, n);
-  linalg::Matrix d_prev = d;
-  linalg::Matrix e_prev = e;
+  if (warm) {
+    ws.d = seed.low_rank;
+    ws.e = seed.sparse;
+  } else {
+    ws.d.resize(m, n);
+    ws.d.fill(0.0);
+    ws.e.resize(m, n);
+    ws.e.fill(0.0);
+  }
+  ws.d_prev = ws.d;
+  ws.e_prev = ws.e;
   double t = 1.0, t_prev = 1.0;
 
-  Result result;
   result.warm_started = warm;
   for (int k = 0; k < options.max_iterations; ++k) {
     const double momentum = (t_prev - 1.0) / t;
-    // Extrapolated points Y_D, Y_E.
-    linalg::Matrix yd = d;
-    {
-      linalg::Matrix diff = d;
-      diff -= d_prev;
-      diff *= momentum;
-      yd += diff;
-    }
-    linalg::Matrix ye = e;
-    {
-      linalg::Matrix diff = e;
-      diff -= e_prev;
-      diff *= momentum;
-      ye += diff;
-    }
+    // Extrapolated points Y_D, Y_E, the shared residual Y_D + Y_E - A of
+    // the smooth term, both proximal gradient steps, and the sparse
+    // block's soft-threshold prox, all in one pass: ws.ge receives the
+    // next E iterate directly.
+    linalg::gradient_step(ws.d, ws.d_prev, ws.e, ws.e_prev, a, momentum,
+                          inv_lf, lambda * mu * inv_lf, ws.gd, ws.ge);
 
-    // Shared residual Y_D + Y_E - A of the smooth term.
-    linalg::Matrix residual = yd;
-    residual += ye;
-    residual -= a;
-
-    // Proximal gradient steps on each block.
-    linalg::Matrix gd = yd;
-    {
-      linalg::Matrix step = residual;
-      step *= inv_lf;
-      gd -= step;
-    }
-    linalg::Matrix ge = ye;
-    {
-      linalg::Matrix step = residual;
-      step *= inv_lf;
-      ge -= step;
-    }
-
-    d_prev = std::move(d);
-    e_prev = std::move(e);
-    const auto svt =
-        linalg::singular_value_threshold(gd, mu * inv_lf, options.svd);
-    d = svt.value;
+    ws.d.swap(ws.d_prev);
+    ws.e.swap(ws.e_prev);
+    ws.e.swap(ws.ge);
+    const auto svt = linalg::singular_value_threshold_into(
+        ws.gd, mu * inv_lf, options.svd, ws.svt, ws.d);
+    if (!svt.used_scratch) ++ws.stats.svt_fallbacks;
     result.rank = svt.rank;
-    e = linalg::soft_threshold(ge, lambda * mu * inv_lf);
 
     t_prev = t;
     t = 0.5 * (1.0 + std::sqrt(4.0 * t * t + 1.0));
@@ -104,12 +95,15 @@ Result solve_apg(const linalg::Matrix& a, const Options& options) {
 
     // Convergence: relative change of the stacked iterate (D, E).
     double change = 0.0, scale = 0.0;
-    for (std::size_t idx = 0; idx < d.data().size(); ++idx) {
-      const double dd = d.data()[idx] - d_prev.data()[idx];
-      const double de = e.data()[idx] - e_prev.data()[idx];
+    const auto ds = ws.d.data();
+    const auto dp = ws.d_prev.data();
+    const auto es = ws.e.data();
+    const auto ep = ws.e_prev.data();
+    for (std::size_t idx = 0; idx < ds.size(); ++idx) {
+      const double dd = ds[idx] - dp[idx];
+      const double de = es[idx] - ep[idx];
       change += dd * dd + de * de;
-      scale += d.data()[idx] * d.data()[idx] +
-               e.data()[idx] * e.data()[idx];
+      scale += ds[idx] * ds[idx] + es[idx] * es[idx];
     }
     if (std::sqrt(change) <=
         options.tolerance * std::max(std::sqrt(scale), 1.0)) {
@@ -118,18 +112,13 @@ Result solve_apg(const linalg::Matrix& a, const Options& options) {
     }
   }
 
-  {
-    linalg::Matrix res = a;
-    res -= d;
-    res -= e;
-    result.residual = linalg::frobenius_norm(res) / a_norm;
-  }
-  result.low_rank = std::move(d);
-  result.sparse = std::move(e);
+  linalg::sub_sub(a, ws.d, ws.e, ws.residual);
+  result.residual = linalg::frobenius_norm(ws.residual) / a_norm;
+  result.low_rank.swap(ws.d);
+  result.sparse.swap(ws.e);
   result.final_mu = mu;
   result.mu_floor = mu_bar;
   result.solve_seconds = clock.seconds();
-  return result;
 }
 
 }  // namespace netconst::rpca

@@ -3,85 +3,80 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/fused.hpp"
 #include "linalg/norms.hpp"
 #include "linalg/shrinkage.hpp"
+#include "rpca/workspace.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
 
 namespace netconst::rpca {
 
 Result solve_ialm(const linalg::Matrix& a, const Options& options) {
-  NETCONST_CHECK(options.lambda > 0.0, "IALM requires lambda > 0");
+  SolverWorkspace ws;
+  Result result;
+  solve_ialm(a, options, options.lambda, ws, result);
+  return result;
+}
+
+void solve_ialm(const linalg::Matrix& a, const Options& options,
+                double lambda, SolverWorkspace& ws, Result& result) {
+  NETCONST_CHECK(lambda > 0.0, "IALM requires lambda > 0");
   const Stopwatch clock;
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
-  const double lambda = options.lambda;
   const double a_fro = linalg::frobenius_norm(a);
   NETCONST_CHECK(a_fro > 0.0, "IALM of an all-zero matrix is trivial");
+  reset_result(result);
+  ++ws.stats.solves;
 
-  const double a_spec = std::max(linalg::spectral_norm(a), 1e-300);
+  ++ws.stats.spectral_norm_evals;
+  const double a_spec =
+      std::max(linalg::spectral_norm(a, ws.spectral), 1e-300);
   // Multiplier initialization of the reference IALM implementation:
   // Y = A / max(||A||_2, ||A||_inf / lambda).
   const double dual_scale =
       std::max(a_spec, linalg::max_abs(a) / lambda);
-  linalg::Matrix y = a;
-  y *= 1.0 / dual_scale;
+  ws.y = a;
+  ws.y *= 1.0 / dual_scale;
 
   double mu = 1.25 / a_spec;
   const double mu_max = mu * 1e7;
   const double rho = 1.5;
 
-  linalg::Matrix d(m, n);
-  linalg::Matrix e(m, n);
+  ws.d.resize(m, n);
+  ws.d.fill(0.0);
+  ws.e.resize(m, n);
+  ws.e.fill(0.0);
 
-  Result result;
   for (int k = 0; k < options.max_iterations; ++k) {
     // D-step: SVT of A - E + Y/mu at threshold 1/mu.
-    linalg::Matrix target = a;
-    target -= e;
-    {
-      linalg::Matrix yscaled = y;
-      yscaled *= 1.0 / mu;
-      target += yscaled;
-    }
-    const auto svt =
-        linalg::singular_value_threshold(target, 1.0 / mu, options.svd);
-    d = svt.value;
+    linalg::sub_add_scaled(a, ws.e, 1.0 / mu, ws.y, ws.target);
+    const auto svt = linalg::singular_value_threshold_into(
+        ws.target, 1.0 / mu, options.svd, ws.svt, ws.d);
+    if (!svt.used_scratch) ++ws.stats.svt_fallbacks;
     result.rank = svt.rank;
 
     // E-step: soft threshold of A - D + Y/mu at lambda/mu.
-    linalg::Matrix etarget = a;
-    etarget -= d;
-    {
-      linalg::Matrix yscaled = y;
-      yscaled *= 1.0 / mu;
-      etarget += yscaled;
-    }
-    e = linalg::soft_threshold(etarget, lambda / mu);
+    linalg::sub_add_scaled(a, ws.d, 1.0 / mu, ws.y, ws.target);
+    linalg::soft_threshold_into(ws.target, lambda / mu, ws.e);
 
     // Multiplier update on the primal residual.
-    linalg::Matrix residual = a;
-    residual -= d;
-    residual -= e;
-    {
-      linalg::Matrix scaled = residual;
-      scaled *= mu;
-      y += scaled;
-    }
+    linalg::sub_sub(a, ws.d, ws.e, ws.residual);
+    linalg::add_scaled(mu, ws.residual, ws.y);
     mu = std::min(mu * rho, mu_max);
     result.iterations = k + 1;
 
-    result.residual = linalg::frobenius_norm(residual) / a_fro;
+    result.residual = linalg::frobenius_norm(ws.residual) / a_fro;
     if (result.residual <= options.tolerance) {
       result.converged = true;
       break;
     }
   }
 
-  result.low_rank = std::move(d);
-  result.sparse = std::move(e);
+  result.low_rank.swap(ws.d);
+  result.sparse.swap(ws.e);
   result.solve_seconds = clock.seconds();
-  return result;
 }
 
 }  // namespace netconst::rpca

@@ -13,4 +13,9 @@ namespace netconst::rpca {
 /// See rpca::solve with Solver::Ialm. `options.lambda` must be positive.
 Result solve_ialm(const linalg::Matrix& a, const Options& options);
 
+/// Workspace variant (see solve_apg's workspace overload for the
+/// conventions). Numerically identical to reference::solve_ialm.
+void solve_ialm(const linalg::Matrix& a, const Options& options,
+                double lambda, SolverWorkspace& ws, Result& result);
+
 }  // namespace netconst::rpca

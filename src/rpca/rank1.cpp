@@ -4,30 +4,46 @@
 #include <limits>
 
 #include "linalg/blas.hpp"
+#include "linalg/fused.hpp"
 #include "linalg/norms.hpp"
 #include "linalg/shrinkage.hpp"
+#include "rpca/workspace.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
 
 namespace netconst::rpca {
 
-linalg::Matrix rank1_approximation(const linalg::Matrix& a,
-                                   int max_iterations, double tolerance) {
+void rank1_approximation_into(const linalg::Matrix& a, Rank1Scratch& scratch,
+                              linalg::Matrix& out, int max_iterations,
+                              double tolerance) {
   NETCONST_CHECK(!a.empty(), "rank-1 approximation of an empty matrix");
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
 
   // Power iteration on A^T A for the dominant right singular vector.
-  std::vector<double> v(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double>& u = scratch.u;
+  std::vector<double>& v = scratch.v;
+  std::vector<double>& w = scratch.w;
+  v.assign(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  u.resize(m);
+  w.resize(n);
   double sigma_prev = 0.0;
   for (int it = 0; it < max_iterations; ++it) {
-    std::vector<double> u = linalg::multiply(a, v);   // A v
+    linalg::multiply_into(a, v, u);  // A v
     const double unorm = linalg::norm2(u);
-    if (unorm == 0.0) return linalg::Matrix(m, n);    // A is zero
+    if (unorm == 0.0) {  // A is zero
+      out.resize(m, n);
+      out.fill(0.0);
+      return;
+    }
     linalg::scale(1.0 / unorm, u);
-    std::vector<double> w = linalg::multiply_transposed(a, u);  // A^T u
+    linalg::multiply_transposed_into(a, u, w);  // A^T u
     const double sigma = linalg::norm2(w);
-    if (sigma == 0.0) return linalg::Matrix(m, n);
+    if (sigma == 0.0) {
+      out.resize(m, n);
+      out.fill(0.0);
+      return;
+    }
     for (std::size_t j = 0; j < n; ++j) v[j] = w[j] / sigma;
     if (std::abs(sigma - sigma_prev) <=
         tolerance * std::max(sigma, 1.0)) {
@@ -36,43 +52,55 @@ linalg::Matrix rank1_approximation(const linalg::Matrix& a,
     sigma_prev = sigma;
   }
 
-  const std::vector<double> u = linalg::multiply(a, v);  // = sigma * u_hat
-  linalg::Matrix d(m, n);
+  linalg::multiply_into(a, v, u);  // = sigma * u_hat
+  out.resize(m, n);
   for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) d(i, j) = u[i] * v[j];
+    for (std::size_t j = 0; j < n; ++j) out(i, j) = u[i] * v[j];
   }
-  return d;
+}
+
+linalg::Matrix rank1_approximation(const linalg::Matrix& a,
+                                   int max_iterations, double tolerance) {
+  Rank1Scratch scratch;
+  linalg::Matrix out;
+  rank1_approximation_into(a, scratch, out, max_iterations, tolerance);
+  return out;
 }
 
 Result solve_rank1(const linalg::Matrix& a, const Options& options) {
-  NETCONST_CHECK(options.lambda > 0.0, "rank-1 solver requires lambda > 0");
+  SolverWorkspace ws;
+  Result result;
+  solve_rank1(a, options, options.lambda, ws, result);
+  return result;
+}
+
+void solve_rank1(const linalg::Matrix& a, const Options& options,
+                 double lambda, SolverWorkspace& ws, Result& result) {
+  NETCONST_CHECK(lambda > 0.0, "rank-1 solver requires lambda > 0");
   const Stopwatch clock;
   const double a_fro = linalg::frobenius_norm(a);
   NETCONST_CHECK(a_fro > 0.0, "rank-1 RPCA of an all-zero matrix");
+  reset_result(result);
+  ++ws.stats.solves;
 
   // Threshold scaled to the data so lambda is comparable to the convex
   // solvers (their effective thresholds also scale with ||A||).
   const double mean_abs =
       linalg::l1_norm(a) / static_cast<double>(a.size());
-  const double tau = options.lambda * mean_abs;
+  const double tau = lambda * mean_abs;
 
-  linalg::Matrix e(a.rows(), a.cols());
-  linalg::Matrix d;
-  Result result;
+  ws.e.resize(a.rows(), a.cols());
+  ws.e.fill(0.0);
   double prev_residual = std::numeric_limits<double>::infinity();
   for (int k = 0; k < options.max_iterations; ++k) {
-    linalg::Matrix target = a;
-    target -= e;
-    d = rank1_approximation(target);
+    linalg::sub(a, ws.e, ws.target);
+    rank1_approximation_into(ws.target, ws.rank1, ws.d);
 
-    linalg::Matrix etarget = a;
-    etarget -= d;
-    e = linalg::soft_threshold(etarget, tau);
+    linalg::sub(a, ws.d, ws.target);
+    linalg::soft_threshold_into(ws.target, tau, ws.e);
 
-    linalg::Matrix residual = a;
-    residual -= d;
-    residual -= e;
-    result.residual = linalg::frobenius_norm(residual) / a_fro;
+    linalg::sub_sub(a, ws.d, ws.e, ws.residual);
+    result.residual = linalg::frobenius_norm(ws.residual) / a_fro;
     result.iterations = k + 1;
     // The soft threshold leaves a floor of magnitude-tau residual, so
     // converge on the *change* of the residual rather than its value.
@@ -84,14 +112,19 @@ Result solve_rank1(const linalg::Matrix& a, const Options& options) {
   }
 
   result.rank = 1;
-  result.low_rank = std::move(d);
-  result.sparse = std::move(e);
+  result.low_rank.swap(ws.d);
+  result.sparse.swap(ws.e);
   result.solve_seconds = clock.seconds();
-  return result;
 }
 
 void polish_rank1(const linalg::Matrix& a, Result& result, double lambda,
                   int max_iterations, double tolerance) {
+  SolverWorkspace ws;
+  polish_rank1(a, result, lambda, max_iterations, tolerance, ws);
+}
+
+void polish_rank1(const linalg::Matrix& a, Result& result, double lambda,
+                  int max_iterations, double tolerance, SolverWorkspace& ws) {
   NETCONST_CHECK(lambda > 0.0, "polish requires lambda > 0");
   NETCONST_CHECK(max_iterations > 0 && tolerance > 0.0,
                  "polish needs positive iteration budget and tolerance");
@@ -105,29 +138,30 @@ void polish_rank1(const linalg::Matrix& a, Result& result, double lambda,
       linalg::l1_norm(a) / static_cast<double>(a.size());
   const double tau = lambda * mean_abs;
 
-  linalg::Matrix d = std::move(result.low_rank);
-  linalg::Matrix e = std::move(result.sparse);
   result.polished = true;
   result.polish_converged = false;
   for (int k = 0; k < max_iterations; ++k) {
-    linalg::Matrix target = a;
-    target -= e;
-    linalg::Matrix d_next = rank1_approximation(target);
+    // Next iterates into ws.d / ws.e; current ones stay in the result
+    // until the swap below, so the change metric sees both.
+    linalg::sub(a, result.sparse, ws.target);
+    rank1_approximation_into(ws.target, ws.rank1, ws.d);
 
-    linalg::Matrix e_target = a;
-    e_target -= d_next;
-    linalg::Matrix e_next = linalg::soft_threshold(e_target, tau);
+    linalg::sub(a, ws.d, ws.target);
+    linalg::soft_threshold_into(ws.target, tau, ws.e);
 
     double change = 0.0, scale = 0.0;
-    for (std::size_t idx = 0; idx < d.data().size(); ++idx) {
-      const double dd = d_next.data()[idx] - d.data()[idx];
-      const double de = e_next.data()[idx] - e.data()[idx];
+    const auto dn = ws.d.data();
+    const auto dc = result.low_rank.data();
+    const auto en = ws.e.data();
+    const auto ec = result.sparse.data();
+    for (std::size_t idx = 0; idx < dn.size(); ++idx) {
+      const double dd = dn[idx] - dc[idx];
+      const double de = en[idx] - ec[idx];
       change += dd * dd + de * de;
-      scale += d_next.data()[idx] * d_next.data()[idx] +
-               e_next.data()[idx] * e_next.data()[idx];
+      scale += dn[idx] * dn[idx] + en[idx] * en[idx];
     }
-    d = std::move(d_next);
-    e = std::move(e_next);
+    result.low_rank.swap(ws.d);
+    result.sparse.swap(ws.e);
     result.polish_iterations = k + 1;
     if (std::sqrt(change) <= tolerance * std::sqrt(scale)) {
       result.polish_converged = true;
@@ -135,13 +169,9 @@ void polish_rank1(const linalg::Matrix& a, Result& result, double lambda,
     }
   }
 
-  linalg::Matrix residual = a;
-  residual -= d;
-  residual -= e;
-  result.residual = linalg::frobenius_norm(residual) / a_fro;
+  linalg::sub_sub(a, result.low_rank, result.sparse, ws.residual);
+  result.residual = linalg::frobenius_norm(ws.residual) / a_fro;
   result.rank = 1;
-  result.low_rank = std::move(d);
-  result.sparse = std::move(e);
 }
 
 }  // namespace netconst::rpca

@@ -19,11 +19,23 @@ namespace netconst::rpca {
 /// absolute value of `a` so that lambda is comparable across solvers.
 Result solve_rank1(const linalg::Matrix& a, const Options& options);
 
+/// Workspace variant (see solve_apg's workspace overload for the
+/// conventions). Numerically identical to reference::solve_rank1.
+void solve_rank1(const linalg::Matrix& a, const Options& options,
+                 double lambda, SolverWorkspace& ws, Result& result);
+
 /// Best rank-1 approximation sigma * u * v^T of `a` via power iteration.
 /// Returns the approximation as a matrix.
 linalg::Matrix rank1_approximation(const linalg::Matrix& a,
                                    int max_iterations = 200,
                                    double tolerance = 1e-12);
+
+/// rank1_approximation into caller-owned output and power-iteration
+/// scratch; numerically identical and allocation-free once `scratch` and
+/// `out` carry capacity.
+void rank1_approximation_into(const linalg::Matrix& a, Rank1Scratch& scratch,
+                              linalg::Matrix& out, int max_iterations = 200,
+                              double tolerance = 1e-12);
 
 /// Rank-1 polish: refine `result`'s (D, E) in place by the solve_rank1
 /// alternation (D <- rank-1 of A - E, E <- soft-threshold of A - D)
@@ -38,5 +50,10 @@ linalg::Matrix rank1_approximation(const linalg::Matrix& a,
 /// matvecs, far cheaper than the solvers' full SVDs).
 void polish_rank1(const linalg::Matrix& a, Result& result, double lambda,
                   int max_iterations, double tolerance);
+
+/// Workspace variant of the polish: the alternation's temporaries come
+/// from `ws`, so the online refresh loop polishes without allocating.
+void polish_rank1(const linalg::Matrix& a, Result& result, double lambda,
+                  int max_iterations, double tolerance, SolverWorkspace& ws);
 
 }  // namespace netconst::rpca

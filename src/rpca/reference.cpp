@@ -1,0 +1,502 @@
+// Verbatim copies of the pre-workspace solvers. See reference.hpp for
+// why these must not be modernized.
+#include "rpca/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "linalg/blas.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/shrinkage.hpp"
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+
+namespace netconst::rpca::reference {
+namespace {
+
+linalg::Matrix rank1_approximation(const linalg::Matrix& a,
+                                   int max_iterations = 200,
+                                   double tolerance = 1e-12) {
+  NETCONST_CHECK(!a.empty(), "rank-1 approximation of an empty matrix");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  // Power iteration on A^T A for the dominant right singular vector.
+  std::vector<double> v(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  double sigma_prev = 0.0;
+  for (int it = 0; it < max_iterations; ++it) {
+    std::vector<double> u = linalg::multiply(a, v);   // A v
+    const double unorm = linalg::norm2(u);
+    if (unorm == 0.0) return linalg::Matrix(m, n);    // A is zero
+    linalg::scale(1.0 / unorm, u);
+    std::vector<double> w = linalg::multiply_transposed(a, u);  // A^T u
+    const double sigma = linalg::norm2(w);
+    if (sigma == 0.0) return linalg::Matrix(m, n);
+    for (std::size_t j = 0; j < n; ++j) v[j] = w[j] / sigma;
+    if (std::abs(sigma - sigma_prev) <=
+        tolerance * std::max(sigma, 1.0)) {
+      break;
+    }
+    sigma_prev = sigma;
+  }
+
+  const std::vector<double> u = linalg::multiply(a, v);  // = sigma * u_hat
+  linalg::Matrix d(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) d(i, j) = u[i] * v[j];
+  }
+  return d;
+}
+
+double estimate_noise_sigma(const linalg::Matrix& a) {
+  NETCONST_CHECK(!a.empty(), "noise estimate of an empty matrix");
+  linalg::Matrix residual = a;
+  residual -= reference::rank1_approximation(a);
+  std::vector<double> magnitudes;
+  magnitudes.reserve(residual.size());
+  for (double v : residual.data()) magnitudes.push_back(std::abs(v));
+  const std::size_t mid = magnitudes.size() / 2;
+  std::nth_element(magnitudes.begin(), magnitudes.begin() + mid,
+                   magnitudes.end());
+  // MAD -> sigma for Gaussian noise.
+  return 1.4826 * magnitudes[mid];
+}
+
+void polish_rank1(const linalg::Matrix& a, Result& result, double lambda,
+                  int max_iterations, double tolerance) {
+  NETCONST_CHECK(lambda > 0.0, "polish requires lambda > 0");
+  NETCONST_CHECK(max_iterations > 0 && tolerance > 0.0,
+                 "polish needs positive iteration budget and tolerance");
+  NETCONST_CHECK(result.low_rank.same_shape(a) && result.sparse.same_shape(a),
+                 "polish factors do not match the data shape");
+  const double a_fro = linalg::frobenius_norm(a);
+  NETCONST_CHECK(a_fro > 0.0, "polish of an all-zero matrix");
+  // Same threshold scaling as solve_rank1, so a polished convex solve
+  // and a plain Rank1 solve describe the same fixed point.
+  const double mean_abs =
+      linalg::l1_norm(a) / static_cast<double>(a.size());
+  const double tau = lambda * mean_abs;
+
+  linalg::Matrix d = std::move(result.low_rank);
+  linalg::Matrix e = std::move(result.sparse);
+  result.polished = true;
+  result.polish_converged = false;
+  for (int k = 0; k < max_iterations; ++k) {
+    linalg::Matrix target = a;
+    target -= e;
+    linalg::Matrix d_next = reference::rank1_approximation(target);
+
+    linalg::Matrix e_target = a;
+    e_target -= d_next;
+    linalg::Matrix e_next = linalg::soft_threshold(e_target, tau);
+
+    double change = 0.0, scale = 0.0;
+    for (std::size_t idx = 0; idx < d.data().size(); ++idx) {
+      const double dd = d_next.data()[idx] - d.data()[idx];
+      const double de = e_next.data()[idx] - e.data()[idx];
+      change += dd * dd + de * de;
+      scale += d_next.data()[idx] * d_next.data()[idx] +
+               e_next.data()[idx] * e_next.data()[idx];
+    }
+    d = std::move(d_next);
+    e = std::move(e_next);
+    result.polish_iterations = k + 1;
+    if (std::sqrt(change) <= tolerance * std::sqrt(scale)) {
+      result.polish_converged = true;
+      break;
+    }
+  }
+
+  linalg::Matrix residual = a;
+  residual -= d;
+  residual -= e;
+  result.residual = linalg::frobenius_norm(residual) / a_fro;
+  result.rank = 1;
+  result.low_rank = std::move(d);
+  result.sparse = std::move(e);
+}
+
+}  // namespace
+
+Result solve_apg(const linalg::Matrix& a, const Options& options) {
+  NETCONST_CHECK(options.lambda > 0.0, "APG requires lambda > 0");
+  const Stopwatch clock;
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const double lambda = options.lambda;
+  const double a_norm = linalg::frobenius_norm(a);
+  NETCONST_CHECK(a_norm > 0.0, "APG of an all-zero matrix is trivial");
+
+  const WarmStart& seed = options.warm_start;
+  const bool warm = !seed.empty();
+  if (warm) {
+    NETCONST_CHECK(seed.low_rank.rows() == m && seed.low_rank.cols() == n &&
+                       seed.sparse.rows() == m && seed.sparse.cols() == n,
+                   "warm-start seed shape does not match the data");
+  }
+
+  // Continuation schedule: mu starts near the spectral norm and decays to
+  // mu_bar (values follow the reference APG implementation). A warm start
+  // resumes the previous solve's continuation state, skipping both the
+  // spectral-norm estimate and the decay phase.
+  double mu, mu_bar;
+  if (warm && seed.mu > 0.0 && seed.mu_floor > 0.0) {
+    mu_bar = seed.mu_floor;
+    mu = std::max(seed.mu, mu_bar);
+  } else {
+    mu = 0.99 * linalg::spectral_norm(a);
+    if (mu <= 0.0) mu = 1.0;
+    mu_bar = 1e-9 * mu;
+  }
+  const double eta = 0.9;
+  // Lipschitz constant of the smooth part's gradient is 2 (two blocks).
+  const double inv_lf = 0.5;
+
+  linalg::Matrix d = warm ? seed.low_rank : linalg::Matrix(m, n);
+  linalg::Matrix e = warm ? seed.sparse : linalg::Matrix(m, n);
+  linalg::Matrix d_prev = d;
+  linalg::Matrix e_prev = e;
+  double t = 1.0, t_prev = 1.0;
+
+  Result result;
+  result.warm_started = warm;
+  for (int k = 0; k < options.max_iterations; ++k) {
+    const double momentum = (t_prev - 1.0) / t;
+    // Extrapolated points Y_D, Y_E.
+    linalg::Matrix yd = d;
+    {
+      linalg::Matrix diff = d;
+      diff -= d_prev;
+      diff *= momentum;
+      yd += diff;
+    }
+    linalg::Matrix ye = e;
+    {
+      linalg::Matrix diff = e;
+      diff -= e_prev;
+      diff *= momentum;
+      ye += diff;
+    }
+
+    // Shared residual Y_D + Y_E - A of the smooth term.
+    linalg::Matrix residual = yd;
+    residual += ye;
+    residual -= a;
+
+    // Proximal gradient steps on each block.
+    linalg::Matrix gd = yd;
+    {
+      linalg::Matrix step = residual;
+      step *= inv_lf;
+      gd -= step;
+    }
+    linalg::Matrix ge = ye;
+    {
+      linalg::Matrix step = residual;
+      step *= inv_lf;
+      ge -= step;
+    }
+
+    d_prev = std::move(d);
+    e_prev = std::move(e);
+    const auto svt =
+        linalg::singular_value_threshold(gd, mu * inv_lf, options.svd);
+    d = svt.value;
+    result.rank = svt.rank;
+    e = linalg::soft_threshold(ge, lambda * mu * inv_lf);
+
+    t_prev = t;
+    t = 0.5 * (1.0 + std::sqrt(4.0 * t * t + 1.0));
+    mu = std::max(eta * mu, mu_bar);
+    result.iterations = k + 1;
+
+    // Convergence: relative change of the stacked iterate (D, E).
+    double change = 0.0, scale = 0.0;
+    for (std::size_t idx = 0; idx < d.data().size(); ++idx) {
+      const double dd = d.data()[idx] - d_prev.data()[idx];
+      const double de = e.data()[idx] - e_prev.data()[idx];
+      change += dd * dd + de * de;
+      scale += d.data()[idx] * d.data()[idx] +
+               e.data()[idx] * e.data()[idx];
+    }
+    if (std::sqrt(change) <=
+        options.tolerance * std::max(std::sqrt(scale), 1.0)) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  {
+    linalg::Matrix res = a;
+    res -= d;
+    res -= e;
+    result.residual = linalg::frobenius_norm(res) / a_norm;
+  }
+  result.low_rank = std::move(d);
+  result.sparse = std::move(e);
+  result.final_mu = mu;
+  result.mu_floor = mu_bar;
+  result.solve_seconds = clock.seconds();
+  return result;
+}
+
+Result solve_ialm(const linalg::Matrix& a, const Options& options) {
+  NETCONST_CHECK(options.lambda > 0.0, "IALM requires lambda > 0");
+  const Stopwatch clock;
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const double lambda = options.lambda;
+  const double a_fro = linalg::frobenius_norm(a);
+  NETCONST_CHECK(a_fro > 0.0, "IALM of an all-zero matrix is trivial");
+
+  const double a_spec = std::max(linalg::spectral_norm(a), 1e-300);
+  // Multiplier initialization of the reference IALM implementation:
+  // Y = A / max(||A||_2, ||A||_inf / lambda).
+  const double dual_scale =
+      std::max(a_spec, linalg::max_abs(a) / lambda);
+  linalg::Matrix y = a;
+  y *= 1.0 / dual_scale;
+
+  double mu = 1.25 / a_spec;
+  const double mu_max = mu * 1e7;
+  const double rho = 1.5;
+
+  linalg::Matrix d(m, n);
+  linalg::Matrix e(m, n);
+
+  Result result;
+  for (int k = 0; k < options.max_iterations; ++k) {
+    // D-step: SVT of A - E + Y/mu at threshold 1/mu.
+    linalg::Matrix target = a;
+    target -= e;
+    {
+      linalg::Matrix yscaled = y;
+      yscaled *= 1.0 / mu;
+      target += yscaled;
+    }
+    const auto svt =
+        linalg::singular_value_threshold(target, 1.0 / mu, options.svd);
+    d = svt.value;
+    result.rank = svt.rank;
+
+    // E-step: soft threshold of A - D + Y/mu at lambda/mu.
+    linalg::Matrix etarget = a;
+    etarget -= d;
+    {
+      linalg::Matrix yscaled = y;
+      yscaled *= 1.0 / mu;
+      etarget += yscaled;
+    }
+    e = linalg::soft_threshold(etarget, lambda / mu);
+
+    // Multiplier update on the primal residual.
+    linalg::Matrix residual = a;
+    residual -= d;
+    residual -= e;
+    {
+      linalg::Matrix scaled = residual;
+      scaled *= mu;
+      y += scaled;
+    }
+    mu = std::min(mu * rho, mu_max);
+    result.iterations = k + 1;
+
+    result.residual = linalg::frobenius_norm(residual) / a_fro;
+    if (result.residual <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.low_rank = std::move(d);
+  result.sparse = std::move(e);
+  result.solve_seconds = clock.seconds();
+  return result;
+}
+
+Result solve_rank1(const linalg::Matrix& a, const Options& options) {
+  NETCONST_CHECK(options.lambda > 0.0, "rank-1 solver requires lambda > 0");
+  const Stopwatch clock;
+  const double a_fro = linalg::frobenius_norm(a);
+  NETCONST_CHECK(a_fro > 0.0, "rank-1 RPCA of an all-zero matrix");
+
+  // Threshold scaled to the data so lambda is comparable to the convex
+  // solvers (their effective thresholds also scale with ||A||).
+  const double mean_abs =
+      linalg::l1_norm(a) / static_cast<double>(a.size());
+  const double tau = options.lambda * mean_abs;
+
+  linalg::Matrix e(a.rows(), a.cols());
+  linalg::Matrix d;
+  Result result;
+  double prev_residual = std::numeric_limits<double>::infinity();
+  for (int k = 0; k < options.max_iterations; ++k) {
+    linalg::Matrix target = a;
+    target -= e;
+    d = reference::rank1_approximation(target);
+
+    linalg::Matrix etarget = a;
+    etarget -= d;
+    e = linalg::soft_threshold(etarget, tau);
+
+    linalg::Matrix residual = a;
+    residual -= d;
+    residual -= e;
+    result.residual = linalg::frobenius_norm(residual) / a_fro;
+    result.iterations = k + 1;
+    // The soft threshold leaves a floor of magnitude-tau residual, so
+    // converge on the *change* of the residual rather than its value.
+    if (std::abs(prev_residual - result.residual) <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    prev_residual = result.residual;
+  }
+
+  result.rank = 1;
+  result.low_rank = std::move(d);
+  result.sparse = std::move(e);
+  result.solve_seconds = clock.seconds();
+  return result;
+}
+
+Result solve_stable_pcp(const linalg::Matrix& a,
+                        const StablePcpOptions& options) {
+  NETCONST_CHECK(!a.empty(), "stable PCP of an empty matrix");
+  const Stopwatch clock;
+  Options opts = options.base;
+  if (opts.lambda <= 0.0) opts.lambda = default_lambda(a.rows(), a.cols());
+  double sigma = options.noise_sigma;
+  if (sigma <= 0.0) sigma = reference::estimate_noise_sigma(a);
+  NETCONST_CHECK(sigma >= 0.0, "noise sigma must be non-negative");
+
+  const double a_fro = linalg::frobenius_norm(a);
+  NETCONST_CHECK(a_fro > 0.0, "stable PCP of an all-zero matrix");
+  // Zhou et al.'s recommended Lagrangian weight.
+  const double mu =
+      std::sqrt(2.0 * static_cast<double>(std::max(a.rows(), a.cols()))) *
+      std::max(sigma, 1e-12 * linalg::max_abs(a));
+  const double inv_lf = 0.5;  // gradient Lipschitz constant is 2
+
+  linalg::Matrix d(a.rows(), a.cols()), d_prev = d;
+  linalg::Matrix e(a.rows(), a.cols()), e_prev = e;
+  double t = 1.0, t_prev = 1.0;
+
+  Result result;
+  for (int k = 0; k < opts.max_iterations; ++k) {
+    const double momentum = (t_prev - 1.0) / t;
+    linalg::Matrix yd = d;
+    {
+      linalg::Matrix diff = d;
+      diff -= d_prev;
+      diff *= momentum;
+      yd += diff;
+    }
+    linalg::Matrix ye = e;
+    {
+      linalg::Matrix diff = e;
+      diff -= e_prev;
+      diff *= momentum;
+      ye += diff;
+    }
+    linalg::Matrix residual = yd;
+    residual += ye;
+    residual -= a;
+    residual *= inv_lf;
+
+    linalg::Matrix gd = yd;
+    gd -= residual;
+    linalg::Matrix ge = ye;
+    ge -= residual;
+
+    d_prev = std::move(d);
+    e_prev = std::move(e);
+    const auto svt =
+        linalg::singular_value_threshold(gd, mu * inv_lf, opts.svd);
+    d = svt.value;
+    result.rank = svt.rank;
+    e = linalg::soft_threshold(ge, opts.lambda * mu * inv_lf);
+
+    t_prev = t;
+    t = 0.5 * (1.0 + std::sqrt(4.0 * t * t + 1.0));
+    result.iterations = k + 1;
+
+    double change = 0.0, scale = 0.0;
+    for (std::size_t idx = 0; idx < d.data().size(); ++idx) {
+      const double dd = d.data()[idx] - d_prev.data()[idx];
+      const double de = e.data()[idx] - e_prev.data()[idx];
+      change += dd * dd + de * de;
+      scale += d.data()[idx] * d.data()[idx] +
+               e.data()[idx] * e.data()[idx];
+    }
+    if (std::sqrt(change) <=
+        opts.tolerance * std::max(std::sqrt(scale), 1.0)) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Debias: the nuclear-norm prox shrinks every kept singular value by
+  // ~mu/2; refit D as the exact rank-r projection of A - E with the
+  // discovered rank (standard post-processing for stable PCP).
+  if (result.rank > 0) {
+    linalg::Matrix target = a;
+    target -= e;
+    d = linalg::low_rank_approximation(target, result.rank, opts.svd);
+  }
+
+  {
+    linalg::Matrix res = a;
+    res -= d;
+    res -= e;
+    result.residual = linalg::frobenius_norm(res) / a_fro;
+  }
+  result.low_rank = std::move(d);
+  result.sparse = std::move(e);
+  result.solve_seconds = clock.seconds();
+  return result;
+}
+
+Result solve(const linalg::Matrix& a, Solver solver,
+             const Options& options) {
+  NETCONST_CHECK(!a.empty(), "RPCA of an empty matrix");
+  Options opts = options;
+  if (opts.lambda <= 0.0) opts.lambda = default_lambda(a.rows(), a.cols());
+  // Qualified calls: argument-dependent lookup would otherwise make the
+  // production rpca:: overloads ambiguous with these.
+  auto dispatch = [&]() -> Result {
+    switch (solver) {
+      case Solver::Apg:
+        return reference::solve_apg(a, opts);
+      case Solver::Ialm:
+        return reference::solve_ialm(a, opts);
+      case Solver::RankOne:
+        return reference::solve_rank1(a, opts);
+      case Solver::StablePcp: {
+        StablePcpOptions stable;
+        stable.base = opts;
+        return reference::solve_stable_pcp(a, stable);
+      }
+    }
+    throw Error("unknown RPCA solver");
+  };
+  Result result = dispatch();
+  // A supplied seed must never be dropped silently: solvers without
+  // warm-start support report the cold solve through the diagnostics.
+  if (!opts.warm_start.empty() && !result.warm_started) {
+    result.warm_start_ignored = true;
+  }
+  result.solver_residual = result.residual;
+  if (opts.polish_iterations > 0) {
+    const Stopwatch polish_clock;
+    reference::polish_rank1(a, result, opts.lambda, opts.polish_iterations,
+                 opts.polish_tolerance);
+    result.solve_seconds += polish_clock.seconds();
+  }
+  return result;
+}
+
+}  // namespace netconst::rpca::reference

@@ -8,6 +8,7 @@
 #include "rpca/ialm.hpp"
 #include "rpca/rank1.hpp"
 #include "rpca/stable_pcp.hpp"
+#include "rpca/workspace.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
 
@@ -34,39 +35,49 @@ double default_lambda(std::size_t rows, std::size_t cols) {
 
 Result solve(const linalg::Matrix& a, Solver solver,
              const Options& options) {
+  SolverWorkspace workspace;
+  Result result;
+  solve(a, solver, options, workspace, result);
+  return result;
+}
+
+void solve(const linalg::Matrix& a, Solver solver, const Options& options,
+           SolverWorkspace& workspace, Result& result) {
   NETCONST_CHECK(!a.empty(), "RPCA of an empty matrix");
-  Options opts = options;
-  if (opts.lambda <= 0.0) opts.lambda = default_lambda(a.rows(), a.cols());
-  auto dispatch = [&]() -> Result {
-    switch (solver) {
-      case Solver::Apg:
-        return solve_apg(a, opts);
-      case Solver::Ialm:
-        return solve_ialm(a, opts);
-      case Solver::RankOne:
-        return solve_rank1(a, opts);
-      case Solver::StablePcp: {
-        StablePcpOptions stable;
-        stable.base = opts;
-        return solve_stable_pcp(a, stable);
-      }
-    }
-    throw Error("unknown RPCA solver");
-  };
-  Result result = dispatch();
+  // Resolve the default lambda without copying Options (a copy would
+  // duplicate any warm-start factors, defeating the workspace).
+  const double lambda = options.lambda > 0.0
+                            ? options.lambda
+                            : default_lambda(a.rows(), a.cols());
+  switch (solver) {
+    case Solver::Apg:
+      solve_apg(a, options, lambda, workspace, result);
+      break;
+    case Solver::Ialm:
+      solve_ialm(a, options, lambda, workspace, result);
+      break;
+    case Solver::RankOne:
+      solve_rank1(a, options, lambda, workspace, result);
+      break;
+    case Solver::StablePcp:
+      solve_stable_pcp(a, options, lambda, /*noise_sigma=*/0.0, workspace,
+                       result);
+      break;
+    default:
+      throw Error("unknown RPCA solver");
+  }
   // A supplied seed must never be dropped silently: solvers without
   // warm-start support report the cold solve through the diagnostics.
-  if (!opts.warm_start.empty() && !result.warm_started) {
+  if (!options.warm_start.empty() && !result.warm_started) {
     result.warm_start_ignored = true;
   }
   result.solver_residual = result.residual;
-  if (opts.polish_iterations > 0) {
+  if (options.polish_iterations > 0) {
     const Stopwatch polish_clock;
-    polish_rank1(a, result, opts.lambda, opts.polish_iterations,
-                 opts.polish_tolerance);
+    polish_rank1(a, result, lambda, options.polish_iterations,
+                 options.polish_tolerance, workspace);
     result.solve_seconds += polish_clock.seconds();
   }
-  return result;
 }
 
 double relative_l0(const linalg::Matrix& e, const linalg::Matrix& a,

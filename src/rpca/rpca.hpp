@@ -27,14 +27,21 @@ namespace netconst::rpca {
 
 enum class Solver { Apg, Ialm, RankOne, StablePcp };
 
+// Defined in workspace.hpp; forward-declared so the workspace-based
+// solve overloads below don't force every client through that header.
+struct SolverWorkspace;
+struct Rank1Scratch;
+
 /// Human-readable solver name (for bench output).
 std::string solver_name(Solver solver);
 
 /// Seed for warm-starting a solve from the factors of a previous solve
 /// of a nearby problem (e.g. the same sliding window shifted by one
 /// row). `mu`/`mu_floor` carry the continuation state of the previous
-/// APG solve so the warm solve can skip the mu-decay phase; leave them
-/// at 0 to let the solver re-derive its schedule.
+/// APG solve so the warm solve can skip the mu-decay phase (a seed with
+/// `mu > 0` never pays for a spectral-norm estimate; when `mu_floor` is
+/// unset the solver derives it as 1e-9 * mu). Leave both at 0 to let the
+/// solver re-derive its schedule.
 struct WarmStart {
   linalg::Matrix low_rank;  // previous D, must match the data shape
   linalg::Matrix sparse;    // previous E, must match the data shape
@@ -104,6 +111,15 @@ struct Result {
 /// empty input.
 Result solve(const linalg::Matrix& a, Solver solver,
              const Options& options = {});
+
+/// Workspace-based solve: every iterate, panel, and factorization
+/// scratch comes from `workspace`, and the factors land in `result`'s
+/// existing buffers. Repeated calls with a warm workspace perform zero
+/// steady-state heap allocations (see docs/PERFORMANCE.md); `options` is
+/// read in place, never copied. Numerically identical to the allocating
+/// overload, which routes through this one.
+void solve(const linalg::Matrix& a, Solver solver, const Options& options,
+           SolverWorkspace& workspace, Result& result);
 
 /// Standard lambda = 1 / sqrt(max(m, n)).
 double default_lambda(std::size_t rows, std::size_t cols);

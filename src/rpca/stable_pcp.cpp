@@ -3,36 +3,59 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/fused.hpp"
 #include "linalg/norms.hpp"
 #include "linalg/shrinkage.hpp"
 #include "rpca/rank1.hpp"
+#include "rpca/workspace.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
 
 namespace netconst::rpca {
 
 double estimate_noise_sigma(const linalg::Matrix& a) {
+  SolverWorkspace ws;
+  return estimate_noise_sigma(a, ws);
+}
+
+double estimate_noise_sigma(const linalg::Matrix& a, SolverWorkspace& ws) {
   NETCONST_CHECK(!a.empty(), "noise estimate of an empty matrix");
-  linalg::Matrix residual = a;
-  residual -= rank1_approximation(a);
-  std::vector<double> magnitudes;
-  magnitudes.reserve(residual.size());
-  for (double v : residual.data()) magnitudes.push_back(std::abs(v));
-  const std::size_t mid = magnitudes.size() / 2;
-  std::nth_element(magnitudes.begin(), magnitudes.begin() + mid,
-                   magnitudes.end());
+  rank1_approximation_into(a, ws.rank1, ws.target);
+  linalg::sub(a, ws.target, ws.residual);
+  const auto rs = ws.residual.data();
+  ws.magnitudes.resize(rs.size());
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    ws.magnitudes[i] = std::abs(rs[i]);
+  }
+  const std::size_t mid = ws.magnitudes.size() / 2;
+  std::nth_element(ws.magnitudes.begin(), ws.magnitudes.begin() + mid,
+                   ws.magnitudes.end());
   // MAD -> sigma for Gaussian noise.
-  return 1.4826 * magnitudes[mid];
+  return 1.4826 * ws.magnitudes[mid];
 }
 
 Result solve_stable_pcp(const linalg::Matrix& a,
                         const StablePcpOptions& options) {
   NETCONST_CHECK(!a.empty(), "stable PCP of an empty matrix");
+  const double lambda = options.base.lambda > 0.0
+                            ? options.base.lambda
+                            : default_lambda(a.rows(), a.cols());
+  SolverWorkspace ws;
+  Result result;
+  solve_stable_pcp(a, options.base, lambda, options.noise_sigma, ws, result);
+  return result;
+}
+
+void solve_stable_pcp(const linalg::Matrix& a, const Options& base,
+                      double lambda, double noise_sigma, SolverWorkspace& ws,
+                      Result& result) {
+  NETCONST_CHECK(!a.empty(), "stable PCP of an empty matrix");
+  NETCONST_CHECK(lambda > 0.0, "stable PCP requires lambda > 0");
   const Stopwatch clock;
-  Options opts = options.base;
-  if (opts.lambda <= 0.0) opts.lambda = default_lambda(a.rows(), a.cols());
-  double sigma = options.noise_sigma;
-  if (sigma <= 0.0) sigma = estimate_noise_sigma(a);
+  reset_result(result);
+  ++ws.stats.solves;
+  double sigma = noise_sigma;
+  if (sigma <= 0.0) sigma = estimate_noise_sigma(a, ws);
   NETCONST_CHECK(sigma >= 0.0, "noise sigma must be non-negative");
 
   const double a_fro = linalg::frobenius_norm(a);
@@ -43,59 +66,44 @@ Result solve_stable_pcp(const linalg::Matrix& a,
       std::max(sigma, 1e-12 * linalg::max_abs(a));
   const double inv_lf = 0.5;  // gradient Lipschitz constant is 2
 
-  linalg::Matrix d(a.rows(), a.cols()), d_prev = d;
-  linalg::Matrix e(a.rows(), a.cols()), e_prev = e;
+  ws.d.resize(a.rows(), a.cols());
+  ws.d.fill(0.0);
+  ws.e.resize(a.rows(), a.cols());
+  ws.e.fill(0.0);
+  ws.d_prev = ws.d;
+  ws.e_prev = ws.e;
   double t = 1.0, t_prev = 1.0;
 
-  Result result;
-  for (int k = 0; k < opts.max_iterations; ++k) {
+  for (int k = 0; k < base.max_iterations; ++k) {
     const double momentum = (t_prev - 1.0) / t;
-    linalg::Matrix yd = d;
-    {
-      linalg::Matrix diff = d;
-      diff -= d_prev;
-      diff *= momentum;
-      yd += diff;
-    }
-    linalg::Matrix ye = e;
-    {
-      linalg::Matrix diff = e;
-      diff -= e_prev;
-      diff *= momentum;
-      ye += diff;
-    }
-    linalg::Matrix residual = yd;
-    residual += ye;
-    residual -= a;
-    residual *= inv_lf;
+    linalg::gradient_step(ws.d, ws.d_prev, ws.e, ws.e_prev, a, momentum,
+                          inv_lf, lambda * mu * inv_lf, ws.gd, ws.ge);
 
-    linalg::Matrix gd = yd;
-    gd -= residual;
-    linalg::Matrix ge = ye;
-    ge -= residual;
-
-    d_prev = std::move(d);
-    e_prev = std::move(e);
-    const auto svt =
-        linalg::singular_value_threshold(gd, mu * inv_lf, opts.svd);
-    d = svt.value;
+    ws.d.swap(ws.d_prev);
+    ws.e.swap(ws.e_prev);
+    ws.e.swap(ws.ge);
+    const auto svt = linalg::singular_value_threshold_into(
+        ws.gd, mu * inv_lf, base.svd, ws.svt, ws.d);
+    if (!svt.used_scratch) ++ws.stats.svt_fallbacks;
     result.rank = svt.rank;
-    e = linalg::soft_threshold(ge, opts.lambda * mu * inv_lf);
 
     t_prev = t;
     t = 0.5 * (1.0 + std::sqrt(4.0 * t * t + 1.0));
     result.iterations = k + 1;
 
     double change = 0.0, scale = 0.0;
-    for (std::size_t idx = 0; idx < d.data().size(); ++idx) {
-      const double dd = d.data()[idx] - d_prev.data()[idx];
-      const double de = e.data()[idx] - e_prev.data()[idx];
+    const auto ds = ws.d.data();
+    const auto dp = ws.d_prev.data();
+    const auto es = ws.e.data();
+    const auto ep = ws.e_prev.data();
+    for (std::size_t idx = 0; idx < ds.size(); ++idx) {
+      const double dd = ds[idx] - dp[idx];
+      const double de = es[idx] - ep[idx];
       change += dd * dd + de * de;
-      scale += d.data()[idx] * d.data()[idx] +
-               e.data()[idx] * e.data()[idx];
+      scale += ds[idx] * ds[idx] + es[idx] * es[idx];
     }
     if (std::sqrt(change) <=
-        opts.tolerance * std::max(std::sqrt(scale), 1.0)) {
+        base.tolerance * std::max(std::sqrt(scale), 1.0)) {
       result.converged = true;
       break;
     }
@@ -105,21 +113,16 @@ Result solve_stable_pcp(const linalg::Matrix& a,
   // ~mu/2; refit D as the exact rank-r projection of A - E with the
   // discovered rank (standard post-processing for stable PCP).
   if (result.rank > 0) {
-    linalg::Matrix target = a;
-    target -= e;
-    d = linalg::low_rank_approximation(target, result.rank, opts.svd);
+    linalg::sub(a, ws.e, ws.target);
+    linalg::low_rank_approximation_into(ws.target, result.rank, base.svd,
+                                        ws.svt, ws.d);
   }
 
-  {
-    linalg::Matrix res = a;
-    res -= d;
-    res -= e;
-    result.residual = linalg::frobenius_norm(res) / a_fro;
-  }
-  result.low_rank = std::move(d);
-  result.sparse = std::move(e);
+  linalg::sub_sub(a, ws.d, ws.e, ws.residual);
+  result.residual = linalg::frobenius_norm(ws.residual) / a_fro;
+  result.low_rank.swap(ws.d);
+  result.sparse.swap(ws.e);
   result.solve_seconds = clock.seconds();
-  return result;
 }
 
 }  // namespace netconst::rpca

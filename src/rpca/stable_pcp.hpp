@@ -28,8 +28,20 @@ struct StablePcpOptions {
 Result solve_stable_pcp(const linalg::Matrix& a,
                         const StablePcpOptions& options = {});
 
+/// Workspace variant (see solve_apg's workspace overload for the
+/// conventions). `lambda` must be pre-resolved (> 0); `noise_sigma <= 0`
+/// estimates it from the data. Numerically identical to
+/// reference::solve_stable_pcp.
+void solve_stable_pcp(const linalg::Matrix& a, const Options& base,
+                      double lambda, double noise_sigma, SolverWorkspace& ws,
+                      Result& result);
+
 /// Robust noise-level estimate: 1.4826 * MAD of the entries of
 /// A - rank1(A). Suitable when the low-rank component is (near) rank-1.
 double estimate_noise_sigma(const linalg::Matrix& a);
+
+/// estimate_noise_sigma through workspace scratch (allocation-free once
+/// the workspace is warm).
+double estimate_noise_sigma(const linalg::Matrix& a, SolverWorkspace& ws);
 
 }  // namespace netconst::rpca

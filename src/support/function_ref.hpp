@@ -1,0 +1,44 @@
+// Non-owning callable reference, the allocation-free alternative to
+// std::function for synchronous fork/join callbacks. A FunctionRef is two
+// words (object pointer + trampoline) and never touches the heap, which is
+// what lets parallel_for dispatch work to the pool from inside the RPCA
+// iteration loop without breaking the solvers' zero-allocation guarantee.
+//
+// The referenced callable must outlive every invocation; FunctionRef is
+// only safe for immediately-consumed callbacks (parallel_for blocks until
+// the loop completes, so stack lambdas are fine).
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace netconst {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : object_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* object, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(object))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* object_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace netconst

@@ -1,41 +1,12 @@
 #include "support/parallel_for.hpp"
 
-#include <atomic>
-#include <condition_variable>
-#include <exception>
-#include <mutex>
-
 #include "support/thread_pool.hpp"
 
 namespace netconst {
-namespace {
 
-/// Fork/join barrier for one parallel_for batch.
-struct Batch {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::size_t pending = 0;
-  std::exception_ptr error;
-
-  void finish_one(std::exception_ptr e) {
-    std::lock_guard<std::mutex> lock(mutex);
-    if (e && !error) error = e;
-    if (--pending == 0) cv.notify_one();
-  }
-
-  void wait() {
-    std::unique_lock<std::mutex> lock(mutex);
-    cv.wait(lock, [this] { return pending == 0; });
-    if (error) std::rethrow_exception(error);
-  }
-};
-
-}  // namespace
-
-void parallel_for_chunked(
-    std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& body,
-    std::size_t grain) {
+void parallel_for_chunked(std::size_t begin, std::size_t end,
+                          FunctionRef<void(std::size_t, std::size_t)> body,
+                          std::size_t grain) {
   if (begin >= end) return;
   if (grain == 0) grain = 1;
   const std::size_t n = end - begin;
@@ -47,29 +18,11 @@ void parallel_for_chunked(
     body(begin, end);
     return;
   }
-
-  Batch batch;
-  const std::size_t chunks = (n + chunk - 1) / chunk;
-  batch.pending = chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * chunk;
-    const std::size_t hi = lo + chunk < end ? lo + chunk : end;
-    pool.submit([&batch, &body, lo, hi] {
-      std::exception_ptr e;
-      try {
-        body(lo, hi);
-      } catch (...) {
-        e = std::current_exception();
-      }
-      batch.finish_one(e);
-    });
-  }
-  batch.wait();
+  pool.run_chunked(begin, end, chunk, body);
 }
 
 void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body,
-                  std::size_t grain) {
+                  FunctionRef<void(std::size_t)> body, std::size_t grain) {
   parallel_for_chunked(
       begin, end,
       [&body](std::size_t lo, std::size_t hi) {

@@ -4,10 +4,18 @@
 // contiguous chunks across workers. Falls back to serial execution for
 // small ranges (below `grain`) where fork/join overhead would dominate —
 // the usual HPC guidance of "parallelize outer loops, keep grains coarse".
+//
+// Both entry points take the body as a non-owning FunctionRef and dispatch
+// through ThreadPool::run_chunked, so a parallel loop performs no heap
+// allocation — a requirement of the RPCA solvers' allocation-free hot path
+// (see docs/PERFORMANCE.md). The body must only be referenced for the
+// duration of the call, which both functions guarantee by blocking until
+// every iteration has completed.
 #pragma once
 
 #include <cstddef>
-#include <functional>
+
+#include "support/function_ref.hpp"
 
 namespace netconst {
 
@@ -15,14 +23,13 @@ namespace netconst {
 /// complete. Exceptions thrown by `body` are rethrown on the caller
 /// (first one wins). `grain` is the minimum chunk size per task.
 void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body,
+                  FunctionRef<void(std::size_t)> body,
                   std::size_t grain = 64);
 
 /// Chunked variant: body(chunk_begin, chunk_end) per contiguous chunk,
-/// which avoids per-index std::function overhead in tight kernels.
-void parallel_for_chunked(
-    std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& body,
-    std::size_t grain = 64);
+/// which avoids per-index indirect-call overhead in tight kernels.
+void parallel_for_chunked(std::size_t begin, std::size_t end,
+                          FunctionRef<void(std::size_t, std::size_t)> body,
+                          std::size_t grain = 64);
 
 }  // namespace netconst

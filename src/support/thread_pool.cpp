@@ -32,17 +32,79 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+void ThreadPool::work_one_chunk(Region& region,
+                                std::unique_lock<std::mutex>& lock) {
+  const std::size_t lo = region.next;
+  const std::size_t hi =
+      lo + region.chunk < region.end ? lo + region.chunk : region.end;
+  region.next = hi;
+  lock.unlock();
+  std::exception_ptr error;
+  try {
+    region.body(lo, hi);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  lock.lock();
+  if (error && !region.error) region.error = error;
+  if (--region.unfinished == 0) region.done.notify_all();
+}
+
+void ThreadPool::run_chunked(
+    std::size_t begin, std::size_t end, std::size_t chunk,
+    FunctionRef<void(std::size_t, std::size_t)> body) {
+  if (begin >= end) return;
+  if (chunk == 0) chunk = 1;
+
+  Region region{begin, end, chunk,
+                /*unfinished=*/(end - begin + chunk - 1) / chunk, body,
+                /*error=*/nullptr, /*done=*/{}};
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (region_ != nullptr) {
+      // A region is already running (nested parallelism or a concurrent
+      // caller). Run inline: the claiming protocol has a single slot, and
+      // inline execution keeps nested parallel_for calls deadlock-free.
+      lock.unlock();
+      body(begin, end);
+      return;
     }
-    task();
+    region_ = &region;
+  }
+  cv_.notify_all();
+
+  // Participate: the caller is always one of the chunk workers, so the
+  // region completes even with zero free pool workers.
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (region.next < region.end) work_one_chunk(region, lock);
+  region.done.wait(lock, [&region] { return region.unfinished == 0; });
+  region_ = nullptr;
+  lock.unlock();
+  // Wake workers parked on the "region active" predicate so they re-check
+  // the queue (and future regions).
+  if (region.error) std::rethrow_exception(region.error);
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] {
+      return stopping_ || !queue_.empty() ||
+             (region_ != nullptr && region_->next < region_->end);
+    });
+    if (region_ != nullptr && region_->next < region_->end) {
+      work_one_chunk(*region_, lock);
+      continue;
+    }
+    if (!queue_.empty()) {
+      std::function<void()> task = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      task();
+      lock.lock();
+      continue;
+    }
+    if (stopping_) return;  // queue drained, no region work
   }
 }
 

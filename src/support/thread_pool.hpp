@@ -1,21 +1,32 @@
 // A fixed-size worker pool used by parallel_for and the linear-algebra
-// kernels. Tasks are plain std::function<void()>; completion is tracked
-// per-batch by the submitter (see parallel_for.cpp), keeping the pool
-// itself minimal and lock-contention low.
+// kernels. Two ways in:
+//
+//  * submit() — fire-and-forget std::function tasks; completion is tracked
+//    per-batch by the submitter, keeping the pool itself minimal.
+//  * run_chunked() — a synchronous fork/join "parallel region" over an
+//    index range. The region descriptor lives on the caller's stack and
+//    workers claim contiguous chunks under the pool mutex, so dispatch
+//    performs no heap allocation at all. This is the path the RPCA hot
+//    loop uses: a solver iteration can fan out elementwise kernels and
+//    Gram products without a single malloc (see docs/PERFORMANCE.md).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "support/function_ref.hpp"
+
 namespace netconst {
 
 /// Fixed-size thread pool. Construction spawns the workers; destruction
-/// drains the queue and joins them. Thread-safe for concurrent submit().
+/// drains the queue and joins them. Thread-safe for concurrent submit()
+/// and run_chunked().
 class ThreadPool {
  public:
   /// `threads == 0` means hardware_concurrency (at least 1).
@@ -28,17 +39,43 @@ class ThreadPool {
   /// Enqueue a task for execution on some worker.
   void submit(std::function<void()> task);
 
+  /// Synchronous parallel loop: invoke body(lo, hi) for contiguous chunks
+  /// of size `chunk` covering [begin, end). The caller participates, so
+  /// the loop makes progress even when every worker is busy. Blocks until
+  /// all chunks have completed; the first exception thrown by `body` is
+  /// rethrown. Performs no heap allocation (except on the exceptional
+  /// path). Only one region runs at a time: a nested or concurrent call
+  /// executes its whole range inline on the calling thread.
+  void run_chunked(std::size_t begin, std::size_t end, std::size_t chunk,
+                   FunctionRef<void(std::size_t, std::size_t)> body);
+
   std::size_t thread_count() const { return workers_.size(); }
 
   /// Process-wide shared pool (lazily constructed, sized to the hardware).
   static ThreadPool& global();
 
  private:
+  /// Stack-allocated fork/join state of one run_chunked call.
+  struct Region {
+    std::size_t next;   // first unclaimed index
+    std::size_t end;    // one past the last index
+    std::size_t chunk;  // claim granularity
+    std::size_t unfinished;  // chunks claimed or unclaimed, not yet done
+    FunctionRef<void(std::size_t, std::size_t)> body;
+    std::exception_ptr error;
+    std::condition_variable done;
+  };
+
+  /// Claim and run one chunk of `region`. Called with `lock` held on
+  /// mutex_; returns with it reacquired.
+  void work_one_chunk(Region& region, std::unique_lock<std::mutex>& lock);
+
   void worker_loop();
 
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
+  Region* region_ = nullptr;  // active run_chunked region, if any
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

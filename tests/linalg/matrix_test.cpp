@@ -2,10 +2,52 @@
 
 #include <gtest/gtest.h>
 
+#include <type_traits>
+#include <utility>
+
 #include "support/error.hpp"
 
 namespace netconst::linalg {
 namespace {
+
+// The RPCA solver workspaces rotate iterate buffers with moves and
+// swap(); if either could throw (or degrade to a deep copy), the
+// allocation-free hot path would silently break.
+static_assert(std::is_nothrow_move_constructible_v<Matrix>);
+static_assert(std::is_nothrow_move_assignable_v<Matrix>);
+static_assert(std::is_nothrow_swappable_v<Matrix>);
+
+TEST(Matrix, SwapExchangesShapeAndStorageWithoutCopying) {
+  Matrix a(2, 3, 1.0);
+  Matrix b(4, 5, 2.0);
+  const double* a_buf = a.data().data();
+  const double* b_buf = b.data().data();
+  a.swap(b);
+  EXPECT_EQ(a.rows(), 4u);
+  EXPECT_EQ(a.cols(), 5u);
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_EQ(b.cols(), 3u);
+  EXPECT_EQ(a.data().data(), b_buf);
+  EXPECT_EQ(b.data().data(), a_buf);
+  EXPECT_EQ(a(0, 0), 2.0);
+  EXPECT_EQ(b(0, 0), 1.0);
+  // ADL swap routes through the member.
+  swap(a, b);
+  EXPECT_EQ(a.data().data(), a_buf);
+  EXPECT_EQ(a(0, 0), 1.0);
+}
+
+TEST(Matrix, MoveStealsStorage) {
+  Matrix a(3, 3, 4.0);
+  const double* buf = a.data().data();
+  Matrix b = std::move(a);
+  EXPECT_EQ(b.data().data(), buf);
+  EXPECT_EQ(b(2, 2), 4.0);
+  Matrix c;
+  c = std::move(b);
+  EXPECT_EQ(c.data().data(), buf);
+  EXPECT_EQ(c.rows(), 3u);
+}
 
 TEST(Matrix, DefaultIsEmpty) {
   Matrix m;
