@@ -10,10 +10,14 @@
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "cloud/synthetic.hpp"
 #include "core/constant_finder.hpp"
 #include "online/refresher.hpp"
+#include "online/service.hpp"
 #include "online/window.hpp"
 #include "support/stopwatch.hpp"
 
@@ -119,6 +123,46 @@ int equivalence_report() {
              : 1;
 }
 
+/// Per-tenant refresh-latency distribution of a short multi-tenant
+/// service campaign on the concurrent batch scheduler: the tail (p99),
+/// not the mean, is what co-tenant interference would show up in.
+void service_latency_report() {
+  online::ConstantFinderService service;  // shares the global pool
+  constexpr std::size_t kTenants = 4;
+  std::vector<std::unique_ptr<cloud::SyntheticCloud>> clouds;
+  for (std::uint64_t t = 0; t < kTenants; ++t) {
+    cloud::SyntheticCloudConfig config = cloud_config(8);
+    config.datacenter_racks = 4;
+    config.seed = 20 + t;
+    clouds.push_back(std::make_unique<cloud::SyntheticCloud>(config));
+    online::TenantConfig tenant;
+    tenant.name = "tenant" + std::to_string(t);
+    tenant.provider = clouds.back().get();
+    tenant.window_capacity = 4;
+    tenant.scheduler.base_interval = 1500.0;
+    tenant.operation_gap = 300.0;
+    tenant.seed = 400 + t;
+    service.add_tenant(tenant);
+  }
+  service.run(24);
+
+  std::printf("== per-tenant refresh latency (%zu tenants, 24 steps) ==\n",
+              kTenants);
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    const std::string name = "tenant" + std::to_string(t);
+    const online::Histogram::Summary s = service.metrics().histogram_summary(
+        "tenant." + name + ".refresh_seconds");
+    std::printf("%-8s: %3llu refreshes, p50 %8.3f ms, p99 %8.3f ms\n",
+                name.c_str(), static_cast<unsigned long long>(s.count),
+                s.p50 * 1e3, s.p99 * 1e3);
+  }
+  const online::Histogram::Summary pooled =
+      service.metrics().histogram_summary("online.refresh_seconds");
+  std::printf("%-8s: %3llu refreshes, p50 %8.3f ms, p99 %8.3f ms\n\n",
+              "pooled", static_cast<unsigned long long>(pooled.count),
+              pooled.p50 * 1e3, pooled.p99 * 1e3);
+}
+
 void BM_ColdFindConstant(benchmark::State& state) {
   SlideFixture& f = fixture();
   const netmodel::TemporalPerformance series = f.window.to_series();
@@ -161,6 +205,7 @@ BENCHMARK(BM_WindowPush)->Arg(32)->Arg(64)->Arg(128);
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   const int acceptance = equivalence_report();
+  service_latency_report();
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -3,25 +3,187 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/simd.hpp"
 #include "support/error.hpp"
 #include "support/parallel_for.hpp"
 
+#if defined(NETCONST_SIMD_X86)
+#include <immintrin.h>
+#elif defined(NETCONST_SIMD_NEON)
+#include <arm_neon.h>
+#endif
+
+// SIMD policy (see linalg/simd.hpp): axpy / scaled_set / scale are
+// elementwise, so their vector bodies are bit-identical to the scalar
+// loops at every level. dot (and the 4-wide dot block of
+// outer_gram_into) is an ordered reduction: the vector body splits the
+// accumulator across lanes and combines them left-to-right, which is
+// deterministic for a fixed level but not the scalar association — it
+// only runs when simd::active_level() is a vector level. Both the
+// reference and workspace RPCA paths funnel through these same
+// entry points, so they shift together and their mutual bit-equality
+// holds at any level.
+
 namespace netconst::linalg {
 namespace {
+
+bool use_vector_kernels() {
+  return simd::active_level() != simd::Level::Scalar;
+}
+
+double dot_scalar(const double* x, const double* y, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+void dot4_scalar(const double* r1, const double* a0, const double* a1,
+                 const double* a2, const double* a3, std::size_t n,
+                 double out[4]) {
+  double sa = 0.0, sb = 0.0, sc = 0.0, sd = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double x = r1[j];
+    sa += x * a0[j];
+    sb += x * a1[j];
+    sc += x * a2[j];
+    sd += x * a3[j];
+  }
+  out[0] = sa;
+  out[1] = sb;
+  out[2] = sc;
+  out[3] = sd;
+}
+
+#if defined(NETCONST_SIMD_X86)
+NETCONST_TARGET_AVX2 inline double avx2_lane_sum(__m256d v) {
+  alignas(32) double l[4];
+  _mm256_store_pd(l, v);
+  return ((l[0] + l[1]) + l[2]) + l[3];
+}
+
+NETCONST_TARGET_AVX2 double dot_vec(const double* x, const double* y,
+                                    std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+  }
+  double s = avx2_lane_sum(acc);
+  for (; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+NETCONST_TARGET_AVX2 void dot4_vec(const double* r1, const double* a0,
+                                   const double* a1, const double* a2,
+                                   const double* a3, std::size_t n,
+                                   double out[4]) {
+  __m256d s0 = _mm256_setzero_pd();
+  __m256d s1 = _mm256_setzero_pd();
+  __m256d s2 = _mm256_setzero_pd();
+  __m256d s3 = _mm256_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d x = _mm256_loadu_pd(r1 + j);
+    s0 = _mm256_add_pd(s0, _mm256_mul_pd(x, _mm256_loadu_pd(a0 + j)));
+    s1 = _mm256_add_pd(s1, _mm256_mul_pd(x, _mm256_loadu_pd(a1 + j)));
+    s2 = _mm256_add_pd(s2, _mm256_mul_pd(x, _mm256_loadu_pd(a2 + j)));
+    s3 = _mm256_add_pd(s3, _mm256_mul_pd(x, _mm256_loadu_pd(a3 + j)));
+  }
+  double sa = avx2_lane_sum(s0);
+  double sb = avx2_lane_sum(s1);
+  double sc = avx2_lane_sum(s2);
+  double sd = avx2_lane_sum(s3);
+  for (; j < n; ++j) {
+    const double x = r1[j];
+    sa += x * a0[j];
+    sb += x * a1[j];
+    sc += x * a2[j];
+    sd += x * a3[j];
+  }
+  out[0] = sa;
+  out[1] = sb;
+  out[2] = sc;
+  out[3] = sd;
+}
+
+NETCONST_TARGET_AVX2 void axpy_vec(double alpha, const double* x, double* y,
+                                   std::size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                             _mm256_mul_pd(va, _mm256_loadu_pd(x + i))));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+NETCONST_TARGET_AVX2 void scaled_set_vec(double alpha, const double* x,
+                                         double* y, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  const __m256d vz = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(vz, _mm256_mul_pd(va, _mm256_loadu_pd(x + i))));
+  }
+  for (; i < n; ++i) y[i] = 0.0 + alpha * x[i];
+}
+
+NETCONST_TARGET_AVX2 void scale_vec(double alpha, double* x, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(va, _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+#elif defined(NETCONST_SIMD_NEON)
+double dot_vec(const double* x, const double* y, std::size_t n) {
+  float64x2_t acc = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    acc = vaddq_f64(acc, vmulq_f64(vld1q_f64(x + i), vld1q_f64(y + i)));
+  }
+  double s = vgetq_lane_f64(acc, 0) + vgetq_lane_f64(acc, 1);
+  for (; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+void axpy_vec(double alpha, const double* x, double* y, std::size_t n) {
+  const float64x2_t va = vdupq_n_f64(alpha);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(y + i,
+              vaddq_f64(vld1q_f64(y + i), vmulq_f64(va, vld1q_f64(x + i))));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+#endif
+
+void dot4(const double* r1, const double* a0, const double* a1,
+          const double* a2, const double* a3, std::size_t n, double out[4]) {
+#if defined(NETCONST_SIMD_X86)
+  if (use_vector_kernels()) {
+    dot4_vec(r1, a0, a1, a2, a3, n, out);
+    return;
+  }
+#endif
+  dot4_scalar(r1, a0, a1, a2, a3, n, out);
+}
 
 // Row-panel kernel: computes rows [r0, r1) of C = A * B using an ikj loop
 // order that streams B rows sequentially (row-major friendly).
 void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
                std::size_t r1) {
   const std::size_t k_dim = a.cols();
-  const std::size_t n = b.cols();
   for (std::size_t i = r0; i < r1; ++i) {
     auto ci = c.row(i);
     for (std::size_t k = 0; k < k_dim; ++k) {
       const double aik = a(i, k);
       if (aik == 0.0) continue;
-      const auto bk = b.row(k);
-      for (std::size_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+      axpy(aik, b.row(k), ci);
     }
   }
 }
@@ -78,31 +240,22 @@ void outer_gram_into(const Matrix& a, Matrix& g) {
         for (std::size_t i1 = lo; i1 < hi; ++i1) {
           const auto r1 = a.row(i1);
           // Four dots per pass over r1: the accumulators are independent
-          // dependency chains (each individual dot still sums in index
-          // order, so every G entry is bit-identical to a lone dot()),
-          // and r1 is loaded once instead of once per i2.
+          // dependency chains (at scalar level each individual dot still
+          // sums in index order, so every G entry is bit-identical to a
+          // lone dot()), and r1 is loaded once instead of once per i2.
           std::size_t i2 = i1;
           for (; i2 + 4 <= m; i2 += 4) {
-            const auto r2a = a.row(i2);
-            const auto r2b = a.row(i2 + 1);
-            const auto r2c = a.row(i2 + 2);
-            const auto r2d = a.row(i2 + 3);
-            double sa = 0.0, sb = 0.0, sc = 0.0, sd = 0.0;
-            for (std::size_t j = 0; j < n; ++j) {
-              const double x = r1[j];
-              sa += x * r2a[j];
-              sb += x * r2b[j];
-              sc += x * r2c[j];
-              sd += x * r2d[j];
-            }
-            g(i1, i2) = sa;
-            g(i2, i1) = sa;
-            g(i1, i2 + 1) = sb;
-            g(i2 + 1, i1) = sb;
-            g(i1, i2 + 2) = sc;
-            g(i2 + 2, i1) = sc;
-            g(i1, i2 + 3) = sd;
-            g(i2 + 3, i1) = sd;
+            double s4[4];
+            dot4(r1.data(), a.row(i2).data(), a.row(i2 + 1).data(),
+                 a.row(i2 + 2).data(), a.row(i2 + 3).data(), n, s4);
+            g(i1, i2) = s4[0];
+            g(i2, i1) = s4[0];
+            g(i1, i2 + 1) = s4[1];
+            g(i2 + 1, i1) = s4[1];
+            g(i1, i2 + 2) = s4[2];
+            g(i2 + 2, i1) = s4[2];
+            g(i1, i2 + 3) = s4[3];
+            g(i2 + 3, i1) = s4[3];
           }
           for (; i2 < m; ++i2) {
             const double s = dot(r1, a.row(i2));
@@ -142,26 +295,49 @@ void multiply_transposed_into(const Matrix& a, std::span<const double> x,
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double xi = x[i];
     if (xi == 0.0) continue;
-    const auto ri = a.row(i);
-    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * ri[j];
+    axpy(xi, a.row(i), y);
   }
 }
 
 double dot(std::span<const double> x, std::span<const double> y) {
   NETCONST_CHECK(x.size() == y.size(), "dot dimension mismatch");
-  double s = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
-  return s;
+#if defined(NETCONST_SIMD_X86) || defined(NETCONST_SIMD_NEON)
+  if (use_vector_kernels()) return dot_vec(x.data(), y.data(), x.size());
+#endif
+  return dot_scalar(x.data(), y.data(), x.size());
 }
 
 double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   NETCONST_CHECK(x.size() == y.size(), "axpy dimension mismatch");
+#if defined(NETCONST_SIMD_X86) || defined(NETCONST_SIMD_NEON)
+  if (use_vector_kernels()) {
+    axpy_vec(alpha, x.data(), y.data(), x.size());
+    return;
+  }
+#endif
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 
+void scaled_set(double alpha, std::span<const double> x, std::span<double> y) {
+  NETCONST_CHECK(x.size() == y.size(), "scaled_set dimension mismatch");
+#if defined(NETCONST_SIMD_X86)
+  if (use_vector_kernels()) {
+    scaled_set_vec(alpha, x.data(), y.data(), x.size());
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = 0.0 + alpha * x[i];
+}
+
 void scale(double alpha, std::span<double> x) {
+#if defined(NETCONST_SIMD_X86)
+  if (use_vector_kernels()) {
+    scale_vec(alpha, x.data(), x.size());
+    return;
+  }
+#endif
   for (auto& v : x) v *= alpha;
 }
 

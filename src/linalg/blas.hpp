@@ -48,6 +48,12 @@ double norm2(std::span<const double> x);
 /// y += alpha * x.
 void axpy(double alpha, std::span<const double> x, std::span<double> y);
 
+/// y = 0.0 + alpha * x. The explicit leading 0.0 matches the first
+/// accumulation onto a zero-filled output bitwise (it turns a -0.0
+/// product into +0.0, exactly as `0.0 += v` would).
+void scaled_set(double alpha, std::span<const double> x,
+                std::span<double> y);
+
 /// x *= alpha.
 void scale(double alpha, std::span<double> x);
 

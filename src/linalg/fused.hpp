@@ -65,4 +65,15 @@ void add_scaled(double alpha, const Matrix& x, Matrix& y);
 /// the copy the out-of-place soft_threshold makes.
 void soft_threshold_into(const Matrix& src, double tau, Matrix& out);
 
+/// Fused convergence reduction of the proximal solvers: one pass
+/// computing change_sq = ||D - D_prev||_F^2 + ||E - E_prev||_F^2 and
+/// scale_sq = ||D||_F^2 + ||E||_F^2, in the exact interleaved
+/// accumulation order the in-solver loop used (scalar path). Under a
+/// SIMD level the accumulators are lane-split — deterministic for a
+/// fixed level but reassociated, which is why only the workspace
+/// solvers call this and rpca::reference keeps its own loop.
+void iterate_change_norms(const Matrix& d, const Matrix& d_prev,
+                          const Matrix& e, const Matrix& e_prev,
+                          double& change_sq, double& scale_sq);
+
 }  // namespace netconst::linalg

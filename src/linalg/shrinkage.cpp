@@ -85,18 +85,19 @@ void gram_svt_tile(const Matrix& a, const Matrix& up, const double* sigma_kept,
       vtile[t][j - jb] = acc[t] / sigma_kept[t];
     }
   }
+  // Tile reconstruction goes through the shared axpy / scaled_set
+  // kernels: elementwise, so their SIMD paths are bit-identical to
+  // these loops' scalar form (see blas.cpp).
   for (std::size_t t = 0; t < NK; ++t) {
-    const double* vk = vtile[t];
+    const std::span<const double> vk(vtile[t], je - jb);
     for (std::size_t i = 0; i < m; ++i) {
       const double us = w[t][i];
       if (us == 0.0) continue;
-      auto oi = out.row(i);
+      const auto oi = out.row(i).subspan(jb, je - jb);
       if (static_cast<int>(t) == first_t[i]) {
-        for (std::size_t jj = jb; jj < je; ++jj) {
-          oi[jj] = 0.0 + us * vk[jj - jb];
-        }
+        scaled_set(us, vk, oi);
       } else {
-        for (std::size_t jj = jb; jj < je; ++jj) oi[jj] += us * vk[jj - jb];
+        axpy(us, vk, oi);
       }
     }
   }
@@ -120,26 +121,25 @@ void gram_svt_tile_any(const Matrix& a, const Matrix& up,
   double acc[kMaxInterleavedRows];
   for (std::size_t j = jb; j < je; ++j) {
     for (std::size_t t = 0; t < nk; ++t) acc[t] = 0.0;
+    const std::span<double> accs(acc, nk);
     for (std::size_t i = 0; i < m; ++i) {
-      const double aij = a.row(i)[j];
-      const auto ui = up.row(i);
-      for (std::size_t t = 0; t < nk; ++t) acc[t] += aij * ui[t];
+      // Each acc[t] is its own ascending-i chain, so the accumulation
+      // is elementwise across t — axpy's SIMD path stays bit-exact.
+      axpy(a.row(i)[j], up.row(i).first(nk), accs);
     }
     for (std::size_t t = 0; t < nk; ++t) acc[t] /= sigma_kept[t];
     for (std::size_t t = 0; t < nk; ++t) vtile[t][j - jb] = acc[t];
   }
   for (std::size_t t = 0; t < nk; ++t) {
-    const double* vk = vtile[t];
+    const std::span<const double> vk(vtile[t], je - jb);
     for (std::size_t i = 0; i < m; ++i) {
       const double us = w[t][i];
       if (us == 0.0) continue;
-      auto oi = out.row(i);
+      const auto oi = out.row(i).subspan(jb, je - jb);
       if (static_cast<int>(t) == first_t[i]) {
-        for (std::size_t jj = jb; jj < je; ++jj) {
-          oi[jj] = 0.0 + us * vk[jj - jb];
-        }
+        scaled_set(us, vk, oi);
       } else {
-        for (std::size_t jj = jb; jj < je; ++jj) oi[jj] += us * vk[jj - jb];
+        axpy(us, vk, oi);
       }
     }
   }
@@ -225,8 +225,7 @@ void gram_reconstruct_shrunk(const Matrix& a, GramSvtScratch& scratch,
             for (std::size_t k = 0; k < m; ++k) {
               const double us = u(i, k) * shrunk[k];
               if (us == 0.0) continue;
-              const auto vk = vt.row(k);
-              for (std::size_t j = 0; j < n; ++j) oi[j] += us * vk[j];
+              axpy(us, vt.row(k), oi);
             }
           }
         },

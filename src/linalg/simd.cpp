@@ -1,0 +1,101 @@
+#include "linalg/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace netconst::linalg::simd {
+namespace {
+
+/// -1 = no override in force, otherwise a Level value. Relaxed atomics:
+/// kernels read it once per call and overrides are a test/bench tool.
+std::atomic<int> g_override{-1};
+
+bool env_equals(const char* value, const char* want) {
+  return value != nullptr && std::strcmp(value, want) == 0;
+}
+
+Level detect() {
+  const char* env = std::getenv("NETCONST_SIMD");
+  if (env_equals(env, "scalar") || env_equals(env, "off")) {
+    return Level::Scalar;
+  }
+#if defined(NETCONST_SIMD_X86)
+  if (env == nullptr || env_equals(env, "auto") || env_equals(env, "avx2")) {
+    if (__builtin_cpu_supports("avx2")) return Level::Avx2;
+  }
+#elif defined(NETCONST_SIMD_NEON)
+  if (env == nullptr || env_equals(env, "auto") || env_equals(env, "neon")) {
+    return Level::Neon;
+  }
+#endif
+  return Level::Scalar;
+}
+
+Level detected() {
+  static const Level level = detect();
+  return level;
+}
+
+Level clamp_to_executable(Level level) {
+#if defined(NETCONST_SIMD_X86)
+  if (level == Level::Avx2 && __builtin_cpu_supports("avx2")) return level;
+#elif defined(NETCONST_SIMD_NEON)
+  if (level == Level::Neon) return level;
+#endif
+  return Level::Scalar;
+}
+
+}  // namespace
+
+Level active_level() {
+  const int over = g_override.load(std::memory_order_relaxed);
+  if (over >= 0) return static_cast<Level>(over);
+  return detected();
+}
+
+Level best_available_level() {
+#if defined(NETCONST_SIMD_X86)
+  return clamp_to_executable(Level::Avx2);
+#elif defined(NETCONST_SIMD_NEON)
+  return Level::Neon;
+#else
+  return Level::Scalar;
+#endif
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::Avx2:
+      return "avx2";
+    case Level::Neon:
+      return "neon";
+    case Level::Scalar:
+    default:
+      return "scalar";
+  }
+}
+
+std::size_t lane_width(Level level) {
+  switch (level) {
+    case Level::Avx2:
+      return 4;
+    case Level::Neon:
+      return 2;
+    case Level::Scalar:
+    default:
+      return 1;
+  }
+}
+
+ScopedLevel::ScopedLevel(Level level)
+    : saved_(g_override.load(std::memory_order_relaxed)) {
+  g_override.store(static_cast<int>(clamp_to_executable(level)),
+                   std::memory_order_relaxed);
+}
+
+ScopedLevel::~ScopedLevel() {
+  g_override.store(saved_, std::memory_order_relaxed);
+}
+
+}  // namespace netconst::linalg::simd

@@ -1,6 +1,8 @@
 #include "online/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
 #include <ostream>
 #include <vector>
 
@@ -24,11 +26,35 @@ void Histogram::observe(double value) {
   }
   ++summary_.count;
   summary_.sum += value;
+  if (samples_.size() < kMaxSamples) samples_.push_back(value);
 }
+
+namespace {
+
+/// Nearest-rank percentile of an unsorted sample buffer (q in (0, 1]).
+double percentile(std::vector<double>& scratch, double q) {
+  const auto n = scratch.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  std::nth_element(scratch.begin(),
+                   scratch.begin() + static_cast<std::ptrdiff_t>(rank - 1),
+                   scratch.end());
+  return scratch[rank - 1];
+}
+
+}  // namespace
 
 Histogram::Summary Histogram::summary() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return summary_;
+  Summary s = summary_;
+  if (!samples_.empty()) {
+    std::vector<double> scratch = samples_;
+    s.p50 = percentile(scratch, 0.50);
+    s.p99 = percentile(scratch, 0.99);
+  }
+  return s;
 }
 
 namespace {
@@ -108,8 +134,8 @@ struct ExportRow {
 
 CsvTable MetricsRegistry::to_csv() const {
   CsvTable table;
-  table.header = {"metric", "type",  "count", "value",
-                  "sum",    "min",   "max",   "mean"};
+  table.header = {"metric", "type", "count", "value", "sum",
+                  "min",    "max",  "mean",  "p50",   "p99"};
   std::lock_guard<std::mutex> lock(mutex_);
   // std::map iteration is already name-sorted per type; interleave by
   // merging the three sorted ranges into one sorted output.
@@ -135,10 +161,13 @@ CsvTable MetricsRegistry::to_csv() const {
                             format_double(row.summary.sum),
                             format_double(row.summary.min),
                             format_double(row.summary.max),
-                            format_double(row.summary.mean())});
+                            format_double(row.summary.mean()),
+                            format_double(row.summary.p50),
+                            format_double(row.summary.p99)});
     } else {
       table.rows.push_back({row.name, row.type, "",
-                            format_double(row.value), "", "", "", ""});
+                            format_double(row.value), "", "", "", "", "",
+                            ""});
     }
   }
   return table;
@@ -154,7 +183,8 @@ void MetricsRegistry::write_json(std::ostream& out) const {
     if (row[1] == "histogram") {
       out << ",\"count\":" << row[2] << ",\"sum\":" << row[4]
           << ",\"min\":" << row[5] << ",\"max\":" << row[6]
-          << ",\"mean\":" << row[7];
+          << ",\"mean\":" << row[7] << ",\"p50\":" << row[8]
+          << ",\"p99\":" << row[9];
     } else {
       out << ",\"value\":" << row[3];
     }
@@ -166,12 +196,13 @@ void MetricsRegistry::write_json(std::ostream& out) const {
 ConsoleTable MetricsRegistry::to_table() const {
   const CsvTable csv = to_csv();
   ConsoleTable table({"metric", "type", "value / mean", "count", "min",
-                      "max"});
+                      "max", "p50", "p99"});
   for (const auto& row : csv.rows) {
     if (row[1] == "histogram") {
-      table.add_row({row[0], row[1], row[7], row[2], row[5], row[6]});
+      table.add_row({row[0], row[1], row[7], row[2], row[5], row[6], row[8],
+                     row[9]});
     } else {
-      table.add_row({row[0], row[1], row[3], "", "", ""});
+      table.add_row({row[0], row[1], row[3], "", "", "", "", ""});
     }
   }
   return table;

@@ -18,6 +18,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "support/csv.hpp"
 #include "support/table.hpp"
@@ -44,15 +45,23 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Streaming summary of an observed distribution (count/sum/min/max —
-/// enough for latency and Norm(N_E) trajectories without bucket tuning).
+/// Streaming summary of an observed distribution: count/sum/min/max
+/// plus exact sample-based p50/p99 (tail latency is what the
+/// concurrent refresh path is judged on, and means hide it). Samples
+/// are retained up to kMaxSamples; beyond that the percentiles reflect
+/// the first kMaxSamples observations while count/sum/min/max stay
+/// exact — far more than any service campaign records today.
 class Histogram {
  public:
+  static constexpr std::size_t kMaxSamples = 65536;
+
   struct Summary {
     std::uint64_t count = 0;
     double sum = 0.0;
     double min = 0.0;  // 0 when count == 0
     double max = 0.0;
+    double p50 = 0.0;  // nearest-rank percentiles; 0 when count == 0
+    double p99 = 0.0;
     double mean() const {
       return count == 0 ? 0.0 : sum / static_cast<double>(count);
     }
@@ -64,6 +73,7 @@ class Histogram {
  private:
   mutable std::mutex mutex_;
   Summary summary_;
+  std::vector<double> samples_;
 };
 
 /// Create-or-get registry of named metrics. Returned references stay

@@ -1,11 +1,15 @@
 #include "online/service.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <exception>
+#include <limits>
+#include <memory>
 #include <mutex>
 #include <ostream>
 
 #include "support/error.hpp"
+#include "support/stopwatch.hpp"
 
 namespace netconst::online {
 
@@ -27,7 +31,8 @@ struct ConstantFinderService::Tenant {
         cold_fallbacks(metrics.counter(prefix() + "cold_fallbacks")),
         recalibrations(metrics.counter(prefix() + "recalibrations")),
         suppressed(metrics.counter(prefix() + "recalibrations_suppressed")),
-        error_norm_gauge(metrics.gauge(prefix() + "error_norm")) {
+        error_norm_gauge(metrics.gauge(prefix() + "error_norm")),
+        refresh_seconds(metrics.histogram(prefix() + "refresh_seconds")) {
     NETCONST_CHECK(config.provider != nullptr, "tenant needs a provider");
     NETCONST_CHECK(config.provider->cluster_size() >= 2,
                    "tenant cluster must have at least two VMs");
@@ -47,6 +52,11 @@ struct ConstantFinderService::Tenant {
   bool bootstrapped = false;
   std::size_t steps = 0;
 
+  // Batch-scheduler state, touched only under the batch mutex or by
+  // the single driver that currently owns the tenant.
+  std::size_t batch_remaining = 0;
+  double step_ewma = 0.0;  // seconds per step; 0 = not yet measured
+
   Counter& snapshots;
   Counter& operations;
   Counter& refreshes;
@@ -56,11 +66,15 @@ struct ConstantFinderService::Tenant {
   Counter& recalibrations;
   Counter& suppressed;
   Gauge& error_norm_gauge;
+  Histogram& refresh_seconds;
 };
 
 ConstantFinderService::ConstantFinderService(const ServiceOptions& options)
     : options_(options),
-      pool_(options.threads),
+      owned_pool_(options.threads == 0
+                      ? nullptr
+                      : std::make_unique<ThreadPool>(options.threads)),
+      pool_(owned_pool_ ? owned_pool_.get() : &ThreadPool::global()),
       events_(options.event_capacity) {}
 
 ConstantFinderService::~ConstantFinderService() = default;
@@ -94,6 +108,7 @@ void ConstantFinderService::bootstrap(Tenant& tenant) {
   metrics_.counter("online.refreshes").increment();
   tenant.cold_solves.increment(2.0);
   metrics_.counter("online.cold_solves").increment(2.0);
+  tenant.refresh_seconds.observe(report.total_seconds);
   metrics_.histogram("online.refresh_seconds").observe(report.total_seconds);
   metrics_.histogram("online.error_norm").observe(
       report.component.error_norm);
@@ -148,6 +163,7 @@ void ConstantFinderService::maintain(Tenant& tenant, TriggerReason reason,
                     "warm solve diverged; solved cold",
                     report.component.error_norm});
   }
+  tenant.refresh_seconds.observe(report.total_seconds);
   metrics_.histogram("online.refresh_seconds").observe(report.total_seconds);
   metrics_.histogram("online.error_norm").observe(
       report.component.error_norm);
@@ -222,31 +238,112 @@ void ConstantFinderService::step(Tenant& tenant) {
 
 void ConstantFinderService::run(std::size_t steps) {
   NETCONST_CHECK(!tenants_.empty(), "run() with no tenants");
+  const std::size_t slice =
+      options_.batch_slice == 0 ? 1 : options_.batch_slice;
 
-  std::mutex mutex;
-  std::condition_variable done_cv;
-  std::size_t remaining = tenants_.size();
-  std::exception_ptr first_error;
+  // Shared batch state. Reference-counted because a submitted driver
+  // task can outlive run(): once the last tenant finishes the caller
+  // is released, but a driver that found the ready queue empty may
+  // still be unwinding.
+  struct Batch {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::vector<Tenant*> ready;  // claimable tenants with work left
+    std::size_t unfinished = 0;
+    std::exception_ptr first_error;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->ready.reserve(tenants_.size());
+  for (const auto& tenant : tenants_) {
+    tenant->batch_remaining = steps;
+    batch->ready.push_back(tenant.get());
+  }
+  batch->unfinished = tenants_.size();
 
-  for (const auto& tenant_ptr : tenants_) {
-    Tenant* tenant = tenant_ptr.get();
-    pool_.submit([&, tenant] {
-      std::exception_ptr error;
+  // One driver: repeatedly claim the tenant with the largest estimated
+  // remaining work and advance it one quantum. Longest-remaining-first
+  // keeps a straggling tenant from serializing the batch tail — it gets
+  // picked up early and stays in flight while short tenants fill the
+  // other workers. Drivers never block: an empty ready queue means
+  // every unfinished tenant is already owned by some other driver, so
+  // the driver retires instead of waiting (a blocked pool worker would
+  // starve the solver regions that share these threads).
+  auto drive = [this, batch, slice] {
+    for (;;) {
+      Tenant* tenant = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(batch->mutex);
+        std::size_t best = batch->ready.size();
+        double best_estimate = -1.0;
+        for (std::size_t k = 0; k < batch->ready.size(); ++k) {
+          const Tenant& candidate = *batch->ready[k];
+          // Unmeasured tenants (not yet bootstrapped, or never timed)
+          // sort first: they could be arbitrarily expensive.
+          const double estimate =
+              !candidate.bootstrapped || candidate.step_ewma <= 0.0
+                  ? std::numeric_limits<double>::infinity()
+                  : candidate.step_ewma *
+                        static_cast<double>(candidate.batch_remaining);
+          if (estimate > best_estimate) {
+            best_estimate = estimate;
+            best = k;
+          }
+        }
+        if (best == batch->ready.size()) return;
+        tenant = batch->ready[best];
+        batch->ready.erase(batch->ready.begin() +
+                           static_cast<std::ptrdiff_t>(best));
+      }
+
+      bool failed = false;
+      std::size_t executed = 0;
+      double step_seconds = 0.0;
       try {
         if (!tenant->bootstrapped) bootstrap(*tenant);
-        for (std::size_t s = 0; s < steps; ++s) step(*tenant);
+        const std::size_t quantum =
+            std::min(slice, tenant->batch_remaining);
+        const Stopwatch clock;
+        for (; executed < quantum; ++executed) step(*tenant);
+        step_seconds = clock.seconds();
       } catch (...) {
-        error = std::current_exception();
+        failed = true;
+        std::lock_guard<std::mutex> lock(batch->mutex);
+        if (!batch->first_error) {
+          batch->first_error = std::current_exception();
+        }
       }
-      std::lock_guard<std::mutex> lock(mutex);
-      if (error && !first_error) first_error = error;
-      if (--remaining == 0) done_cv.notify_all();
-    });
-  }
 
-  std::unique_lock<std::mutex> lock(mutex);
-  done_cv.wait(lock, [&] { return remaining == 0; });
-  if (first_error) std::rethrow_exception(first_error);
+      std::lock_guard<std::mutex> lock(batch->mutex);
+      if (executed > 0) {
+        // EWMA of wall seconds per step feeds the remaining-work
+        // estimate. Noisy (a quantum with a refresh is much dearer
+        // than one without) but plenty for straggler ordering.
+        const double per_step =
+            step_seconds / static_cast<double>(executed);
+        tenant->step_ewma = tenant->step_ewma <= 0.0
+                                ? per_step
+                                : 0.3 * per_step + 0.7 * tenant->step_ewma;
+        tenant->batch_remaining -= executed;
+      }
+      if (!failed && tenant->batch_remaining > 0) {
+        batch->ready.push_back(tenant);
+      } else if (--batch->unfinished == 0) {
+        batch->done_cv.notify_all();
+      }
+    }
+  };
+
+  // min(workers, tenants) pool drivers plus the caller. With a single
+  // worker this degenerates gracefully: the caller and one worker
+  // drain the batch in longest-remaining-first order.
+  const std::size_t drivers =
+      std::min(pool_->thread_count(), tenants_.size());
+  for (std::size_t d = 0; d < drivers; ++d) pool_->submit(drive);
+  drive();
+
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->done_cv.wait(lock, [&] { return batch->unfinished == 0; });
+  if (batch->first_error) std::rethrow_exception(batch->first_error);
 }
 
 TenantStatus ConstantFinderService::status(std::size_t tenant_index) const {

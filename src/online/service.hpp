@@ -3,11 +3,20 @@
 //
 // Each tenant is one virtual cluster (its own NetworkProvider) with its
 // own sliding window, warm-started refresher and adaptive scheduler.
-// The service drives K tenants concurrently on a thread pool; tenants
-// never share mutable state except the metrics registry and the event
-// log, both of which are thread-safe. A tenant's trajectory is fully
-// deterministic given its seed and provider, independent of thread
-// interleaving.
+// run() drives K tenants concurrently with a deadline-aware batch
+// scheduler: a small set of driver tasks repeatedly claims the tenant
+// with the largest estimated remaining work (EWMA cost per step times
+// steps left) and advances it one quantum, so a straggling tenant
+// cannot serialize the batch tail. By default the drivers run on
+// ThreadPool::global() — the same workers the linalg kernels fan out
+// on — which the multi-region scheduler multiplexes between tenant
+// drivers and solver regions without oversubscribing the machine.
+//
+// Tenants never share mutable state except the metrics registry and
+// the event log, both of which are thread-safe, and a tenant is owned
+// by exactly one driver at a time. A tenant's trajectory is therefore
+// fully deterministic given its seed and provider, independent of the
+// thread count, the quantum size, and the claim order.
 //
 // One service step per tenant = one Algorithm 1 cycle:
 //   run an operation against the constant component, compare measured
@@ -57,10 +66,18 @@ struct TenantConfig {
 };
 
 struct ServiceOptions {
-  /// Worker threads; 0 = hardware concurrency. The service owns its
-  /// pool (tenant tasks must not compete with the global pool used by
-  /// the linalg kernels).
+  /// Worker threads. 0 (the default) shares ThreadPool::global() with
+  /// the linalg kernels: tenant drivers and solver fork/join regions
+  /// multiplex over one worker set (see support/thread_pool.hpp), so
+  /// refreshes overlap without oversubscribing the machine. N > 0
+  /// gives the service a dedicated pool of N workers, which pins the
+  /// driver parallelism independently of NETCONST_THREADS.
   std::size_t threads = 0;
+  /// Steps a driver advances a claimed tenant before re-entering the
+  /// batch scheduler (the quantum). Smaller slices rebalance around
+  /// stragglers sooner at slightly more scheduling overhead; 0 acts
+  /// as 1. Has no effect on any tenant's trajectory.
+  std::size_t batch_slice = 16;
   /// Event-log retention; 0 = unbounded.
   std::size_t event_capacity = 0;
 };
@@ -104,8 +121,11 @@ class ConstantFinderService {
 
   /// Drive every tenant for `steps` operation cycles, concurrently.
   /// First call bootstraps each tenant (fills its window, cold solve).
-  /// Blocks until all tenants finish; rethrows the first tenant error.
-  /// May be called repeatedly to continue the campaign.
+  /// Tenants are advanced in batch_slice quanta by up to
+  /// min(worker count, tenant count) + 1 drivers (the caller is one),
+  /// longest-estimated-remaining first. Blocks until all tenants
+  /// finish; rethrows the first tenant error. May be called repeatedly
+  /// to continue the campaign.
   void run(std::size_t steps);
 
   /// Valid after run() returns.
@@ -127,7 +147,8 @@ class ConstantFinderService {
   void maintain(Tenant& tenant, TriggerReason reason, double trigger_value);
 
   ServiceOptions options_;
-  ThreadPool pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;  // null when sharing global()
+  ThreadPool* pool_;
   MetricsRegistry metrics_;
   EventLog events_;
   std::vector<std::unique_ptr<Tenant>> tenants_;

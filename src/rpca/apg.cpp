@@ -95,16 +95,8 @@ void solve_apg(const linalg::Matrix& a, const Options& options,
 
     // Convergence: relative change of the stacked iterate (D, E).
     double change = 0.0, scale = 0.0;
-    const auto ds = ws.d.data();
-    const auto dp = ws.d_prev.data();
-    const auto es = ws.e.data();
-    const auto ep = ws.e_prev.data();
-    for (std::size_t idx = 0; idx < ds.size(); ++idx) {
-      const double dd = ds[idx] - dp[idx];
-      const double de = es[idx] - ep[idx];
-      change += dd * dd + de * de;
-      scale += ds[idx] * ds[idx] + es[idx] * es[idx];
-    }
+    linalg::iterate_change_norms(ws.d, ws.d_prev, ws.e, ws.e_prev, change,
+                                 scale);
     if (std::sqrt(change) <=
         options.tolerance * std::max(std::sqrt(scale), 1.0)) {
       result.converged = true;

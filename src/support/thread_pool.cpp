@@ -1,8 +1,26 @@
 #include "support/thread_pool.hpp"
 
-#include <utility>
+#include <cstdlib>
 
 namespace netconst {
+
+// Memory-ordering notes for the region scheduler
+// ----------------------------------------------
+// Publish: the owner writes every region field, then state.store(kActive,
+// seq_cst). Workers read fields only after observing kActive, so the
+// store/load pair publishes them.
+//
+// Retire: the owner must not recycle a slot while a worker still reads
+// its fields. Workers pin a slot (visitors.fetch_add) BEFORE re-checking
+// state; the owner stores a non-active state BEFORE reading visitors.
+// Both edges are seq_cst, making this a classic store-then-load (Dekker)
+// handshake: either the worker sees the retired state and leaves without
+// touching fields, or the owner sees the worker's pin and waits for it.
+//
+// Completion: every chunk executor decrements `unfinished` with acq_rel.
+// The decrements form a release sequence, so the owner's acquire load
+// that observes zero synchronizes with every executor — all writes made
+// by chunk bodies are visible to the owner when run_chunked returns.
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -24,7 +42,7 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(Task task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
@@ -32,22 +50,70 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
-void ThreadPool::work_one_chunk(Region& region,
-                                std::unique_lock<std::mutex>& lock) {
-  const std::size_t lo = region.next;
-  const std::size_t hi =
-      lo + region.chunk < region.end ? lo + region.chunk : region.end;
-  region.next = hi;
-  lock.unlock();
-  std::exception_ptr error;
-  try {
-    region.body(lo, hi);
-  } catch (...) {
-    error = std::current_exception();
+bool ThreadPool::drain_region(RegionSlot& slot) {
+  // Safe to read once the caller has either published the slot (owner)
+  // or pinned it and re-checked kActive (worker): the owner never
+  // rewrites these while the region is active.
+  const std::size_t end = slot.end.load(std::memory_order_relaxed);
+  const std::size_t chunk = slot.chunk;
+  const auto* body = slot.body;
+  bool did_work = false;
+  for (;;) {
+    // The pre-check keeps exhausted regions from inflating `next`
+    // forever; the fetch_add may still overshoot once per visitor, which
+    // is harmless (claims at or past `end` are abandoned).
+    if (slot.next.load(std::memory_order_relaxed) >= end) break;
+    const std::size_t lo =
+        slot.next.fetch_add(chunk, std::memory_order_relaxed);
+    if (lo >= end) break;
+    const std::size_t hi = lo + chunk < end ? lo + chunk : end;
+    did_work = true;
+    std::exception_ptr error;
+    try {
+      (*body)(lo, hi);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    if (error) {
+      std::lock_guard<std::mutex> lock(slot.mutex);
+      if (!slot.error) slot.error = error;
+    }
+    // The error (if any) is recorded before this decrement, so
+    // unfinished == 0 implies no pending error writes.
+    if (slot.unfinished.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(slot.mutex);
+      slot.done_cv.notify_all();
+    }
   }
-  lock.lock();
-  if (error && !region.error) region.error = error;
-  if (--region.unfinished == 0) region.done.notify_all();
+  return did_work;
+}
+
+bool ThreadPool::work_on_regions() {
+  if (active_regions_.load(std::memory_order_relaxed) == 0) return false;
+  bool did_work = false;
+  for (auto& slot : regions_) {
+    if (slot.state.load(std::memory_order_relaxed) != RegionSlot::kActive) {
+      continue;
+    }
+    slot.visitors.fetch_add(1, std::memory_order_seq_cst);
+    if (slot.state.load(std::memory_order_seq_cst) == RegionSlot::kActive) {
+      did_work |= drain_region(slot);
+    }
+    slot.visitors.fetch_sub(1, std::memory_order_release);
+  }
+  return did_work;
+}
+
+bool ThreadPool::region_work_available() const {
+  if (active_regions_.load(std::memory_order_relaxed) == 0) return false;
+  for (const auto& slot : regions_) {
+    if (slot.state.load(std::memory_order_acquire) == RegionSlot::kActive &&
+        slot.next.load(std::memory_order_relaxed) <
+            slot.end.load(std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void ThreadPool::run_chunked(
@@ -56,60 +122,102 @@ void ThreadPool::run_chunked(
   if (begin >= end) return;
   if (chunk == 0) chunk = 1;
 
-  Region region{begin, end, chunk,
-                /*unfinished=*/(end - begin + chunk - 1) / chunk, body,
-                /*error=*/nullptr, /*done=*/{}};
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (region_ != nullptr) {
-      // A region is already running (nested parallelism or a concurrent
-      // caller). Run inline: the claiming protocol has a single slot, and
-      // inline execution keeps nested parallel_for calls deadlock-free.
-      lock.unlock();
-      body(begin, end);
-      return;
+  // Acquire a free slot; when all kMaxRegions are busy, degrade to
+  // inline execution (still allocation-free, still correct).
+  RegionSlot* slot = nullptr;
+  for (auto& candidate : regions_) {
+    unsigned expected = RegionSlot::kFree;
+    if (candidate.state.compare_exchange_strong(
+            expected, RegionSlot::kSetup, std::memory_order_acquire)) {
+      slot = &candidate;
+      break;
     }
-    region_ = &region;
+  }
+  if (slot == nullptr) {
+    body(begin, end);
+    return;
+  }
+
+  const std::size_t nchunks = (end - begin + chunk - 1) / chunk;
+  slot->next.store(begin, std::memory_order_relaxed);
+  slot->unfinished.store(nchunks, std::memory_order_relaxed);
+  slot->end.store(end, std::memory_order_relaxed);
+  slot->chunk = chunk;
+  slot->body = &body;
+  slot->error = nullptr;
+  active_regions_.fetch_add(1, std::memory_order_relaxed);
+  slot->state.store(RegionSlot::kActive, std::memory_order_seq_cst);
+  {
+    // Empty critical section: orders the publication above against the
+    // predicate check of a worker about to sleep, so the notify cannot
+    // be lost.
+    std::lock_guard<std::mutex> lock(mutex_);
   }
   cv_.notify_all();
 
   // Participate: the caller is always one of the chunk workers, so the
   // region completes even with zero free pool workers.
-  std::unique_lock<std::mutex> lock(mutex_);
-  while (region.next < region.end) work_one_chunk(region, lock);
-  region.done.wait(lock, [&region] { return region.unfinished == 0; });
-  region_ = nullptr;
-  lock.unlock();
-  // Wake workers parked on the "region active" predicate so they re-check
-  // the queue (and future regions).
-  if (region.error) std::rethrow_exception(region.error);
+  drain_region(*slot);
+  {
+    std::unique_lock<std::mutex> lock(slot->mutex);
+    slot->done_cv.wait(lock, [slot] {
+      return slot->unfinished.load(std::memory_order_acquire) == 0;
+    });
+  }
+  std::exception_ptr error = std::move(slot->error);
+
+  // Retire the slot: hide it from new visitors, then wait for pinned
+  // ones to leave before it can be recycled (see the notes above).
+  active_regions_.fetch_sub(1, std::memory_order_relaxed);
+  slot->state.store(RegionSlot::kSetup, std::memory_order_seq_cst);
+  while (slot->visitors.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+  slot->body = nullptr;
+  slot->state.store(RegionSlot::kFree, std::memory_order_release);
+
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    cv_.wait(lock, [this] {
-      return stopping_ || !queue_.empty() ||
-             (region_ != nullptr && region_->next < region_->end);
-    });
-    if (region_ != nullptr && region_->next < region_->end) {
-      work_one_chunk(*region_, lock);
-      continue;
+    // Fork/join regions first: they are synchronous and latency-bound,
+    // while queued tasks are fire-and-forget.
+    if (work_on_regions()) continue;
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] {
+        return stopping_ || !queue_.empty() || region_work_available();
+      });
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      } else if (region_work_available()) {
+        continue;  // drop the lock, claim chunks lock-free
+      } else {
+        return;  // stopping_, queue drained, no region work
+      }
     }
-    if (!queue_.empty()) {
-      std::function<void()> task = std::move(queue_.front());
-      queue_.pop_front();
-      lock.unlock();
-      task();
-      lock.lock();
-      continue;
-    }
-    if (stopping_) return;  // queue drained, no region work
+    task();
   }
 }
 
+std::size_t ThreadPool::configured_thread_count() {
+  if (const char* env = std::getenv("NETCONST_THREADS")) {
+    char* parse_end = nullptr;
+    const unsigned long value = std::strtoul(env, &parse_end, 10);
+    if (parse_end != env && *parse_end == '\0' && value > 0 &&
+        value <= 4096) {
+      return static_cast<std::size_t>(value);
+    }
+  }
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool(configured_thread_count());
   return pool;
 }
 

@@ -1,34 +1,144 @@
-// A fixed-size worker pool used by parallel_for and the linear-algebra
-// kernels. Two ways in:
+// A fixed-size worker pool used by parallel_for, the linear-algebra
+// kernels, and the online service. Two ways in:
 //
-//  * submit() — fire-and-forget std::function tasks; completion is tracked
-//    per-batch by the submitter, keeping the pool itself minimal.
+//  * submit() — fire-and-forget tasks; completion is tracked per-batch by
+//    the submitter, keeping the pool itself minimal. Tasks are stored in
+//    a small-buffer Task type, so small recurring callables (the online
+//    service's tenant drivers) never touch the heap on the submit path.
 //  * run_chunked() — a synchronous fork/join "parallel region" over an
-//    index range. The region descriptor lives on the caller's stack and
-//    workers claim contiguous chunks under the pool mutex, so dispatch
-//    performs no heap allocation at all. This is the path the RPCA hot
-//    loop uses: a solver iteration can fan out elementwise kernels and
-//    Gram products without a single malloc (see docs/PERFORMANCE.md).
+//    index range. Region state lives in a pool-owned slot table and
+//    workers claim contiguous chunks with a single atomic fetch_add, so
+//    dispatch performs no heap allocation and no lock on the fast path.
+//    This is the path the RPCA hot loop uses: a solver iteration can fan
+//    out elementwise kernels and Gram products without a single malloc
+//    (see docs/PERFORMANCE.md).
+//
+// Unlike the original single-slot design (which executed a nested or
+// concurrent region inline on the calling thread, serializing
+// multi-tenant solves), the scheduler supports up to kMaxRegions
+// concurrent fork/join regions: workers multiplex across every active
+// region, so two tenants' solver iterations genuinely share the machine.
+// Chunk partitioning is a pure function of (begin, end, chunk), so the
+// set of chunks — and therefore every output element — is identical no
+// matter which thread executes which chunk: parallel loops stay
+// deterministic across thread counts and region interleavings.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
-#include <functional>
 #include <mutex>
+#include <new>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "support/function_ref.hpp"
 
 namespace netconst {
 
+/// Move-only owning callable with small-buffer storage: callables up to
+/// kInlineSize bytes (and nothrow-move-constructible) are stored inline;
+/// larger ones fall back to the heap. The replacement for
+/// std::function<void()> on the pool's submit path, where the per-task
+/// heap allocation dominated the cost of small recurring tasks.
+class Task {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  Task() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, Task> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  Task(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      vtable_ = &inline_vtable<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      vtable_ = &heap_vtable<Fn>;
+    }
+  }
+
+  Task(Task&& other) noexcept { move_from(other); }
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { reset(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  void operator()() { vtable_->invoke(storage_); }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct + destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr VTable inline_vtable = {
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* dst, void* src) {
+        Fn* from = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); }};
+
+  template <typename Fn>
+  static constexpr VTable heap_vtable = {
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* p) { delete *static_cast<Fn**>(p); }};
+
+  void move_from(Task& other) noexcept {
+    if (other.vtable_ != nullptr) {
+      vtable_ = other.vtable_;
+      vtable_->relocate(storage_, other.storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize] = {};
+  const VTable* vtable_ = nullptr;
+};
+
 /// Fixed-size thread pool. Construction spawns the workers; destruction
 /// drains the queue and joins them. Thread-safe for concurrent submit()
-/// and run_chunked().
+/// and run_chunked() from any number of threads.
 class ThreadPool {
  public:
+  /// Concurrent fork/join region slots. A run_chunked call arriving when
+  /// every slot is busy executes its whole range inline on the calling
+  /// thread (graceful degradation, never an error).
+  static constexpr std::size_t kMaxRegions = 16;
+
   /// `threads == 0` means hardware_concurrency (at least 1).
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
@@ -37,45 +147,74 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task for execution on some worker.
-  void submit(std::function<void()> task);
+  void submit(Task task);
 
   /// Synchronous parallel loop: invoke body(lo, hi) for contiguous chunks
   /// of size `chunk` covering [begin, end). The caller participates, so
   /// the loop makes progress even when every worker is busy. Blocks until
-  /// all chunks have completed; the first exception thrown by `body` is
-  /// rethrown. Performs no heap allocation (except on the exceptional
-  /// path). Only one region runs at a time: a nested or concurrent call
-  /// executes its whole range inline on the calling thread.
+  /// all chunks have completed; the first exception thrown by `body`
+  /// (whether on a worker or on the calling thread) is rethrown on the
+  /// caller. Performs no heap allocation (except on the exceptional
+  /// path). Nested and concurrent regions each get their own slot and
+  /// run genuinely in parallel, up to kMaxRegions at a time.
   void run_chunked(std::size_t begin, std::size_t end, std::size_t chunk,
                    FunctionRef<void(std::size_t, std::size_t)> body);
 
   std::size_t thread_count() const { return workers_.size(); }
 
-  /// Process-wide shared pool (lazily constructed, sized to the hardware).
+  /// Process-wide shared pool, lazily constructed. Sized to the hardware
+  /// unless the NETCONST_THREADS environment variable names a positive
+  /// worker count — the supported way for benches and CI to pin worker
+  /// counts without code changes (see docs/PERFORMANCE.md).
   static ThreadPool& global();
 
+  /// Worker count global() will use: NETCONST_THREADS when set to a
+  /// positive integer, hardware_concurrency otherwise.
+  static std::size_t configured_thread_count();
+
  private:
-  /// Stack-allocated fork/join state of one run_chunked call.
-  struct Region {
-    std::size_t next;   // first unclaimed index
-    std::size_t end;    // one past the last index
-    std::size_t chunk;  // claim granularity
-    std::size_t unfinished;  // chunks claimed or unclaimed, not yet done
-    FunctionRef<void(std::size_t, std::size_t)> body;
+  /// Pool-owned state of one fork/join region. Slots are recycled across
+  /// run_chunked calls; `state` disambiguates a free slot, a slot being
+  /// set up by its owner, and an active slot workers may claim from.
+  struct RegionSlot {
+    enum : unsigned { kFree = 0, kSetup = 1, kActive = 2 };
+
+    std::atomic<unsigned> state{kFree};
+    /// Workers currently inspecting/claiming from this slot. The owner
+    /// recycles the slot only once this drops to zero, so a worker never
+    /// reads region fields that are being rewritten for the next region.
+    std::atomic<unsigned> visitors{0};
+
+    std::atomic<std::size_t> next{0};   // first unclaimed index
+    std::atomic<std::size_t> unfinished{0};  // chunks not yet completed
+    /// One past the last index. Atomic because idle workers peek at it
+    /// from region_work_available() without pinning the slot.
+    std::atomic<std::size_t> end{0};
+    std::size_t chunk = 0;              // claim granularity
+    const FunctionRef<void(std::size_t, std::size_t)>* body = nullptr;
+
+    // Completion/exception channel, touched only off the fast path.
+    std::mutex mutex;
+    std::condition_variable done_cv;
     std::exception_ptr error;
-    std::condition_variable done;
   };
 
-  /// Claim and run one chunk of `region`. Called with `lock` held on
-  /// mutex_; returns with it reacquired.
-  void work_one_chunk(Region& region, std::unique_lock<std::mutex>& lock);
+  /// Claim and run chunks of `slot` until none remain. Returns true if at
+  /// least one chunk was executed.
+  bool drain_region(RegionSlot& slot);
+  /// One pass over all active slots; returns true if any chunk ran.
+  bool work_on_regions();
+  bool region_work_available() const;
 
   void worker_loop();
 
-  std::mutex mutex_;
+  std::array<RegionSlot, kMaxRegions> regions_;
+  /// Active-region count; lets idle workers skip the slot scan entirely.
+  std::atomic<std::size_t> active_regions_{0};
+
+  std::mutex mutex_;  // guards queue_, stopping_, and worker sleep/wake
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  Region* region_ = nullptr;  // active run_chunked region, if any
+  std::deque<Task> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -44,6 +44,23 @@ TEST(Metrics, HistogramSummary) {
   EXPECT_DOUBLE_EQ(s.mean(), 2.0);
 }
 
+TEST(Metrics, HistogramPercentiles) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("latency");
+  EXPECT_DOUBLE_EQ(h.summary().p50, 0.0);
+  EXPECT_DOUBLE_EQ(h.summary().p99, 0.0);
+  // 1..100: nearest-rank p50 = 50, p99 = 99.
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v));
+  const Histogram::Summary s = h.summary();
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+  // A single observation is every percentile.
+  Histogram& one = registry.histogram("one");
+  one.observe(7.0);
+  EXPECT_DOUBLE_EQ(one.summary().p50, 7.0);
+  EXPECT_DOUBLE_EQ(one.summary().p99, 7.0);
+}
+
 TEST(Metrics, NameBoundToOneTypeOnly) {
   MetricsRegistry registry;
   registry.counter("x");

@@ -195,5 +195,98 @@ TEST(ConstantFinderService, TrajectoryIndependentOfThreadCount) {
   }
 }
 
+TEST(ConstantFinderService, ConcurrentTenantsMatchTenantsRunAlone) {
+  // A tenant solving while other tenants solve concurrently on the
+  // shared runtime must land exactly where it lands solving alone —
+  // at every driver parallelism and quantum size. This is the paper's
+  // reproducibility requirement for the multi-tenant service: results
+  // must not depend on co-tenancy.
+  struct Outcome {
+    TenantStatus status;
+    core::ConstantComponent component;
+  };
+  const auto outcome_of = [](const ConstantFinderService& service,
+                             std::size_t t) {
+    return Outcome{service.status(t), service.component(t)};
+  };
+  constexpr std::size_t kSteps = 10;
+
+  // Baseline: each tenant alone on a single-threaded service.
+  std::vector<Outcome> alone;
+  for (std::uint64_t t = 0; t < 2; ++t) {
+    ServiceOptions options;
+    options.threads = 1;
+    ConstantFinderService service(options);
+    cloud::SyntheticCloud cloud(tiny_cloud(40 + t));
+    service.add_tenant(
+        tenant_config("tenant" + std::to_string(t), cloud, 200 + t));
+    service.run(kSteps);
+    alone.push_back(outcome_of(service, 0));
+  }
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    for (const std::size_t slice : {1u, 3u, 16u}) {
+      ServiceOptions options;
+      options.threads = threads;
+      options.batch_slice = slice;
+      ConstantFinderService service(options);
+      std::vector<std::unique_ptr<cloud::SyntheticCloud>> clouds;
+      for (std::uint64_t t = 0; t < 2; ++t) {
+        clouds.push_back(
+            std::make_unique<cloud::SyntheticCloud>(tiny_cloud(40 + t)));
+        service.add_tenant(tenant_config("tenant" + std::to_string(t),
+                                         *clouds.back(), 200 + t));
+      }
+      service.run(kSteps);
+      for (std::size_t t = 0; t < 2; ++t) {
+        const Outcome together = outcome_of(service, t);
+        const TenantStatus& a = alone[t].status;
+        const TenantStatus& b = together.status;
+        EXPECT_EQ(a.steps, b.steps);
+        EXPECT_DOUBLE_EQ(a.provider_time, b.provider_time);
+        EXPECT_EQ(a.error_norm, b.error_norm);
+        EXPECT_EQ(a.level, b.level);
+        EXPECT_EQ(a.snapshots_ingested, b.snapshots_ingested);
+        EXPECT_EQ(a.refreshes, b.refreshes);
+        EXPECT_EQ(a.warm_solves, b.warm_solves);
+        EXPECT_EQ(a.cold_solves, b.cold_solves);
+        EXPECT_EQ(a.breaches, b.breaches);
+        EXPECT_EQ(a.interval_recalibrations, b.interval_recalibrations);
+        EXPECT_EQ(alone[t].component.constant.bandwidth().max_abs_diff(
+                      together.component.constant.bandwidth()),
+                  0.0)
+            << "threads=" << threads << " slice=" << slice;
+        EXPECT_EQ(alone[t].component.constant.latency().max_abs_diff(
+                      together.component.constant.latency()),
+                  0.0)
+            << "threads=" << threads << " slice=" << slice;
+      }
+    }
+  }
+}
+
+TEST(ConstantFinderService, SharedGlobalPoolByDefault) {
+  // threads == 0 shares ThreadPool::global(): tenants still finish and
+  // the trajectory matches a dedicated single-threaded pool.
+  ServiceOptions dedicated;
+  dedicated.threads = 1;
+  ConstantFinderService serial(dedicated);
+  cloud::SyntheticCloud cloud_a(tiny_cloud(50));
+  serial.add_tenant(tenant_config("t", cloud_a, 7));
+  serial.run(6);
+
+  ConstantFinderService shared;  // default options
+  cloud::SyntheticCloud cloud_b(tiny_cloud(50));
+  shared.add_tenant(tenant_config("t", cloud_b, 7));
+  shared.run(6);
+
+  EXPECT_DOUBLE_EQ(serial.status(0).provider_time,
+                   shared.status(0).provider_time);
+  EXPECT_EQ(serial.status(0).refreshes, shared.status(0).refreshes);
+  EXPECT_EQ(serial.component(0).constant.bandwidth().max_abs_diff(
+                shared.component(0).constant.bandwidth()),
+            0.0);
+}
+
 }  // namespace
 }  // namespace netconst::online

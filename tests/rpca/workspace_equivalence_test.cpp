@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "linalg/matrix.hpp"
+#include "linalg/simd.hpp"
 #include "rpca/reference.hpp"
 #include "rpca/rpca.hpp"
 #include "rpca/stable_pcp.hpp"
@@ -19,6 +20,15 @@
 
 namespace netconst::rpca {
 namespace {
+
+// The workspace<->reference contract is defined on the scalar operation
+// order (docs/PERFORMANCE.md): the workspace solvers' fused convergence
+// reduction lane-splits its accumulators under a SIMD level while the
+// frozen reference keeps its in-line scalar loop, so this suite pins
+// the scalar kernels for the whole binary. tests/linalg/simd_test.cpp
+// covers scalar-vs-vector agreement separately.
+const linalg::simd::ScopedLevel g_scalar_kernels(
+    linalg::simd::Level::Scalar);
 
 void expect_identical(const Result& ws, const Result& ref) {
   ASSERT_TRUE(ws.low_rank.same_shape(ref.low_rank));
