@@ -17,7 +17,11 @@
 // mul/add sequence per element — separate multiply and add, no FMA
 // (AVX2 target functions do not enable FMA; NEON bodies use
 // vmulq/vaddq, never vmlaq) — so every elementwise kernel here is
-// bit-identical at every level. The one reduction kernel
+// bit-identical at every level. The scalar side of that promise needs
+// the compiler to leave `a*b + c` uncontracted, so this translation
+// unit is built with -ffp-contract=off (see linalg/CMakeLists.txt);
+// without it GCC/Clang emit fmadd by default on aarch64 and the scalar
+// loops would diverge from the vector bodies. The one reduction kernel
 // (iterate_change_norms) lane-splits its accumulators under a vector
 // level; see its comment.
 //
@@ -132,7 +136,12 @@ void extrapolate_range(const double* x, const double* p, double c, double* o,
 // ---- soft threshold: o[i] = sign(v) * max(|v| - tau, 0) ----
 //
 // The vector form evaluates both shifted values and blends by the two
-// compare masks. The masks are mutually exclusive and a NaN input fails
+// compare masks. Requires tau >= 0 (asserted at every public entry
+// point: soft_threshold_into, gradient_step, soft_threshold_inplace):
+// a negative tau would make v > tau and v < -tau overlap, and the AVX2
+// or-of-masked-values blend would combine both shrunk values into
+// bitwise garbage instead of taking the scalar chain's first branch.
+// With tau >= 0 the masks are mutually exclusive and a NaN input fails
 // both compares (ordered, non-signaling), so every lane — including the
 // NaN-maps-to-zero case — matches the scalar if/else chain bitwise.
 

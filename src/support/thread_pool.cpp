@@ -195,8 +195,14 @@ void ThreadPool::worker_loop() {
         queue_.pop_front();
       } else if (region_work_available()) {
         continue;  // drop the lock, claim chunks lock-free
+      } else if (stopping_) {
+        return;  // queue drained, no region work
       } else {
-        return;  // stopping_, queue drained, no region work
+        // The wait predicate saw region work, but chunks are claimed
+        // lock-free, so another thread can drain the region before we
+        // re-check here. Losing that race must not kill the worker —
+        // go back to sleep instead of permanently shrinking the pool.
+        continue;
       }
     }
     task();

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <numeric>
@@ -227,6 +228,38 @@ TEST(RunChunked, PropagatesExceptionFromCallersOwnChunk) {
                                   }
                                 }),
                std::logic_error);
+  release.store(true);
+}
+
+TEST(ThreadPool, WorkersSurviveLosingRegionClaimRaces) {
+  // Every tiny region is a kill window: the caller claims the single
+  // chunk lock-free, so a worker woken by region_work_available() can
+  // find the region already drained when it re-checks under the lock.
+  // A worker that loses this race must go back to waiting, not exit —
+  // otherwise the pool silently shrinks and queued tasks starve.
+  constexpr std::size_t kWorkers = 4;
+  ThreadPool pool(kWorkers);
+  for (int repeat = 0; repeat < 2000; ++repeat) {
+    pool.run_chunked(0, 1, 1, [](std::size_t, std::size_t) {});
+  }
+  // Prove all workers are still alive: a barrier only they can fill.
+  // Each submitted task blocks until every worker has checked in, so
+  // fewer than kWorkers surviving threads can never reach the target.
+  std::atomic<std::size_t> arrived{0};
+  std::atomic<bool> release{false};
+  for (std::size_t i = 0; i < kWorkers; ++i) {
+    pool.submit([&] {
+      arrived.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (arrived.load() < kWorkers &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(arrived.load(), kWorkers);
   release.store(true);
 }
 
