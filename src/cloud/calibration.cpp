@@ -1,8 +1,52 @@
 #include "cloud/calibration.hpp"
 
+#include <cmath>
+
 #include "support/error.hpp"
 
 namespace netconst::cloud {
+namespace {
+
+/// A usable probe value: finite and positive. Fault injection reports
+/// lost values as NaN; a hostile provider could also return 0 or -inf.
+bool usable(double elapsed) {
+  return std::isfinite(elapsed) && elapsed > 0.0;
+}
+
+/// Fit one link from a (small, large) probe pair, retrying the pair
+/// with linear backoff while either value is unusable. On success the
+/// link is written into `result.matrix`; on exhaustion it is marked
+/// missing. Fault accounting lands in `result`.
+void fit_or_retry(NetworkProvider& provider, std::size_t i, std::size_t j,
+                  double t_small, double t_large,
+                  const CalibrationOptions& options,
+                  CalibrationResult& result) {
+  if (!usable(t_small)) ++result.failed_measurements;
+  if (!usable(t_large)) ++result.failed_measurements;
+  for (std::size_t attempt = 1;
+       (!usable(t_small) || !usable(t_large)) &&
+       attempt <= options.max_retries;
+       ++attempt) {
+    provider.advance(options.retry_backoff *
+                     static_cast<double>(attempt));
+    ++result.retries;
+    t_small = provider.measure(i, j, options.pingpong.small_bytes);
+    t_large = provider.measure(i, j, options.pingpong.large_bytes);
+    if (!usable(t_small)) ++result.failed_measurements;
+    if (!usable(t_large)) ++result.failed_measurements;
+  }
+  if (usable(t_small) && usable(t_large)) {
+    result.matrix.set_link(i, j,
+                           robust_fit(t_small, options.pingpong.small_bytes,
+                                      t_large,
+                                      options.pingpong.large_bytes));
+  } else {
+    result.matrix.mark_link_missing(i, j);
+    ++result.missing_links;
+  }
+}
+
+}  // namespace
 
 std::vector<PairList> all_pairs_rounds(std::size_t n) {
   NETCONST_CHECK(n >= 2, "need at least two VMs");
@@ -50,10 +94,8 @@ CalibrationResult calibrate_snapshot(NetworkProvider& provider,
       const std::vector<double> large = provider.measure_concurrent(
           round, options.pingpong.large_bytes);
       for (std::size_t k = 0; k < round.size(); ++k) {
-        result.matrix.set_link(
-            round[k].first, round[k].second,
-            robust_fit(small[k], options.pingpong.small_bytes, large[k],
-                       options.pingpong.large_bytes));
+        fit_or_retry(provider, round[k].first, round[k].second, small[k],
+                     large[k], options, result);
       }
       ++result.rounds;
     }
@@ -62,8 +104,11 @@ CalibrationResult calibrate_snapshot(NetworkProvider& provider,
       for (std::size_t j = 0; j < n; ++j) {
         if (i == j) continue;
         provider.advance(options.round_setup_overhead);
-        result.matrix.set_link(
-            i, j, pingpong_calibrate(provider, i, j, options.pingpong));
+        const double t_small =
+            provider.measure(i, j, options.pingpong.small_bytes);
+        const double t_large =
+            provider.measure(i, j, options.pingpong.large_bytes);
+        fit_or_retry(provider, i, j, t_small, t_large, options, result);
         ++result.rounds;
       }
     }

@@ -35,12 +35,30 @@ struct CalibrationOptions {
   /// false = measure pairs one by one (no interference but O(N^2) cost);
   /// the paper's default is concurrent.
   bool concurrent = true;
+  /// Degraded-measurement policy: a probe whose elapsed time comes back
+  /// non-finite or non-positive (a timeout or a measurement dropped in
+  /// flight — see faults::FaultInjectionProvider) is retried pair-wise
+  /// up to `max_retries` times, idling `retry_backoff * attempt`
+  /// seconds before each attempt. A link still unmeasured after the
+  /// retries is marked missing (netmodel::missing_link) for the masked
+  /// decomposition path to repair — a hole, never garbage.
+  std::size_t max_retries = 2;
+  double retry_backoff = 1.0;  // seconds; grows linearly per attempt
 };
 
 struct CalibrationResult {
   netmodel::PerformanceMatrix matrix;
   double elapsed_seconds = 0.0;  // simulated time the calibration took
   std::size_t rounds = 0;
+  /// Probe values lost to faults (non-finite measurements), including
+  /// retries that failed again.
+  std::size_t failed_measurements = 0;
+  /// Pair re-calibrations performed after a lost probe.
+  std::size_t retries = 0;
+  /// Links left missing after the retry budget was exhausted.
+  std::size_t missing_links = 0;
+
+  bool degraded() const { return failed_measurements > 0; }
 };
 
 /// One full all-link calibration (one TP-matrix row).

@@ -1,0 +1,155 @@
+// Deterministic fault planning for chaos testing the measurement path.
+//
+// A FaultPlan scripts what goes wrong on a virtual cluster's probe
+// stream: probe timeouts, measurements dropped in flight, latency
+// outlier storms inside scripted time windows, and placement-change
+// events that permanently shift the constant component of every link
+// touching one VM. All stochastic decisions are drawn from one seeded
+// Rng consumed strictly in probe order, and every injected fault is
+// recorded in an append-only FaultEventLog — so two runs of the same
+// plan against the same (deterministic) provider produce byte-identical
+// logs, regardless of the thread count driving them (a provider is only
+// ever probed by the single driver that owns its tenant).
+//
+// The plan is transport-agnostic: it decides *what* to inject per probe;
+// faults::FaultInjectionProvider applies those decisions to a wrapped
+// cloud::NetworkProvider.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/csv.hpp"
+#include "support/rng.hpp"
+
+namespace netconst::faults {
+
+enum class FaultKind {
+  ProbeTimeout,        // probe hung until the deadline; value lost
+  DroppedMeasurement,  // transfer ran but the result was lost
+  OutlierInjected,     // elapsed time multiplied by a storm factor
+  PlacementShift,      // persistent constant change around one VM
+};
+inline constexpr std::size_t kFaultKindCount = 4;
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  /// Position in the plan's probe stream (PlacementShift events carry
+  /// the sequence of the next probe after the shift took effect).
+  std::uint64_t sequence = 0;
+  double time = 0.0;  // provider time when the fault was injected
+  FaultKind kind = FaultKind::DroppedMeasurement;
+  /// Directed pair of the probe; for PlacementShift, `i` is the VM and
+  /// `j` is unused.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  /// Kind-specific: timeout seconds, storm factor, or shift factor.
+  double value = 0.0;
+};
+
+/// Append-only record of injected faults. Deliberately NOT thread-safe:
+/// one log belongs to one provider, and a provider is probed
+/// sequentially by the single driver that owns its tenant — which is
+/// exactly why the log is reproducible byte for byte.
+class FaultEventLog {
+ public:
+  void record(const FaultEvent& event);
+
+  std::size_t size() const { return events_.size(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::uint64_t count(FaultKind kind) const;
+  /// Probes whose measured value was lost (timeouts + drops).
+  std::uint64_t value_losses() const;
+
+  /// CSV columns: sequence,time,kind,i,j,value.
+  CsvTable to_csv() const;
+  /// Canonical text form (one line per event) for byte-identity checks.
+  std::string serialize() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+  std::array<std::uint64_t, kFaultKindCount> counts_{};
+};
+
+/// Scripted window of latency outliers: every probe with
+/// start <= now < end reports `elapsed_factor` times its true elapsed
+/// time (an interference burst as seen by the prober).
+struct OutlierStorm {
+  double start = 0.0;
+  double end = 0.0;
+  double elapsed_factor = 4.0;
+};
+
+/// Scripted placement change: from `time` on, every probe touching `vm`
+/// takes `elapsed_factor` times longer — the persistent constant shift
+/// Algorithm 1's maintenance must detect and recalibrate away.
+struct PlacementChange {
+  double time = 0.0;
+  std::size_t vm = 0;
+  double elapsed_factor = 2.0;
+};
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 0xFA017ULL;
+  /// Per-probe probability the probe times out (value lost, and the
+  /// prober is charged the full `timeout_seconds` deadline).
+  double timeout_probability = 0.0;
+  double timeout_seconds = 30.0;
+  /// Per-probe probability the measured value is lost in flight (the
+  /// transfer time is still spent).
+  double drop_probability = 0.0;
+  /// Scripted latency-outlier storms (may overlap; factors multiply).
+  std::vector<OutlierStorm> storms;
+  /// Scripted placement changes, in non-decreasing time order.
+  std::vector<PlacementChange> placement_changes;
+};
+
+/// Per-probe injection decision.
+struct ProbeFault {
+  bool timeout = false;
+  bool dropped = false;
+  /// Multiplier on the true elapsed time (storms x placement shifts).
+  double elapsed_factor = 1.0;
+
+  bool value_lost() const { return timeout || dropped; }
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(const FaultPlanConfig& config);
+
+  /// Decide the fate of one probe of directed pair (i, j) at provider
+  /// time `now`. Consumes exactly one uniform draw per call when any
+  /// stochastic fault is enabled (none otherwise), so the decision
+  /// stream is a pure function of the seed and the probe order.
+  ProbeFault next_probe(double now, std::size_t i, std::size_t j);
+
+  /// Apply every scripted placement change with time <= now. Called by
+  /// the provider whenever its clock moves.
+  void advance_to(double now);
+
+  /// Current persistent elapsed-time multiplier of the directed pair
+  /// (product of the factors of both endpoint VMs).
+  double placement_factor(std::size_t i, std::size_t j) const;
+  /// Current persistent multiplier of one VM (1 when never shifted).
+  double vm_factor(std::size_t vm) const;
+
+  std::uint64_t probes() const { return sequence_; }
+  const FaultEventLog& log() const { return log_; }
+  const FaultPlanConfig& config() const { return config_; }
+
+ private:
+  double storm_factor(double now) const;
+
+  FaultPlanConfig config_;
+  Rng rng_;
+  std::uint64_t sequence_ = 0;
+  std::size_t next_change_ = 0;
+  std::vector<double> vm_factors_;  // grown on demand
+  FaultEventLog log_;
+};
+
+}  // namespace netconst::faults

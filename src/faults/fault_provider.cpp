@@ -1,0 +1,102 @@
+#include "faults/fault_provider.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace netconst::faults {
+namespace {
+
+constexpr double kLostValue = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+FaultInjectionProvider::FaultInjectionProvider(cloud::NetworkProvider& inner,
+                                               const FaultPlanConfig& config)
+    : inner_(inner), plan_(config) {
+  for (const PlacementChange& change : config.placement_changes) {
+    NETCONST_CHECK(change.vm < inner_.cluster_size(),
+                   "placement change targets a VM outside the cluster");
+  }
+  plan_.advance_to(inner_.now());
+}
+
+void FaultInjectionProvider::advance(double seconds) {
+  inner_.advance(seconds);
+  plan_.advance_to(inner_.now());
+}
+
+double FaultInjectionProvider::measure(std::size_t i, std::size_t j,
+                                       std::uint64_t bytes) {
+  plan_.advance_to(inner_.now());
+  const ProbeFault fault = plan_.next_probe(inner_.now(), i, j);
+  const double true_elapsed = inner_.measure(i, j, bytes);
+  if (fault.timeout) {
+    // The prober waited out the full deadline before giving up.
+    const double deadline = plan_.config().timeout_seconds;
+    if (deadline > true_elapsed) inner_.advance(deadline - true_elapsed);
+    return kLostValue;
+  }
+  if (fault.dropped) return kLostValue;
+  const double reported = true_elapsed * fault.elapsed_factor;
+  if (reported > true_elapsed) inner_.advance(reported - true_elapsed);
+  return reported;
+}
+
+std::vector<double> FaultInjectionProvider::measure_concurrent(
+    const std::vector<std::pair<std::size_t, std::size_t>>& pairs,
+    std::uint64_t bytes) {
+  plan_.advance_to(inner_.now());
+  const double start = inner_.now();
+  std::vector<ProbeFault> faults;
+  faults.reserve(pairs.size());
+  for (const auto& [i, j] : pairs) {
+    faults.push_back(plan_.next_probe(start, i, j));
+  }
+
+  const std::vector<double> true_elapsed =
+      inner_.measure_concurrent(pairs, bytes);
+  const double inner_round = inner_.now() - start;
+
+  std::vector<double> reported(pairs.size(), kLostValue);
+  double round_elapsed = inner_round;
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    if (faults[k].timeout) {
+      round_elapsed =
+          std::max(round_elapsed, plan_.config().timeout_seconds);
+    } else if (!faults[k].dropped) {
+      reported[k] = true_elapsed[k] * faults[k].elapsed_factor;
+      round_elapsed = std::max(round_elapsed, reported[k]);
+    }
+    // Dropped probes finish with the transfer; no extra time.
+  }
+  if (round_elapsed > inner_round) {
+    inner_.advance(round_elapsed - inner_round);
+  }
+  return reported;
+}
+
+netmodel::PerformanceMatrix FaultInjectionProvider::oracle_snapshot() {
+  netmodel::PerformanceMatrix snapshot = inner_.oracle_snapshot();
+  apply_placement_shift(snapshot);
+  return snapshot;
+}
+
+void FaultInjectionProvider::apply_placement_shift(
+    netmodel::PerformanceMatrix& matrix) const {
+  const std::size_t n = matrix.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double factor = plan_.placement_factor(i, j);
+      if (factor == 1.0) continue;
+      netmodel::LinkParams link = matrix.link(i, j);
+      link.alpha *= factor;
+      link.beta /= factor;
+      matrix.set_link(i, j, link);
+    }
+  }
+}
+
+}  // namespace netconst::faults

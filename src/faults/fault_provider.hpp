@@ -1,0 +1,68 @@
+// FaultInjectionProvider — a cloud::NetworkProvider decorator that
+// applies a FaultPlan to every probe of an inner provider.
+//
+// The wrapper always performs the inner measurement, even when the
+// plan loses the value: the underlying cloud's stochastic sample path
+// therefore evolves identically with and without fault injection, so a
+// faulted run can be compared entry-for-entry against a fault-free run
+// of the same seed. Lost values are reported as quiet NaN; the time
+// cost of a timeout is the plan's full deadline (the prober waited).
+//
+// Placement-change events shift the constant component persistently:
+// every probe touching the shifted VM reports `factor` times its true
+// elapsed time from the event on, and oracle_snapshot() reflects the
+// shift (alpha scaled, beta divided — transfer times scale exactly by
+// the factor), so ground-truth comparisons stay meaningful after the
+// shift.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cloud/provider.hpp"
+#include "faults/fault_plan.hpp"
+
+namespace netconst::faults {
+
+class FaultInjectionProvider final : public cloud::NetworkProvider {
+ public:
+  /// `inner` must outlive this provider and must not be probed through
+  /// any other path while wrapped (the plan's probe order is the
+  /// determinism contract).
+  FaultInjectionProvider(cloud::NetworkProvider& inner,
+                         const FaultPlanConfig& config);
+
+  std::size_t cluster_size() const override { return inner_.cluster_size(); }
+  double now() const override { return inner_.now(); }
+  void advance(double seconds) override;
+
+  /// Returns quiet NaN when the plan loses the value (timeout or drop);
+  /// simulated time is always charged (deadline for timeouts, true
+  /// elapsed otherwise).
+  double measure(std::size_t i, std::size_t j,
+                 std::uint64_t bytes) override;
+  std::vector<double> measure_concurrent(
+      const std::vector<std::pair<std::size_t, std::size_t>>& pairs,
+      std::uint64_t bytes) override;
+
+  netmodel::PerformanceMatrix oracle_snapshot() override;
+
+  /// Apply the plan's current placement-shift factors to a matrix of
+  /// link parameters (alpha * f, beta / f). Lets tests shift an inner
+  /// provider's ground-truth constant to the post-migration truth.
+  void apply_placement_shift(netmodel::PerformanceMatrix& matrix) const;
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultEventLog& fault_log() const { return plan_.log(); }
+  /// Probes whose value this wrapper replaced with NaN so far.
+  std::uint64_t injected_value_losses() const {
+    return plan_.log().value_losses();
+  }
+
+ private:
+  cloud::NetworkProvider& inner_;
+  FaultPlan plan_;
+};
+
+}  // namespace netconst::faults

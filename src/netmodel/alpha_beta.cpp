@@ -1,8 +1,20 @@
 #include "netmodel/alpha_beta.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include "support/error.hpp"
 
 namespace netconst::netmodel {
+
+LinkParams missing_link() {
+  constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+  return {nan, nan};
+}
+
+bool is_missing(const LinkParams& params) {
+  return std::isnan(params.alpha) || std::isnan(params.beta);
+}
 
 double transfer_time(double alpha, double beta, std::uint64_t bytes) {
   NETCONST_CHECK(beta > 0.0, "bandwidth must be positive");

@@ -23,6 +23,17 @@ struct LinkParams {
 /// Transfer time of `bytes` given explicit parameters.
 double transfer_time(double alpha, double beta, std::uint64_t bytes);
 
+/// Sentinel for a link whose measurement was lost (probe timeouts with
+/// the calibration retries exhausted): both parameters are quiet NaN.
+/// Consumers must test is_missing() before using such a link; the
+/// masked decomposition path (rpca::impute_missing) is what repairs
+/// missing entries before they reach a solver.
+LinkParams missing_link();
+
+/// True when either parameter of `params` is NaN (the missing-link
+/// sentinel, or any other poisoned measurement).
+bool is_missing(const LinkParams& params);
+
 /// Fit alpha-beta from two measurements (the SKaMPI calibration recipe):
 /// alpha = time of a tiny message, beta = large_bytes / (t_large - alpha).
 /// Throws ContractViolation if the measurements are inconsistent

@@ -43,6 +43,28 @@ void PerformanceMatrix::set_link(std::size_t i, std::size_t j,
   bandwidth_(i, j) = params.beta;
 }
 
+void PerformanceMatrix::mark_link_missing(std::size_t i, std::size_t j) {
+  NETCONST_CHECK(i < size_ && j < size_, "link index out of range");
+  NETCONST_CHECK(i != j, "self-links are fixed");
+  const LinkParams missing = missing_link();
+  latency_(i, j) = missing.alpha;
+  bandwidth_(i, j) = missing.beta;
+}
+
+bool PerformanceMatrix::link_missing(std::size_t i, std::size_t j) const {
+  return is_missing(link(i, j));
+}
+
+std::size_t PerformanceMatrix::missing_links() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    for (std::size_t j = 0; j < size_; ++j) {
+      if (i != j && is_missing({latency_(i, j), bandwidth_(i, j)})) ++count;
+    }
+  }
+  return count;
+}
+
 double PerformanceMatrix::transfer_time(std::size_t i, std::size_t j,
                                         std::uint64_t bytes) const {
   if (i == j) return 0.0;
@@ -75,7 +97,11 @@ PerformanceMatrix PerformanceMatrix::restrict_to(
 bool PerformanceMatrix::is_valid() const {
   for (std::size_t i = 0; i < size_; ++i) {
     for (std::size_t j = 0; j < size_; ++j) {
-      if (latency_(i, j) < 0.0 || bandwidth_(i, j) <= 0.0) return false;
+      // The NaN missing-link sentinel must not pass: !(NaN >= 0) holds,
+      // so test the accepting ranges, not the rejecting ones.
+      if (!(latency_(i, j) >= 0.0) || !(bandwidth_(i, j) > 0.0)) {
+        return false;
+      }
     }
   }
   return true;

@@ -28,6 +28,15 @@ class PerformanceMatrix {
   LinkParams link(std::size_t i, std::size_t j) const;
   void set_link(std::size_t i, std::size_t j, LinkParams params);
 
+  /// Mark the directed link i -> j as missing (calibration lost it):
+  /// both layers are set to the NaN sentinel. set_link() deliberately
+  /// rejects non-finite parameters, so this is the only way a hole
+  /// enters a matrix — it is always an explicit decision.
+  void mark_link_missing(std::size_t i, std::size_t j);
+  bool link_missing(std::size_t i, std::size_t j) const;
+  /// Number of missing off-diagonal links.
+  std::size_t missing_links() const;
+
   /// Transfer time of `bytes` from i to j under the alpha-beta model.
   double transfer_time(std::size_t i, std::size_t j,
                        std::uint64_t bytes) const;

@@ -1,11 +1,32 @@
 #include "netmodel/trace.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 #include "support/csv.hpp"
 #include "support/error.hpp"
 
 namespace netconst::netmodel {
+namespace {
+
+/// Parse a VM index cell defensively: a fractional, negative, non-finite
+/// or absurdly large value means a corrupt file, not a big cluster — a
+/// raw static_cast would silently truncate (or wrap a negative into a
+/// huge index and allocate gigabytes for the matrices). A trace with R
+/// data rows can mention at most 2R distinct VMs, which bounds any
+/// legitimate index without a magic constant.
+std::size_t parse_vm_index(const CsvTable& table, std::size_t row,
+                           std::size_t col, double limit) {
+  const double v = table.number(row, col);
+  if (!(v >= 0.0) || v != std::floor(v) || v > limit) {
+    throw Error("trace row " + std::to_string(row) +
+                ": invalid VM index '" + format_double(v) + "'");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
 
 double Trace::duration() const {
   if (series_.row_count() < 2) return 0.0;
@@ -23,9 +44,13 @@ void Trace::save_csv(const std::string& path) const {
       for (std::size_t j = 0; j < n; ++j) {
         if (i == j) continue;
         const LinkParams link = snap.link(i, j);
+        // Missing links serialize as the literal "nan" pair and load back
+        // as missing — the round trip preserves degraded snapshots.
         table.rows.push_back({time, std::to_string(i), std::to_string(j),
-                              format_double(link.alpha),
-                              format_double(link.beta)});
+                              is_missing(link) ? "nan"
+                                               : format_double(link.alpha),
+                              is_missing(link) ? "nan"
+                                               : format_double(link.beta)});
       }
     }
   }
@@ -40,12 +65,16 @@ Trace Trace::load_csv(const std::string& path) {
   const std::size_t ca = table.column_index("alpha");
   const std::size_t cb = table.column_index("beta");
 
+  if (table.row_count() == 0) {
+    throw Error("trace CSV has a header but no data rows: " + path);
+  }
+
   // Group rows by timestamp, preserving order, and find the cluster size.
+  const double index_limit = 2.0 * static_cast<double>(table.row_count());
   std::size_t max_index = 0;
   for (std::size_t r = 0; r < table.row_count(); ++r) {
-    max_index = std::max({max_index,
-                          static_cast<std::size_t>(table.number(r, ci)),
-                          static_cast<std::size_t>(table.number(r, cj))});
+    max_index = std::max({max_index, parse_vm_index(table, r, ci, index_limit),
+                          parse_vm_index(table, r, cj, index_limit)});
   }
   const std::size_t n = max_index + 1;
 
@@ -53,12 +82,33 @@ Trace Trace::load_csv(const std::string& path) {
   std::size_t r = 0;
   while (r < table.row_count()) {
     const double time = table.number(r, ct);
+    if (!std::isfinite(time)) {
+      throw Error("trace row " + std::to_string(r) +
+                  ": non-finite timestamp");
+    }
     PerformanceMatrix snap(n);
     while (r < table.row_count() && table.number(r, ct) == time) {
-      const auto i = static_cast<std::size_t>(table.number(r, ci));
-      const auto j = static_cast<std::size_t>(table.number(r, cj));
+      const auto i = parse_vm_index(table, r, ci, index_limit);
+      const auto j = parse_vm_index(table, r, cj, index_limit);
       NETCONST_CHECK(i != j, "trace contains a self-link row");
-      snap.set_link(i, j, {table.number(r, ca), table.number(r, cb)});
+      const double alpha = table.number(r, ca);
+      const double beta = table.number(r, cb);
+      if (!std::isfinite(alpha) || !std::isfinite(beta)) {
+        // Both non-finite = the serialized missing-link sentinel; only
+        // one non-finite is corruption, not a degraded measurement.
+        if (std::isfinite(alpha) || std::isfinite(beta)) {
+          throw Error("trace row " + std::to_string(r) +
+                      ": half-missing link parameters");
+        }
+        snap.mark_link_missing(i, j);
+      } else if (!(alpha >= 0.0) || !(beta > 0.0)) {
+        throw Error("trace row " + std::to_string(r) +
+                    ": invalid link parameters (alpha " +
+                    format_double(alpha) + ", beta " + format_double(beta) +
+                    ")");
+      } else {
+        snap.set_link(i, j, {alpha, beta});
+      }
       ++r;
     }
     series.append(time, std::move(snap));

@@ -23,6 +23,12 @@ const char* event_kind_name(EventKind kind) {
       return "recalibration_suppressed";
     case EventKind::LevelChange:
       return "level_change";
+    case EventKind::ProbeDropped:
+      return "probe_dropped";
+    case EventKind::StaleRowReused:
+      return "stale_row_reused";
+    case EventKind::ForcedRecalibration:
+      return "forced_recalibration";
   }
   return "unknown";
 }

@@ -25,8 +25,11 @@ enum class EventKind {
   Recalibration,            // maintenance actually ran
   RecalibrationSuppressed,  // base-interval probe skipped by the advisor
   LevelChange,              // advisor effectiveness level moved
+  ProbeDropped,             // an operation probe's value was lost (NaN)
+  StaleRowReused,           // degraded calibration replaced by last good row
+  ForcedRecalibration,      // consecutive probe losses forced maintenance
 };
-inline constexpr std::size_t kEventKindCount = 7;
+inline constexpr std::size_t kEventKindCount = 10;
 
 const char* event_kind_name(EventKind kind);
 

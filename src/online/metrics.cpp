@@ -17,6 +17,10 @@ void Counter::increment(double amount) {
 
 void Histogram::observe(double value) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (!std::isfinite(value)) {
+    ++summary_.rejected;
+    return;
+  }
   if (summary_.count == 0) {
     summary_.min = value;
     summary_.max = value;

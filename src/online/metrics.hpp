@@ -57,6 +57,7 @@ class Histogram {
 
   struct Summary {
     std::uint64_t count = 0;
+    std::uint64_t rejected = 0;  // non-finite observations dropped
     double sum = 0.0;
     double min = 0.0;  // 0 when count == 0
     double max = 0.0;
@@ -67,6 +68,10 @@ class Histogram {
     }
   };
 
+  /// Non-finite values are rejected (counted in Summary::rejected, never
+  /// folded into the statistics): one stray NaN would otherwise poison
+  /// min/max/sum/mean forever, and degraded measurement paths report
+  /// losses as NaN by design.
   void observe(double value);
   Summary summary() const;
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "linalg/norms.hpp"
+#include "rpca/masked.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
 
@@ -29,6 +31,25 @@ void WindowRefresher::solve_layer(const linalg::Matrix& data,
                                   rpca::WarmStart& seed, rpca::Result& result,
                                   LayerRefresh& info) {
   const Stopwatch clock;
+  if (linalg::frobenius_norm(data) == 0.0) {
+    // A fully-unobserved window imputes to all zeros when no constant is
+    // known yet (fresh bootstrap under total probe loss). The solvers
+    // contract-check against a zero matrix, and its decomposition is
+    // known anyway: D = E = 0. Synthesize it so a degraded service never
+    // throws; downstream the zero constant is floored to a valid (if
+    // uninformative) PerformanceMatrix.
+    result = rpca::Result{};
+    result.low_rank.resize(data.rows(), data.cols());
+    result.sparse.resize(data.rows(), data.cols());
+    result.low_rank.fill(0.0);
+    result.sparse.fill(0.0);
+    result.converged = true;
+    clear_seed(seed);
+    info.warm_attempted = false;
+    info.warm_used = false;
+    info.solve_seconds = clock.seconds();
+    return;
+  }
   const bool use_seed =
       options_.warm_start && !seed.empty() &&
       seed.low_rank.rows() == data.rows() &&
@@ -66,14 +87,52 @@ void WindowRefresher::solve_layer(const linalg::Matrix& data,
   info.solve_seconds = clock.seconds();
 }
 
+const linalg::Matrix& WindowRefresher::repair_layer(
+    const linalg::Matrix& data, const rpca::WarmStart& seed,
+    linalg::Matrix& repaired, LayerRefresh& info) {
+  if (rpca::count_missing(data) == 0) return data;
+
+  repaired = data;  // copy-assignment reuses the scratch capacity
+  const linalg::Matrix* constant = nullptr;
+  if (!seed.empty() && seed.low_rank.cols() == data.cols()) {
+    // The previous refresh's low-rank factor IS the current rank-1
+    // constant (its rows agree up to numerical noise); its column means
+    // are the model's belief about each link.
+    constant_scratch_.resize(1, data.cols());
+    for (std::size_t j = 0; j < data.cols(); ++j) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < seed.low_rank.rows(); ++i) {
+        sum += seed.low_rank(i, j);
+      }
+      constant_scratch_(0, j) =
+          sum / static_cast<double>(seed.low_rank.rows());
+    }
+    constant = &constant_scratch_;
+  }
+  const rpca::ImputeStats stats = rpca::impute_missing(repaired, constant);
+  info.missing_entries = stats.missing;
+  info.imputed_from_constant = stats.from_constant;
+  info.imputed_from_column = stats.from_column;
+  info.imputed_from_global = stats.from_global;
+  return repaired;
+}
+
 RefreshReport WindowRefresher::refresh(const SlidingWindow& window) {
   NETCONST_CHECK(window.size() >= 2,
                  "refresh needs at least two snapshots in the window");
   const Stopwatch clock;
-  const linalg::Matrix& lat_data = window.latency_data();
-  const linalg::Matrix& bw_data = window.bandwidth_data();
 
   RefreshReport report;
+  // Masked front-end: holes are repaired before the solver ever sees
+  // the data, so a degraded window costs one extra copy per dirty
+  // layer and nothing when fully observed.
+  const linalg::Matrix& lat_data =
+      repair_layer(window.latency_data(), latency_seed_, latency_repaired_,
+                   report.latency);
+  const linalg::Matrix& bw_data =
+      repair_layer(window.bandwidth_data(), bandwidth_seed_,
+                   bandwidth_repaired_, report.bandwidth);
+
   solve_layer(lat_data, latency_seed_, latency_result_, report.latency);
   solve_layer(bw_data, bandwidth_seed_, bandwidth_result_, report.bandwidth);
 

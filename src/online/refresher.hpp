@@ -54,6 +54,12 @@ struct LayerRefresh {
   int iterations = 0;           // of the accepted solve
   double residual = 0.0;        // of the accepted solve, pre-polish
   double solve_seconds = 0.0;   // total, including a rejected warm attempt
+  // Masked-path accounting: non-finite window entries repaired before
+  // the solve (see rpca::impute_missing for the priority order).
+  std::size_t missing_entries = 0;
+  std::size_t imputed_from_constant = 0;
+  std::size_t imputed_from_column = 0;
+  std::size_t imputed_from_global = 0;
 };
 
 struct RefreshReport {
@@ -69,6 +75,11 @@ struct RefreshReport {
   bool fully_warm() const {
     return latency.warm_used && bandwidth.warm_used;
   }
+  /// Window entries (both layers) that had to be imputed this refresh.
+  std::size_t missing_entries() const {
+    return latency.missing_entries + bandwidth.missing_entries;
+  }
+  bool degraded() const { return missing_entries() > 0; }
 };
 
 class WindowRefresher {
@@ -96,6 +107,15 @@ class WindowRefresher {
  private:
   void solve_layer(const linalg::Matrix& data, rpca::WarmStart& seed,
                    rpca::Result& result, LayerRefresh& info);
+  /// Masked front-end of one layer: when `data` has non-finite entries,
+  /// copy it into `repaired`, impute the holes (preferring the rank-1
+  /// constant derived from `seed`) and return the repaired matrix;
+  /// otherwise return `data` untouched. Fills the masked-path fields of
+  /// `info`.
+  const linalg::Matrix& repair_layer(const linalg::Matrix& data,
+                                     const rpca::WarmStart& seed,
+                                     linalg::Matrix& repaired,
+                                     LayerRefresh& info);
 
   RefresherOptions options_;
   rpca::WarmStart latency_seed_;
@@ -108,6 +128,11 @@ class WindowRefresher {
   rpca::Options solve_opts_;
   rpca::Result latency_result_;
   rpca::Result bandwidth_result_;
+  // Masked-path scratch, reused across refreshes (only touched when the
+  // window actually has holes; a clean refresh never copies).
+  linalg::Matrix latency_repaired_;
+  linalg::Matrix bandwidth_repaired_;
+  linalg::Matrix constant_scratch_;  // 1 x N^2 rank-1 constant row
 };
 
 }  // namespace netconst::online

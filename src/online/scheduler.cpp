@@ -14,6 +14,8 @@ const char* trigger_reason_name(TriggerReason reason) {
       return "threshold_breach";
     case TriggerReason::IntervalElapsed:
       return "interval_elapsed";
+    case TriggerReason::ForcedDegraded:
+      return "forced_degraded";
   }
   return "unknown";
 }

@@ -19,7 +19,16 @@
 
 namespace netconst::online {
 
-enum class TriggerReason { None, ThresholdBreach, IntervalElapsed };
+enum class TriggerReason {
+  None,
+  ThresholdBreach,
+  IntervalElapsed,
+  /// Maintenance forced by the service after a run of consecutive lost
+  /// operation probes: deviations are unobservable while probes fail,
+  /// so the model is refreshed defensively (see
+  /// TenantConfig::forced_recalibration_after).
+  ForcedDegraded,
+};
 
 const char* trigger_reason_name(TriggerReason reason);
 

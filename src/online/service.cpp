@@ -1,6 +1,7 @@
 #include "online/service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <condition_variable>
 #include <exception>
 #include <limits>
@@ -31,6 +32,12 @@ struct ConstantFinderService::Tenant {
         cold_fallbacks(metrics.counter(prefix() + "cold_fallbacks")),
         recalibrations(metrics.counter(prefix() + "recalibrations")),
         suppressed(metrics.counter(prefix() + "recalibrations_suppressed")),
+        dropped_probes(metrics.counter(prefix() + "dropped_probes")),
+        calibration_failures(
+            metrics.counter(prefix() + "calibration_failures")),
+        stale_rows(metrics.counter(prefix() + "stale_rows_reused")),
+        forced(metrics.counter(prefix() + "forced_recalibrations")),
+        imputed_entries(metrics.counter(prefix() + "imputed_entries")),
         error_norm_gauge(metrics.gauge(prefix() + "error_norm")),
         refresh_seconds(metrics.histogram(prefix() + "refresh_seconds")) {
     NETCONST_CHECK(config.provider != nullptr, "tenant needs a provider");
@@ -51,6 +58,10 @@ struct ConstantFinderService::Tenant {
   core::ConstantComponent component;
   bool bootstrapped = false;
   std::size_t steps = 0;
+  std::size_t drop_streak = 0;  // consecutive lost operation probes
+  // Ingestor lifetime totals already folded into the metrics.
+  std::uint64_t synced_failures = 0;
+  std::uint64_t synced_stale = 0;
 
   // Batch-scheduler state, touched only under the batch mutex or by
   // the single driver that currently owns the tenant.
@@ -65,6 +76,11 @@ struct ConstantFinderService::Tenant {
   Counter& cold_fallbacks;
   Counter& recalibrations;
   Counter& suppressed;
+  Counter& dropped_probes;
+  Counter& calibration_failures;
+  Counter& stale_rows;
+  Counter& forced;
+  Counter& imputed_entries;
   Gauge& error_norm_gauge;
   Histogram& refresh_seconds;
 };
@@ -91,6 +107,40 @@ std::size_t ConstantFinderService::add_tenant(const TenantConfig& config) {
   return tenants_.size() - 1;
 }
 
+void ConstantFinderService::sync_ingest_totals(Tenant& tenant) {
+  const std::uint64_t failures = tenant.ingestor.failed_measurements();
+  if (failures > tenant.synced_failures) {
+    const auto delta =
+        static_cast<double>(failures - tenant.synced_failures);
+    tenant.calibration_failures.increment(delta);
+    metrics_.counter("online.calibration_failures").increment(delta);
+    tenant.synced_failures = failures;
+  }
+  const std::uint64_t stale = tenant.ingestor.stale_rows_reused();
+  if (stale > tenant.synced_stale) {
+    const auto delta = static_cast<double>(stale - tenant.synced_stale);
+    tenant.stale_rows.increment(delta);
+    metrics_.counter("online.stale_rows_reused").increment(delta);
+    // One event per reused row, so the event log, the counters, and
+    // TenantStatus all agree — bootstrap fills included.
+    for (std::uint64_t k = tenant.synced_stale; k < stale; ++k) {
+      events_.record({tenant.config.provider->now(), tenant.config.name,
+                      EventKind::StaleRowReused,
+                      "snapshot too degraded; re-pushed last good",
+                      static_cast<double>(k + 1)});
+    }
+    tenant.synced_stale = stale;
+  }
+}
+
+void ConstantFinderService::account_refresh_imputation(
+    Tenant& tenant, const RefreshReport& report) {
+  if (!report.degraded()) return;
+  const auto imputed = static_cast<double>(report.missing_entries());
+  tenant.imputed_entries.increment(imputed);
+  metrics_.counter("online.imputed_entries").increment(imputed);
+}
+
 void ConstantFinderService::bootstrap(Tenant& tenant) {
   cloud::NetworkProvider& provider = *tenant.config.provider;
   const double fill_seconds =
@@ -99,6 +149,7 @@ void ConstantFinderService::bootstrap(Tenant& tenant) {
   tenant.snapshots.increment(ingested);
   metrics_.counter("online.snapshots_ingested").increment(ingested);
   metrics_.histogram("online.calibration_seconds").observe(fill_seconds);
+  sync_ingest_totals(tenant);
 
   const RefreshReport report = tenant.refresher.refresh(tenant.window);
   tenant.component = report.component;
@@ -106,6 +157,7 @@ void ConstantFinderService::bootstrap(Tenant& tenant) {
                                   report.component.error_norm);
   tenant.refreshes.increment();
   metrics_.counter("online.refreshes").increment();
+  account_refresh_imputation(tenant, report);
   tenant.cold_solves.increment(2.0);
   metrics_.counter("online.cold_solves").increment(2.0);
   tenant.refresh_seconds.observe(report.total_seconds);
@@ -128,14 +180,15 @@ void ConstantFinderService::maintain(Tenant& tenant, TriggerReason reason,
   // window by one fresh all-link calibration — stale rows phase out of
   // the window instead of being thrown away wholesale, so maintenance
   // costs one snapshot, not time_step of them.
-  const double calibration_seconds = tenant.ingestor.ingest_calibrated();
+  const IngestReport ingest = tenant.ingestor.ingest_calibrated();
   tenant.snapshots.increment();
   metrics_.counter("online.snapshots_ingested").increment();
   metrics_.histogram("online.calibration_seconds")
-      .observe(calibration_seconds);
+      .observe(ingest.elapsed_seconds);
+  sync_ingest_totals(tenant);
   events_.record({provider.now(), tenant.config.name,
                   EventKind::SnapshotIngested,
-                  trigger_reason_name(reason), calibration_seconds});
+                  trigger_reason_name(reason), ingest.elapsed_seconds});
 
   const RefreshReport report = tenant.refresher.refresh(tenant.window);
   tenant.component = report.component;
@@ -144,6 +197,7 @@ void ConstantFinderService::maintain(Tenant& tenant, TriggerReason reason,
 
   tenant.refreshes.increment();
   metrics_.counter("online.refreshes").increment();
+  account_refresh_imputation(tenant, report);
   for (const LayerRefresh* layer : {&report.latency, &report.bandwidth}) {
     if (layer->warm_used) {
       tenant.warm_solves.increment();
@@ -174,8 +228,11 @@ void ConstantFinderService::maintain(Tenant& tenant, TriggerReason reason,
   metrics_
       .counter(reason == TriggerReason::ThresholdBreach
                    ? "online.recalibrations.breach"
+               : reason == TriggerReason::ForcedDegraded
+                   ? "online.recalibrations.forced"
                    : "online.recalibrations.interval")
       .increment();
+  if (reason == TriggerReason::ForcedDegraded) tenant.forced.increment();
   events_.record({provider.now(), tenant.config.name,
                   EventKind::Recalibration, trigger_reason_name(reason),
                   trigger_value});
@@ -203,13 +260,41 @@ void ConstantFinderService::step(Tenant& tenant) {
                                               tenant.config.operation_bytes);
   const double observed =
       provider.measure(i, j, tenant.config.operation_bytes);
-
-  const SchedulerDecision decision = tenant.scheduler.observe_operation(
-      provider.now(), expected, observed);
   tenant.operations.increment();
   metrics_.counter("online.operations").increment();
-  metrics_.histogram("online.operation_relative_error")
-      .observe(decision.relative_error);
+
+  SchedulerDecision decision;
+  if (!std::isfinite(observed)) {
+    // Lost probe (timeout / dropped measurement): there is no error
+    // signal this cycle, so the threshold policy cannot fire — but a
+    // run of blind cycles is itself a signal. Track the streak, keep
+    // the adaptive interval policy ticking, and force a maintenance
+    // once the streak says the constant can no longer be checked.
+    ++tenant.drop_streak;
+    tenant.dropped_probes.increment();
+    metrics_.counter("online.dropped_probes").increment();
+    events_.record({provider.now(), tenant.config.name,
+                    EventKind::ProbeDropped, "operation probe lost",
+                    static_cast<double>(tenant.drop_streak)});
+    if (tenant.config.forced_recalibration_after > 0 &&
+        tenant.drop_streak >= tenant.config.forced_recalibration_after) {
+      events_.record({provider.now(), tenant.config.name,
+                      EventKind::ForcedRecalibration,
+                      "consecutive lost probes reached the limit",
+                      static_cast<double>(tenant.drop_streak)});
+      tenant.drop_streak = 0;
+      decision.recalibrate = true;
+      decision.reason = TriggerReason::ForcedDegraded;
+    } else {
+      decision = tenant.scheduler.poll(provider.now());
+    }
+  } else {
+    tenant.drop_streak = 0;
+    decision = tenant.scheduler.observe_operation(provider.now(), expected,
+                                                  observed);
+    metrics_.histogram("online.operation_relative_error")
+        .observe(decision.relative_error);
+  }
 
   if (decision.suppressed_probes > 0) {
     const auto count = static_cast<double>(decision.suppressed_probes);
@@ -367,6 +452,16 @@ TenantStatus ConstantFinderService::status(std::size_t tenant_index) const {
   status.breaches = tenant.scheduler.breaches();
   status.interval_recalibrations = tenant.scheduler.interval_triggers();
   status.suppressed_recalibrations = tenant.scheduler.suppressed();
+  status.dropped_probes =
+      static_cast<std::uint64_t>(tenant.dropped_probes.value());
+  status.calibration_failures =
+      static_cast<std::uint64_t>(tenant.calibration_failures.value());
+  status.stale_rows_reused =
+      static_cast<std::uint64_t>(tenant.stale_rows.value());
+  status.forced_recalibrations =
+      static_cast<std::uint64_t>(tenant.forced.value());
+  status.imputed_entries =
+      static_cast<std::uint64_t>(tenant.imputed_entries.value());
   return status;
 }
 
@@ -380,7 +475,8 @@ void ConstantFinderService::print_report(std::ostream& out) const {
   print_banner(out, "ConstantFinderService report");
   ConsoleTable table({"tenant", "steps", "Norm(N_E)", "level", "snapshots",
                       "refreshes", "warm rate", "fallbacks", "breaches",
-                      "interval", "suppressed"});
+                      "interval", "suppressed", "dropped", "stale",
+                      "forced"});
   for (std::size_t t = 0; t < tenants_.size(); ++t) {
     const TenantStatus s = status(t);
     table.add_row({s.name, std::to_string(s.steps),
@@ -392,7 +488,10 @@ void ConstantFinderService::print_report(std::ostream& out) const {
                    std::to_string(s.cold_fallbacks),
                    std::to_string(s.breaches),
                    std::to_string(s.interval_recalibrations),
-                   std::to_string(s.suppressed_recalibrations)});
+                   std::to_string(s.suppressed_recalibrations),
+                   std::to_string(s.dropped_probes),
+                   std::to_string(s.stale_rows_reused),
+                   std::to_string(s.forced_recalibrations)});
   }
   table.print(out);
   out << '\n';

@@ -63,6 +63,12 @@ struct TenantConfig {
   std::uint64_t operation_bytes = 8ull * 1024 * 1024;
   double operation_gap = 300.0;
   std::uint64_t seed = 1;
+  /// A lost operation probe (NaN from the provider: timeout or dropped
+  /// measurement) yields no error signal, so a run of them leaves the
+  /// scheduler blind. After this many CONSECUTIVE lost probes the
+  /// service forces a maintenance cycle (TriggerReason::ForcedDegraded)
+  /// rather than trusting a constant it can no longer check. 0 disables.
+  std::size_t forced_recalibration_after = 8;
 };
 
 struct ServiceOptions {
@@ -97,6 +103,12 @@ struct TenantStatus {
   std::uint64_t breaches = 0;
   std::uint64_t interval_recalibrations = 0;
   std::uint64_t suppressed_recalibrations = 0;
+  // Degradation accounting (all zero on a fault-free provider).
+  std::uint64_t dropped_probes = 0;         // lost operation probes
+  std::uint64_t calibration_failures = 0;   // lost calibration probe values
+  std::uint64_t stale_rows_reused = 0;      // snapshots replaced by last good
+  std::uint64_t forced_recalibrations = 0;  // ForcedDegraded maintenances
+  std::uint64_t imputed_entries = 0;        // window entries repaired
 
   double warm_hit_rate() const {
     const std::uint64_t total = warm_solves + cold_solves;
@@ -145,6 +157,10 @@ class ConstantFinderService {
   void bootstrap(Tenant& tenant);
   void step(Tenant& tenant);
   void maintain(Tenant& tenant, TriggerReason reason, double trigger_value);
+  /// Fold the ingestor's lifetime degradation totals into the metrics
+  /// (delta since the last sync — fill() can ingest many snapshots).
+  void sync_ingest_totals(Tenant& tenant);
+  void account_refresh_imputation(Tenant& tenant, const RefreshReport& report);
 
   ServiceOptions options_;
   std::unique_ptr<ThreadPool> owned_pool_;  // null when sharing global()

@@ -1,0 +1,94 @@
+#include "rpca/masked.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace netconst::rpca {
+
+std::size_t count_missing(const linalg::Matrix& data) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    for (std::size_t j = 0; j < data.cols(); ++j) {
+      if (!std::isfinite(data(i, j))) ++count;
+    }
+  }
+  return count;
+}
+
+ImputeStats impute_missing(linalg::Matrix& data,
+                           const linalg::Matrix* constant_row) {
+  if (constant_row != nullptr) {
+    NETCONST_CHECK(constant_row->rows() == 1 &&
+                       constant_row->cols() == data.cols(),
+                   "constant row must be 1 x data.cols()");
+  }
+  ImputeStats stats;
+  const std::size_t rows = data.rows();
+  const std::size_t cols = data.cols();
+
+  // One pass for the observed column means and the global mean.
+  std::vector<double> column_sum(cols, 0.0);
+  std::vector<std::size_t> column_count(cols, 0);
+  double global_sum = 0.0;
+  std::size_t global_count = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double v = data(i, j);
+      if (std::isfinite(v)) {
+        column_sum[j] += v;
+        ++column_count[j];
+        global_sum += v;
+        ++global_count;
+      } else {
+        ++stats.missing;
+      }
+    }
+  }
+  if (stats.missing == 0) return stats;
+  const double global_mean =
+      global_count == 0 ? 0.0
+                        : global_sum / static_cast<double>(global_count);
+
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (std::isfinite(data(i, j))) continue;
+      if (constant_row != nullptr &&
+          std::isfinite((*constant_row)(0, j))) {
+        data(i, j) = (*constant_row)(0, j);
+        ++stats.from_constant;
+      } else if (column_count[j] > 0) {
+        data(i, j) =
+            column_sum[j] / static_cast<double>(column_count[j]);
+        ++stats.from_column;
+      } else {
+        data(i, j) = global_mean;
+        ++stats.from_global;
+      }
+    }
+  }
+  return stats;
+}
+
+double masked_relative_residual(const linalg::Matrix& a,
+                                const linalg::Matrix& d,
+                                const linalg::Matrix& e) {
+  NETCONST_CHECK(a.same_shape(d) && a.same_shape(e),
+                 "masked residual shape mismatch");
+  double residual_sq = 0.0;
+  double observed_sq = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const double v = a(i, j);
+      if (!std::isfinite(v)) continue;
+      const double r = v - d(i, j) - e(i, j);
+      residual_sq += r * r;
+      observed_sq += v * v;
+    }
+  }
+  if (observed_sq == 0.0) return 0.0;
+  return std::sqrt(residual_sq) / std::sqrt(observed_sq);
+}
+
+}  // namespace netconst::rpca

@@ -1,0 +1,59 @@
+// Partial-observation (masked) front-end for the RPCA solvers.
+//
+// The solvers require fully observed data; on a degraded cloud some
+// TP-matrix entries are missing (calibration probes timed out and the
+// retries ran dry). Feeding NaN into a solver poisons every factor, so
+// the masked path repairs holes *before* the solve by imputing each
+// missing entry from the best available estimate of the constant:
+//
+//   1. the matching entry of the current rank-1 constant row (the
+//      previous refresh's low-rank component) when one is supplied —
+//      the model's own belief about the link, exactly what the entry
+//      would decompose to if it had been observed clean;
+//   2. else the mean of the observed entries in the same column (the
+//      same link seen in other snapshots of the window);
+//   3. else the global mean of all observed entries (a whole-window
+//      outage of one link — the imputation is honest filler and the
+//      entry will surface in E once real observations return).
+//
+// Because imputed entries equal (an estimate of) the constant, they
+// carry ~zero sparse error and do not corrupt N_D; the documented
+// recovery tolerance under masking is verified by tests/chaos.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace netconst::rpca {
+
+struct ImputeStats {
+  std::size_t missing = 0;        // non-finite entries found
+  std::size_t from_constant = 0;  // repaired from the constant row
+  std::size_t from_column = 0;    // repaired from the column mean
+  std::size_t from_global = 0;    // repaired from the global mean
+  bool any() const { return missing > 0; }
+};
+
+/// Number of non-finite entries in `data`.
+std::size_t count_missing(const linalg::Matrix& data);
+
+/// Repair every non-finite entry of `data` in place using the priority
+/// order documented above. `constant_row`, when non-null, must be a
+/// 1 x data.cols() matrix (a rank-1 constant row); non-finite entries
+/// of the constant row are skipped, falling through to the column mean.
+/// A fully unobserved matrix degrades to zeros (stats.from_global
+/// counts them against a 0.0 global mean).
+ImputeStats impute_missing(linalg::Matrix& data,
+                           const linalg::Matrix* constant_row = nullptr);
+
+/// Relative Frobenius residual ||A - D - E||_F / ||A||_F restricted to
+/// the observed (finite) entries of `a` — the reconstruction invariant
+/// that must survive masking: the decomposition has to explain every
+/// entry that was actually measured. Returns 0 when nothing is
+/// observed or the observed part of `a` is exactly zero.
+double masked_relative_residual(const linalg::Matrix& a,
+                                const linalg::Matrix& d,
+                                const linalg::Matrix& e);
+
+}  // namespace netconst::rpca

@@ -44,7 +44,8 @@ double CsvTable::number(std::size_t row, std::size_t col) const {
     if (used != cell.size()) throw Error("trailing characters");
     return v;
   } catch (const std::exception&) {
-    throw Error("CSV cell is not a number: '" + cell + "'");
+    throw Error("CSV cell (row " + std::to_string(row) + ", column " +
+                std::to_string(col) + ") is not a number: '" + cell + "'");
   }
 }
 
@@ -75,19 +76,27 @@ CsvTable read_csv(std::istream& in) {
   CsvTable table;
   std::string line;
   bool have_header = false;
+  std::size_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty() || line[0] == '#') continue;
     auto fields = split_line(line);
     if (!have_header) {
       table.header = std::move(fields);
       have_header = true;
     } else {
+      // A short (or long) row is how both hand truncation and a crash
+      // mid-write typically present; name the line so the corrupt spot
+      // is findable in a multi-megabyte file.
       if (fields.size() != table.header.size()) {
-        throw Error("CSV row width differs from header");
+        throw Error("CSV line " + std::to_string(line_number) + " has " +
+                    std::to_string(fields.size()) + " fields, header has " +
+                    std::to_string(table.header.size()));
       }
       table.rows.push_back(std::move(fields));
     }
   }
+  if (in.bad()) throw Error("CSV stream read error");
   if (!have_header) throw Error("CSV stream has no header row");
   return table;
 }

@@ -1,0 +1,167 @@
+// FaultPlan unit tests: config contracts, seeded determinism of the
+// per-probe decision stream, scripted storms and placement shifts, and
+// the event-log bookkeeping the chaos invariants lean on.
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace netconst::faults {
+namespace {
+
+TEST(FaultPlan, RejectsMalformedConfigs) {
+  FaultPlanConfig bad;
+  bad.timeout_probability = -0.1;
+  EXPECT_THROW(FaultPlan{bad}, ContractViolation);
+
+  bad = {};
+  bad.timeout_probability = 0.7;
+  bad.drop_probability = 0.5;  // sums past 1
+  EXPECT_THROW(FaultPlan{bad}, ContractViolation);
+
+  bad = {};
+  bad.timeout_seconds = 0.0;
+  EXPECT_THROW(FaultPlan{bad}, ContractViolation);
+
+  bad = {};
+  bad.storms.push_back({100.0, 50.0, 4.0});  // end before start
+  EXPECT_THROW(FaultPlan{bad}, ContractViolation);
+
+  bad = {};
+  bad.storms.push_back({0.0, 50.0, 0.0});  // non-positive factor
+  EXPECT_THROW(FaultPlan{bad}, ContractViolation);
+
+  bad = {};
+  bad.placement_changes.push_back({200.0, 1, 2.0});
+  bad.placement_changes.push_back({100.0, 2, 2.0});  // out of order
+  EXPECT_THROW(FaultPlan{bad}, ContractViolation);
+
+  bad = {};
+  bad.placement_changes.push_back({0.0, 1, 0.0});  // non-positive factor
+  EXPECT_THROW(FaultPlan{bad}, ContractViolation);
+}
+
+TEST(FaultPlan, CleanPlanInjectsNothing) {
+  FaultPlan plan{FaultPlanConfig{}};
+  for (int k = 0; k < 100; ++k) {
+    const ProbeFault fault = plan.next_probe(10.0 * k, 0, 1);
+    EXPECT_FALSE(fault.value_lost());
+    EXPECT_EQ(fault.elapsed_factor, 1.0);
+  }
+  EXPECT_EQ(plan.probes(), 100u);
+  EXPECT_EQ(plan.log().size(), 0u);
+  EXPECT_TRUE(plan.log().serialize().empty());
+}
+
+TEST(FaultPlan, SameSeedReplaysByteIdentically) {
+  FaultPlanConfig config;
+  config.seed = 42;
+  config.timeout_probability = 0.1;
+  config.drop_probability = 0.2;
+  config.storms.push_back({500.0, 900.0, 3.0});
+  config.placement_changes.push_back({700.0, 2, 2.0});
+
+  auto drive = [&config] {
+    FaultPlan plan(config);
+    for (int k = 0; k < 500; ++k) {
+      plan.next_probe(2.5 * k, static_cast<std::size_t>(k % 4),
+                      static_cast<std::size_t>((k + 1) % 4));
+    }
+    return plan.log().serialize();
+  };
+  const std::string first = drive();
+  const std::string second = drive();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+
+  // A different seed must not replay the same stochastic stream.
+  config.seed = 43;
+  EXPECT_NE(drive(), first);
+}
+
+TEST(FaultPlan, ProbabilitiesRoughlyHonored) {
+  FaultPlanConfig config;
+  config.timeout_probability = 0.2;
+  config.drop_probability = 0.1;
+  FaultPlan plan(config);
+  const int probes = 20000;
+  for (int k = 0; k < probes; ++k) plan.next_probe(0.0, 0, 1);
+
+  const auto timeouts =
+      static_cast<double>(plan.log().count(FaultKind::ProbeTimeout));
+  const auto drops =
+      static_cast<double>(plan.log().count(FaultKind::DroppedMeasurement));
+  EXPECT_NEAR(timeouts / probes, 0.2, 0.02);
+  EXPECT_NEAR(drops / probes, 0.1, 0.02);
+  EXPECT_EQ(plan.log().value_losses(),
+            plan.log().count(FaultKind::ProbeTimeout) +
+                plan.log().count(FaultKind::DroppedMeasurement));
+}
+
+TEST(FaultPlan, StormWindowIsHalfOpen) {
+  FaultPlanConfig config;
+  config.storms.push_back({100.0, 200.0, 4.0});
+  FaultPlan plan(config);
+
+  EXPECT_EQ(plan.next_probe(99.9, 0, 1).elapsed_factor, 1.0);
+  EXPECT_EQ(plan.next_probe(100.0, 0, 1).elapsed_factor, 4.0);
+  EXPECT_EQ(plan.next_probe(199.9, 0, 1).elapsed_factor, 4.0);
+  EXPECT_EQ(plan.next_probe(200.0, 0, 1).elapsed_factor, 1.0);
+  EXPECT_EQ(plan.log().count(FaultKind::OutlierInjected), 2u);
+}
+
+TEST(FaultPlan, OverlappingStormFactorsMultiply) {
+  FaultPlanConfig config;
+  config.storms.push_back({0.0, 100.0, 2.0});
+  config.storms.push_back({50.0, 100.0, 3.0});
+  FaultPlan plan(config);
+  EXPECT_EQ(plan.next_probe(10.0, 0, 1).elapsed_factor, 2.0);
+  EXPECT_EQ(plan.next_probe(60.0, 0, 1).elapsed_factor, 6.0);
+}
+
+TEST(FaultPlan, PlacementShiftIsPersistentAndPerEndpoint) {
+  FaultPlanConfig config;
+  config.placement_changes.push_back({100.0, 1, 2.0});
+  config.placement_changes.push_back({300.0, 2, 3.0});
+  FaultPlan plan(config);
+
+  EXPECT_EQ(plan.next_probe(50.0, 1, 2).elapsed_factor, 1.0);
+  EXPECT_EQ(plan.vm_factor(1), 1.0);
+
+  // First change applies from t = 100 on, to every pair touching VM 1.
+  EXPECT_EQ(plan.next_probe(150.0, 1, 3).elapsed_factor, 2.0);
+  EXPECT_EQ(plan.next_probe(150.0, 3, 1).elapsed_factor, 2.0);
+  EXPECT_EQ(plan.next_probe(150.0, 0, 3).elapsed_factor, 1.0);
+
+  // Second change compounds on pairs touching both shifted VMs.
+  plan.advance_to(400.0);
+  EXPECT_EQ(plan.vm_factor(1), 2.0);
+  EXPECT_EQ(plan.vm_factor(2), 3.0);
+  EXPECT_EQ(plan.placement_factor(1, 2), 6.0);
+  EXPECT_EQ(plan.placement_factor(0, 3), 1.0);
+
+  EXPECT_EQ(plan.log().count(FaultKind::PlacementShift), 2u);
+}
+
+TEST(FaultEventLog, CsvAndSerializeAgreeOnEventCount) {
+  FaultPlanConfig config;
+  config.drop_probability = 1.0;
+  FaultPlan plan(config);
+  plan.next_probe(1.0, 0, 1);
+  plan.next_probe(2.0, 1, 0);
+
+  const CsvTable csv = plan.log().to_csv();
+  ASSERT_EQ(csv.header.size(), 6u);
+  EXPECT_EQ(csv.row_count(), 2u);
+  EXPECT_EQ(csv.rows[0][2], "dropped_measurement");
+
+  const std::string text = plan.log().serialize();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace netconst::faults

@@ -1,0 +1,172 @@
+// FaultInjectionProvider tests against a deterministic SyntheticCloud:
+// the wrapper must be transparent when the plan is clean, charge
+// simulated time faithfully for every fault kind, and keep the inner
+// cloud's sample path identical to an unwrapped twin.
+#include "faults/fault_provider.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cloud/synthetic.hpp"
+#include "support/error.hpp"
+
+namespace netconst::faults {
+namespace {
+
+constexpr std::uint64_t kBytes = 1 << 20;
+
+cloud::SyntheticCloudConfig tiny_cloud(std::uint64_t seed) {
+  cloud::SyntheticCloudConfig config;
+  config.cluster_size = 6;
+  config.datacenter_racks = 3;
+  config.seed = seed;
+  return config;
+}
+
+TEST(FaultInjectionProvider, RejectsPlacementChangeOutsideCluster) {
+  cloud::SyntheticCloud inner(tiny_cloud(1));
+  FaultPlanConfig config;
+  config.placement_changes.push_back({0.0, 99, 2.0});
+  EXPECT_THROW((FaultInjectionProvider{inner, config}), ContractViolation);
+}
+
+TEST(FaultInjectionProvider, CleanPlanIsTransparent) {
+  cloud::SyntheticCloud wrapped_inner(tiny_cloud(7));
+  cloud::SyntheticCloud twin(tiny_cloud(7));
+  FaultInjectionProvider provider(wrapped_inner, FaultPlanConfig{});
+
+  for (int k = 0; k < 40; ++k) {
+    const std::size_t i = static_cast<std::size_t>(k % 5);
+    const std::size_t j = i + 1;
+    EXPECT_EQ(provider.measure(i, j, kBytes), twin.measure(i, j, kBytes));
+    EXPECT_EQ(provider.now(), twin.now());
+    provider.advance(60.0);
+    twin.advance(60.0);
+  }
+  EXPECT_EQ(provider.injected_value_losses(), 0u);
+}
+
+TEST(FaultInjectionProvider, DropsReportNaNButSpendTransferTime) {
+  cloud::SyntheticCloud wrapped_inner(tiny_cloud(7));
+  cloud::SyntheticCloud twin(tiny_cloud(7));
+  FaultPlanConfig config;
+  config.drop_probability = 1.0;
+  FaultInjectionProvider provider(wrapped_inner, config);
+
+  for (int k = 0; k < 10; ++k) {
+    const double reported = provider.measure(0, 1, kBytes);
+    const double true_elapsed = twin.measure(0, 1, kBytes);
+    EXPECT_TRUE(std::isnan(reported));
+    EXPECT_GT(true_elapsed, 0.0);
+    // The transfer still ran: both clocks moved identically.
+    EXPECT_EQ(provider.now(), twin.now());
+  }
+  EXPECT_EQ(provider.injected_value_losses(), 10u);
+}
+
+TEST(FaultInjectionProvider, TimeoutChargesTheFullDeadline) {
+  cloud::SyntheticCloud inner(tiny_cloud(3));
+  FaultPlanConfig config;
+  config.timeout_probability = 1.0;
+  config.timeout_seconds = 30.0;
+  FaultInjectionProvider provider(inner, config);
+
+  const double before = provider.now();
+  EXPECT_TRUE(std::isnan(provider.measure(0, 1, kBytes)));
+  // A tiny transfer takes far less than the deadline; the prober still
+  // waited the whole 30 s before giving up.
+  EXPECT_DOUBLE_EQ(provider.now() - before, 30.0);
+}
+
+TEST(FaultInjectionProvider, StormMultipliesTheReportedElapsed) {
+  cloud::SyntheticCloud wrapped_inner(tiny_cloud(9));
+  cloud::SyntheticCloud twin(tiny_cloud(9));
+  FaultPlanConfig config;
+  config.storms.push_back({0.0, 1e9, 4.0});
+  FaultInjectionProvider provider(wrapped_inner, config);
+
+  // Only the first probe is twin-comparable: reporting 4x also costs 4x
+  // simulated time, after which the sample paths diverge by design.
+  const double reported = provider.measure(2, 3, kBytes);
+  const double clean = twin.measure(2, 3, kBytes);
+  EXPECT_DOUBLE_EQ(reported, 4.0 * clean);
+  EXPECT_EQ(provider.fault_log().count(FaultKind::OutlierInjected), 1u);
+}
+
+TEST(FaultInjectionProvider, PlacementShiftMovesMeasurementsAndOracle) {
+  cloud::SyntheticCloud wrapped_inner(tiny_cloud(11));
+  cloud::SyntheticCloud twin(tiny_cloud(11));
+  FaultPlanConfig config;
+  config.placement_changes.push_back({100.0, 0, 2.0});
+  FaultInjectionProvider provider(wrapped_inner, config);
+
+  provider.advance(200.0);
+  twin.advance(200.0);
+
+  // Only the first probe is twin-comparable: reporting 2x also costs 2x
+  // simulated time, after which the sample paths diverge by design.
+  const double reported = provider.measure(0, 1, kBytes);
+  const double clean = twin.measure(0, 1, kBytes);
+  EXPECT_DOUBLE_EQ(reported, 2.0 * clean);
+
+  // The oracle is a noisy, time-varying sample that draws from each
+  // pair's RNG, so before/after comparisons in time are meaningless.
+  // Instead mirror the call on the twin at the same instant: every link
+  // touching VM 0 carries exactly alpha*2 / beta/2, everything else is
+  // bit-identical to the unshifted cloud.
+  twin.advance(provider.now() - twin.now());
+  const netmodel::PerformanceMatrix shifted = provider.oracle_snapshot();
+  const netmodel::PerformanceMatrix baseline = twin.oracle_snapshot();
+  const std::size_t n = provider.cluster_size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const netmodel::LinkParams got = shifted.link(i, j);
+      const netmodel::LinkParams want = baseline.link(i, j);
+      if (i == 0 || j == 0) {
+        EXPECT_DOUBLE_EQ(got.alpha, 2.0 * want.alpha);
+        EXPECT_DOUBLE_EQ(got.beta, want.beta / 2.0);
+      } else {
+        EXPECT_DOUBLE_EQ(got.alpha, want.alpha);
+        EXPECT_DOUBLE_EQ(got.beta, want.beta);
+      }
+    }
+  }
+}
+
+TEST(FaultInjectionProvider, ConcurrentRoundMarksOnlyFaultedPairs) {
+  cloud::SyntheticCloud inner(tiny_cloud(5));
+  FaultPlanConfig config;
+  config.seed = 99;
+  config.drop_probability = 0.5;
+  FaultInjectionProvider provider(inner, config);
+
+  const std::vector<std::pair<std::size_t, std::size_t>> pairs = {
+      {0, 1}, {2, 3}, {4, 5}};
+  std::uint64_t lost = 0;
+  for (int round = 0; round < 30; ++round) {
+    const double before = provider.now();
+    const std::vector<double> elapsed =
+        provider.measure_concurrent(pairs, kBytes);
+    ASSERT_EQ(elapsed.size(), pairs.size());
+    for (double value : elapsed) {
+      if (std::isnan(value)) {
+        ++lost;
+      } else {
+        EXPECT_GT(value, 0.0);
+        // The round lasts at least as long as every surviving probe.
+        EXPECT_LE(value, provider.now() - before + 1e-12);
+      }
+    }
+    provider.advance(60.0);
+  }
+  EXPECT_GT(lost, 0u);
+  EXPECT_LT(lost, 90u);
+  EXPECT_EQ(provider.injected_value_losses(), lost);
+}
+
+}  // namespace
+}  // namespace netconst::faults

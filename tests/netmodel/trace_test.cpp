@@ -97,5 +97,84 @@ TEST(Trace, LoadRejectsSelfLinks) {
   EXPECT_THROW(Trace::load_csv(path), ContractViolation);
 }
 
+// Corrupt-input regressions: every malformed trace below used to either
+// crash, allocate absurd matrices, or load garbage silently.
+
+std::string write_rows(const std::vector<std::vector<std::string>>& rows,
+                       const std::string& tag) {
+  const std::string path =
+      ::testing::TempDir() + "/netconst_trace_" + tag + ".csv";
+  CsvTable table;
+  table.header = {"time", "i", "j", "alpha", "beta"};
+  table.rows = rows;
+  write_csv_file(path, table);
+  return path;
+}
+
+TEST(Trace, LoadRejectsHeaderOnlyFile) {
+  EXPECT_THROW(Trace::load_csv(write_rows({}, "empty")), Error);
+}
+
+TEST(Trace, LoadRejectsNegativeAndFractionalIndices) {
+  EXPECT_THROW(
+      Trace::load_csv(write_rows({{"0", "-1", "1", "0.1", "1e6"}}, "neg")),
+      Error);
+  EXPECT_THROW(
+      Trace::load_csv(write_rows({{"0", "0", "1.5", "0.1", "1e6"}}, "frac")),
+      Error);
+}
+
+TEST(Trace, LoadRejectsHugeIndexInsteadOfAllocating) {
+  // A raw cast would try to build a ~1e18 x 1e18 matrix pair.
+  EXPECT_THROW(Trace::load_csv(write_rows(
+                   {{"0", "0", "999999999999999999", "0.1", "1e6"}}, "huge")),
+               Error);
+}
+
+TEST(Trace, LoadRejectsNonFiniteTimestamp) {
+  EXPECT_THROW(
+      Trace::load_csv(write_rows({{"nan", "0", "1", "0.1", "1e6"}}, "nant")),
+      Error);
+}
+
+TEST(Trace, LoadRejectsInvalidLinkParameters) {
+  EXPECT_THROW(Trace::load_csv(write_rows({{"0", "0", "1", "-0.1", "1e6"}},
+                                          "negalpha")),
+               Error);
+  EXPECT_THROW(
+      Trace::load_csv(write_rows({{"0", "0", "1", "0.1", "0"}}, "zerobeta")),
+      Error);
+  // Half-missing parameters are corruption, not a degraded measurement.
+  EXPECT_THROW(
+      Trace::load_csv(write_rows({{"0", "0", "1", "nan", "1e6"}}, "half")),
+      Error);
+}
+
+TEST(Trace, LoadRejectsNonNumericCells) {
+  EXPECT_THROW(
+      Trace::load_csv(write_rows({{"0", "zero", "1", "0.1", "1e6"}}, "word")),
+      Error);
+}
+
+TEST(Trace, MissingLinksSurviveTheCsvRoundTrip) {
+  TemporalPerformance series;
+  PerformanceMatrix snap(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i != j) snap.set_link(i, j, {1e-4, 1e7});
+    }
+  }
+  snap.mark_link_missing(0, 2);
+  series.append(0.0, std::move(snap));
+
+  const std::string path =
+      ::testing::TempDir() + "/netconst_trace_missing.csv";
+  Trace(std::move(series)).save_csv(path);
+  const Trace back = Trace::load_csv(path);
+  EXPECT_TRUE(back.series().snapshot(0).link_missing(0, 2));
+  EXPECT_EQ(back.series().snapshot(0).missing_links(), 1u);
+  EXPECT_DOUBLE_EQ(back.series().snapshot(0).link(1, 2).alpha, 1e-4);
+}
+
 }  // namespace
 }  // namespace netconst::netmodel

@@ -1,5 +1,6 @@
 #include "online/metrics.hpp"
 
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -59,6 +60,56 @@ TEST(Metrics, HistogramPercentiles) {
   one.observe(7.0);
   EXPECT_DOUBLE_EQ(one.summary().p50, 7.0);
   EXPECT_DOUBLE_EQ(one.summary().p99, 7.0);
+}
+
+TEST(Metrics, HistogramEdgeCases) {
+  MetricsRegistry registry;
+  // Empty: every statistic reads as a defined zero, nothing crashes.
+  const Histogram::Summary empty = registry.histogram("empty").summary();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.rejected, 0u);
+  EXPECT_DOUBLE_EQ(empty.sum, 0.0);
+  EXPECT_DOUBLE_EQ(empty.min, 0.0);
+  EXPECT_DOUBLE_EQ(empty.max, 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+
+  // Single sample: min == max == mean == the sample.
+  Histogram& one = registry.histogram("one");
+  one.observe(-3.5);
+  const Histogram::Summary s = one.summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, -3.5);
+  EXPECT_DOUBLE_EQ(s.max, -3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), -3.5);
+}
+
+TEST(Metrics, HistogramRejectsNonFiniteObservations) {
+  // A single NaN used to poison min/max/sum/mean permanently; the
+  // degraded-measurement path reports losses as NaN by design, so the
+  // histogram must shrug them off and count them instead.
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("latency");
+  h.observe(2.0);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(std::numeric_limits<double>::infinity());
+  h.observe(-std::numeric_limits<double>::infinity());
+  h.observe(4.0);
+  const Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.rejected, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 6.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.p50, 2.0);
+  EXPECT_DOUBLE_EQ(s.p99, 4.0);
+}
+
+TEST(Metrics, CounterRejectsNaNAmounts) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("ops");
+  EXPECT_THROW(c.increment(std::numeric_limits<double>::quiet_NaN()),
+               ContractViolation);
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
 }
 
 TEST(Metrics, NameBoundToOneTypeOnly) {

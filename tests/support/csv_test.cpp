@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
+#include <string>
 
 #include "support/error.hpp"
 
@@ -85,6 +87,58 @@ TEST(Csv, CarriageReturnsStripped) {
   std::stringstream ss("a,b\r\n1,2\r\n");
   const CsvTable table = read_csv(ss);
   EXPECT_EQ(table.rows[0][1], "2");
+}
+
+TEST(Csv, ShortRowErrorNamesTheLine) {
+  // A crash mid-write truncates the last row; the error must say where.
+  std::stringstream ss("a,b,c\n1,2,3\n4,5\n");
+  try {
+    read_csv(ss);
+    FAIL() << "expected a width error";
+  } catch (const Error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 fields"), std::string::npos) << what;
+  }
+}
+
+TEST(Csv, OverlongRowAlsoRejected) {
+  std::stringstream ss("a,b\n1,2,3\n");
+  EXPECT_THROW(read_csv(ss), Error);
+}
+
+TEST(Csv, TruncatedFinalLineWithoutNewlineStillParses) {
+  // Truncation exactly at a row boundary is indistinguishable from a
+  // complete file; a row cut mid-field is caught by the width check.
+  std::stringstream whole("a,b\n1,2");
+  EXPECT_EQ(read_csv(whole).rows.size(), 1u);
+  std::stringstream cut("a,b\n1,2\n3");
+  EXPECT_THROW(read_csv(cut), Error);
+}
+
+TEST(Csv, NumberErrorNamesRowAndColumn) {
+  CsvTable table;
+  table.header = {"x", "y"};
+  table.rows = {{"1.0", "oops"}};
+  try {
+    table.number(0, 1);
+    FAIL() << "expected a parse error";
+  } catch (const Error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("row 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("column 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("oops"), std::string::npos) << what;
+  }
+}
+
+TEST(Csv, NumberParsesNonFiniteSentinels) {
+  // "nan" cells are the serialized missing-link sentinel; parsing must
+  // hand back the NaN rather than rejecting the cell.
+  CsvTable table;
+  table.header = {"x"};
+  table.rows = {{"nan"}, {"inf"}};
+  EXPECT_TRUE(std::isnan(table.number(0, 0)));
+  EXPECT_TRUE(std::isinf(table.number(1, 0)));
 }
 
 }  // namespace
