@@ -11,12 +11,19 @@
 // recalibrations. The closing metrics report shows both behaviours side
 // by side; the demo exits non-zero if either is missing.
 //
+// With tracing on (NETCONST_TRACE=1), the demo additionally writes
+// netconst_demo_trace.json (Chrome trace_event format — load it in
+// Perfetto or about:tracing) and netconst_demo_metrics.prom (Prometheus
+// text exposition) to the working directory.
+//
 // Build & run:  ./build/examples/online_service_demo
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <vector>
 
 #include "cloud/synthetic.hpp"
+#include "obs/trace.hpp"
 #include "online/service.hpp"
 
 namespace {
@@ -96,6 +103,16 @@ int main() {
             << kSteps << " operation cycles each...\n\n";
   service.run(kSteps);
   service.print_report(std::cout);
+
+  if (obs::trace_enabled()) {
+    std::ofstream trace_out("netconst_demo_trace.json");
+    obs::FlightRecorder::instance().write_chrome_trace(trace_out);
+    std::ofstream prom_out("netconst_demo_metrics.prom");
+    service.write_prometheus(prom_out);
+    std::cout << "\ntracing on: wrote netconst_demo_trace.json ("
+              << obs::FlightRecorder::instance().total_recorded()
+              << " spans recorded) and netconst_demo_metrics.prom\n";
+  }
 
   const online::MetricsRegistry& metrics = service.metrics();
   const double recalibrations =

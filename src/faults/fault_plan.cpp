@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace netconst::faults {
@@ -90,6 +91,10 @@ void FaultPlan::advance_to(double now) {
     vm_factors_[change.vm] *= change.elapsed_factor;
     log_.record({sequence_, change.time, FaultKind::PlacementShift,
                  change.vm, 0, change.elapsed_factor});
+    // A placement shift is exactly the anomaly the paper's dynamic
+    // component models; snapshot the flight recorder so the spans
+    // leading up to it survive for post-mortem inspection.
+    obs::FlightRecorder::instance().maybe_auto_dump("placement_shift");
     ++next_change_;
   }
 }

@@ -1,0 +1,52 @@
+// Shared metric naming: the single source of truth for metric type
+// names, unit inference, and the internal-dotted-name -> Prometheus
+// series mapping. Both the online MetricsRegistry exports (CSV / JSON /
+// console) and the obs exporters (Prometheus text, JSON snapshot) go
+// through these helpers, so a metric can never be spelled two ways by
+// two exporters.
+//
+// Naming scheme:
+//  * internal names are dotted, e.g. "online.refresh_seconds" or
+//    "tenant.<name>.refresh_seconds";
+//  * the "tenant.<name>." prefix is a label, not part of the metric
+//    identity: the Prometheus series for the example above is
+//    netconst_tenant_refresh_seconds{tenant="<name>"} — one metric,
+//    many tenants, as a Prometheus consumer expects;
+//  * units ride in the name suffix ("_seconds", "_bytes"), mirroring
+//    Prometheus conventions; metric_unit() recovers them for exporters
+//    that want an explicit unit field.
+#pragma once
+
+#include <string>
+
+namespace netconst::obs {
+
+enum class MetricType { Counter, Gauge, Histogram };
+
+/// Canonical lower-case type name ("counter", "gauge", "histogram").
+const char* metric_type_name(MetricType type);
+
+/// Unit implied by the metric name's suffix: "seconds", "bytes", or ""
+/// for dimensionless metrics.
+const char* metric_unit(const std::string& dotted_name);
+
+/// Replace every character outside [a-zA-Z0-9_] with '_' (and prefix
+/// '_' if the first character is a digit) — a valid Prometheus metric
+/// name fragment.
+std::string sanitize_metric_name(const std::string& name);
+
+/// A Prometheus series: the exposition name plus a rendered label set
+/// ("" or `key="value"` — braces are the exporter's job).
+struct PrometheusSeries {
+  std::string name;
+  std::string labels;
+
+  bool operator==(const PrometheusSeries&) const = default;
+};
+
+/// Map an internal dotted metric name to its Prometheus series.
+/// "tenant.<t>.<rest>" becomes netconst_tenant_<rest>{tenant="<t>"};
+/// anything else becomes netconst_<dotted-with-underscores>.
+PrometheusSeries prometheus_series(const std::string& dotted_name);
+
+}  // namespace netconst::obs

@@ -1,0 +1,314 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <utility>
+
+namespace netconst::obs {
+
+namespace detail {
+
+namespace {
+
+bool env_trace_enabled() {
+  const char* env = std::getenv("NETCONST_TRACE");
+  if (env == nullptr) return false;
+  return !(env[0] == '\0' || (env[0] == '0' && env[1] == '\0'));
+}
+
+}  // namespace
+
+std::atomic<bool> g_trace_enabled{env_trace_enabled()};
+
+}  // namespace detail
+
+// Each slot is a seqlock of plain atomics. The sequence word of push
+// number n settles at 2n + 2; a reader that finds anything else (odd =
+// mid-write, larger = recycled for a later push) skips the slot. Using
+// atomics for the payload too keeps the concurrent read/write pair a
+// defined race-free program (and TSan-clean) while the producer stays
+// wait-free.
+namespace detail {
+
+struct ThreadRing {
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> id{0};
+    std::atomic<std::uint64_t> parent{0};
+    std::atomic<std::int64_t> start_ns{0};
+    std::atomic<std::int64_t> end_ns{0};
+    std::atomic<std::uintptr_t> name{0};
+    std::atomic<std::uint64_t> value_bits{0};
+  };
+
+  explicit ThreadRing(std::uint32_t index_in) : index(index_in) {}
+
+  void push(const char* name, std::uint64_t id, std::uint64_t parent,
+            std::int64_t start_ns, std::int64_t end_ns, double value) {
+    const std::uint64_t n = count.load(std::memory_order_relaxed);
+    Slot& slot = slots[n % FlightRecorder::kRingCapacity];
+    slot.seq.store(2 * n + 1, std::memory_order_relaxed);
+    slot.id.store(id, std::memory_order_relaxed);
+    slot.parent.store(parent, std::memory_order_relaxed);
+    slot.start_ns.store(start_ns, std::memory_order_relaxed);
+    slot.end_ns.store(end_ns, std::memory_order_relaxed);
+    slot.name.store(reinterpret_cast<std::uintptr_t>(name),
+                    std::memory_order_relaxed);
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    __builtin_memcpy(&bits, &value, sizeof(bits));
+    slot.value_bits.store(bits, std::memory_order_relaxed);
+    slot.seq.store(2 * n + 2, std::memory_order_release);
+    count.store(n + 1, std::memory_order_release);
+  }
+
+  /// Append every retained, consistent record to `out`.
+  void read_into(std::vector<SpanRecord>& out) const {
+    const std::uint64_t n = count.load(std::memory_order_acquire);
+    std::uint64_t begin =
+        n > FlightRecorder::kRingCapacity
+            ? n - FlightRecorder::kRingCapacity
+            : 0;
+    begin = std::max(begin, trim.load(std::memory_order_relaxed));
+    for (std::uint64_t k = begin; k < n; ++k) {
+      const Slot& slot = slots[k % FlightRecorder::kRingCapacity];
+      const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+      if (s1 != 2 * k + 2) continue;  // mid-write or already recycled
+      SpanRecord record;
+      record.id = slot.id.load(std::memory_order_relaxed);
+      record.parent = slot.parent.load(std::memory_order_relaxed);
+      record.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+      record.end_ns = slot.end_ns.load(std::memory_order_relaxed);
+      record.name = reinterpret_cast<const char*>(
+          slot.name.load(std::memory_order_relaxed));
+      const std::uint64_t bits =
+          slot.value_bits.load(std::memory_order_relaxed);
+      __builtin_memcpy(&record.value, &bits, sizeof(record.value));
+      record.thread = index;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != s1) continue;
+      out.push_back(record);
+    }
+  }
+
+  const std::uint32_t index;
+  std::atomic<std::uint64_t> count{0};  // pushes ever made to this ring
+  std::atomic<std::uint64_t> trim{0};   // pushes logically cleared
+  std::uint64_t next_span = 0;          // owning thread only
+  Slot slots[FlightRecorder::kRingCapacity];
+};
+
+}  // namespace detail
+
+using detail::ThreadRing;
+
+struct FlightRecorder::Impl {
+  using Clock = std::chrono::steady_clock;
+
+  Impl() : epoch(Clock::now()) {
+    if (const char* env = std::getenv("NETCONST_TRACE_DUMP_DIR")) {
+      dump_directory = env;
+    }
+  }
+
+  const Clock::time_point epoch;
+
+  std::mutex rings_mutex;  // guards registration and the vector spine
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+
+  std::mutex dump_mutex;  // guards dump_directory and file writes
+  std::string dump_directory;
+  std::atomic<std::uint64_t> dump_requests{0};
+  std::atomic<std::uint64_t> dumps_written{0};
+};
+
+namespace {
+
+// The innermost live span of the calling thread; 0 at top level.
+thread_local std::uint64_t t_current_span = 0;
+thread_local ThreadRing* t_ring = nullptr;
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() : impl_(new Impl) {}
+
+FlightRecorder& FlightRecorder::instance() {
+  // Intentionally leaked: worker threads (e.g. ThreadPool::global())
+  // may record spans during static destruction.
+  static FlightRecorder* recorder = new FlightRecorder;
+  return *recorder;
+}
+
+void FlightRecorder::set_enabled(bool enabled) {
+#if NETCONST_TRACE_COMPILED
+  detail::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+#else
+  (void)enabled;
+#endif
+}
+
+std::int64_t FlightRecorder::now_ns() {
+  const Impl& impl = *instance().impl_;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Impl::Clock::now() - impl.epoch)
+      .count();
+}
+
+ThreadRing& FlightRecorder::local_ring() {
+  if (t_ring == nullptr) {
+    std::lock_guard<std::mutex> lock(impl_->rings_mutex);
+    const auto index = static_cast<std::uint32_t>(impl_->rings.size());
+    impl_->rings.push_back(std::make_unique<ThreadRing>(index));
+    t_ring = impl_->rings.back().get();
+  }
+  return *t_ring;
+}
+
+void FlightRecorder::push(const char* name, std::uint64_t id,
+                          std::uint64_t parent, std::int64_t start_ns,
+                          std::int64_t end_ns, double value) {
+  local_ring().push(name, id, parent, start_ns, end_ns, value);
+}
+
+void FlightRecorder::record_interval(const char* name, std::int64_t start_ns,
+                                     std::int64_t end_ns, double value) {
+  if (!trace_enabled()) return;
+  ThreadRing& ring = local_ring();
+  const std::uint64_t id =
+      (static_cast<std::uint64_t>(ring.index) + 1) << 40 | ++ring.next_span;
+  ring.push(name, id, t_current_span, start_ns, end_ns, value);
+}
+
+std::vector<SpanRecord> FlightRecorder::snapshot() const {
+  std::vector<SpanRecord> records;
+  {
+    std::lock_guard<std::mutex> lock(impl_->rings_mutex);
+    for (const auto& ring : impl_->rings) ring->read_into(records);
+  }
+  std::sort(records.begin(), records.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.id < b.id;
+            });
+  return records;
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(impl_->rings_mutex);
+  std::uint64_t total = 0;
+  for (const auto& ring : impl_->rings) {
+    total += ring->count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(impl_->rings_mutex);
+  for (const auto& ring : impl_->rings) {
+    ring->trim.store(ring->count.load(std::memory_order_acquire),
+                     std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+void write_json_escaped(std::ostream& out, const char* text) {
+  for (; text != nullptr && *text != '\0'; ++text) {
+    const char c = *text;
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+    } else {
+      out << c;
+    }
+  }
+}
+
+}  // namespace
+
+void FlightRecorder::write_chrome_trace(std::ostream& out) const {
+  const std::vector<SpanRecord> records = snapshot();
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& record : records) {
+    if (!first) out << ',';
+    first = false;
+    // Complete ("X") events; ts/dur are microseconds by the format.
+    const double ts = static_cast<double>(record.start_ns) * 1e-3;
+    const double dur =
+        static_cast<double>(record.end_ns - record.start_ns) * 1e-3;
+    out << "{\"name\":\"";
+    write_json_escaped(out, record.name);
+    out << "\",\"cat\":\"netconst\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+        << record.thread << ",\"ts\":" << ts << ",\"dur\":" << dur
+        << ",\"args\":{\"value\":" << record.value << ",\"id\":" << record.id
+        << ",\"parent\":" << record.parent << "}}";
+  }
+  out << "]}";
+}
+
+void FlightRecorder::set_dump_directory(std::string directory) {
+  std::lock_guard<std::mutex> lock(impl_->dump_mutex);
+  impl_->dump_directory = std::move(directory);
+}
+
+std::string FlightRecorder::dump_directory() const {
+  std::lock_guard<std::mutex> lock(impl_->dump_mutex);
+  return impl_->dump_directory;
+}
+
+std::string FlightRecorder::maybe_auto_dump(const char* reason) {
+  impl_->dump_requests.fetch_add(1, std::memory_order_relaxed);
+  if (!trace_enabled()) return {};
+  std::lock_guard<std::mutex> lock(impl_->dump_mutex);
+  if (impl_->dump_directory.empty()) return {};
+  const std::uint64_t written =
+      impl_->dumps_written.load(std::memory_order_relaxed);
+  if (written >= kMaxAutoDumps) return {};
+  std::string path = impl_->dump_directory + "/netconst_trace_" +
+                     std::to_string(written) + "_" + reason + ".json";
+  std::ofstream file(path);
+  if (!file) return {};
+  write_chrome_trace(file);
+  impl_->dumps_written.fetch_add(1, std::memory_order_relaxed);
+  return path;
+}
+
+std::uint64_t FlightRecorder::auto_dumps_requested() const {
+  return impl_->dump_requests.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FlightRecorder::auto_dumps_written() const {
+  return impl_->dumps_written.load(std::memory_order_relaxed);
+}
+
+#if NETCONST_TRACE_COMPILED
+
+void Span::begin(const char* name) noexcept {
+  FlightRecorder& recorder = FlightRecorder::instance();
+  ThreadRing& ring = recorder.local_ring();
+  name_ = name;
+  parent_ = t_current_span;
+  id_ = (static_cast<std::uint64_t>(ring.index) + 1) << 40 |
+        ++ring.next_span;
+  t_current_span = id_;
+  start_ns_ = FlightRecorder::now_ns();
+  active_ = true;
+}
+
+void Span::finish() noexcept {
+  t_current_span = parent_;
+  FlightRecorder::instance().push(name_, id_, parent_, start_ns_,
+                                  FlightRecorder::now_ns(), value_);
+  active_ = false;
+}
+
+#endif  // NETCONST_TRACE_COMPILED
+
+}  // namespace netconst::obs

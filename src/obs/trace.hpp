@@ -1,0 +1,178 @@
+// Flight-recorder tracing: RAII scoped spans with steady-clock timing
+// and explicit parent links, recorded into lock-free per-thread ring
+// buffers that can be snapshotted on demand and dumped as Chrome
+// trace_event JSON (loadable in about:tracing / Perfetto).
+//
+// Design points:
+//  * a span on a disabled recorder costs exactly one relaxed atomic
+//    load and a branch — the pipeline is instrumented unconditionally
+//    and the toggle decides whether anything is recorded;
+//  * recording is wait-free for the owning thread: each thread writes
+//    its own ring, every slot is a small seqlock of plain atomics, so
+//    a concurrent snapshot never blocks a producer and never reads a
+//    torn record (it skips slots that are mid-write or recycled);
+//  * the ring is a flight recorder, not a log: when it wraps, the
+//    oldest spans are overwritten and `total_recorded()` keeps
+//    counting. Snapshot what you need, when you need it — typically
+//    when the fault layer reports an anomaly (see maybe_auto_dump);
+//  * span names must be string literals (or otherwise outlive the
+//    recorder): only the pointer is stored.
+//
+// Toggles:
+//  * compile time — configure with -DNETCONST_TRACE=OFF (defines
+//    NETCONST_TRACE_COMPILED=0) and Span collapses to an empty object;
+//  * runtime — the NETCONST_TRACE environment variable (1/0) sets the
+//    initial state; tests and tools flip it with set_enabled().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#ifndef NETCONST_TRACE_COMPILED
+#define NETCONST_TRACE_COMPILED 1
+#endif
+
+namespace netconst::obs {
+
+/// One completed span as read out of the recorder.
+struct SpanRecord {
+  std::uint64_t id = 0;      // unique per process run, never 0
+  std::uint64_t parent = 0;  // 0 = root (no enclosing span on the thread)
+  std::int64_t start_ns = 0; // steady-clock ns since the recorder epoch
+  std::int64_t end_ns = 0;
+  const char* name = nullptr;
+  double value = 0.0;        // span-specific payload (iterations, bytes...)
+  std::uint32_t thread = 0;  // dense per-thread index (Chrome "tid")
+};
+
+namespace detail {
+
+/// True when recording is on. Kept as a plain global atomic (not behind
+/// a function-local static) so the disabled fast path is one relaxed
+/// load, no guard-variable check.
+extern std::atomic<bool> g_trace_enabled;
+
+struct ThreadRing;  // one per recording thread; defined in trace.cpp
+
+}  // namespace detail
+
+/// One relaxed load: the cost of every instrumentation point when
+/// tracing is off.
+inline bool trace_enabled() {
+#if NETCONST_TRACE_COMPILED
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+/// Process-wide span recorder. All methods are thread-safe.
+class FlightRecorder {
+ public:
+  /// Span slots retained per thread before the ring wraps.
+  static constexpr std::size_t kRingCapacity = 4096;
+
+  static FlightRecorder& instance();
+
+  bool enabled() const { return trace_enabled(); }
+  /// No-op (always off) when compiled out.
+  void set_enabled(bool enabled);
+
+  /// Steady-clock ns since the recorder epoch (the clock spans use).
+  static std::int64_t now_ns();
+
+  /// Record an externally timed span on the calling thread's ring (used
+  /// for intervals that do not nest with the thread's live spans, e.g.
+  /// a task's time in the pool queue). No-op when disabled.
+  void record_interval(const char* name, std::int64_t start_ns,
+                       std::int64_t end_ns, double value = 0.0);
+
+  /// All currently retained spans, merged across threads and sorted by
+  /// start time. Safe to call concurrently with recording.
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Spans ever recorded (including ones the rings have overwritten).
+  std::uint64_t total_recorded() const;
+
+  /// Logically drop every retained span (recording continues).
+  void clear();
+
+  /// Write the current snapshot in Chrome trace_event JSON ("X" phase
+  /// events; open in about:tracing or https://ui.perfetto.dev).
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// Auto-dump configuration: when a directory is set (explicitly or
+  /// via the NETCONST_TRACE_DUMP_DIR environment variable) and tracing
+  /// is enabled, maybe_auto_dump() writes the flight recorder to
+  /// `<dir>/netconst_trace_<seq>_<reason>.json`. At most kMaxAutoDumps
+  /// files are written per process (an anomaly storm must not fill the
+  /// disk); requests are always counted.
+  static constexpr std::uint64_t kMaxAutoDumps = 64;
+  void set_dump_directory(std::string directory);
+  std::string dump_directory() const;
+  /// Returns the path written, or "" when disabled / unconfigured /
+  /// over the file cap.
+  std::string maybe_auto_dump(const char* reason);
+  std::uint64_t auto_dumps_requested() const;
+  std::uint64_t auto_dumps_written() const;
+
+ private:
+  friend class Span;
+  struct Impl;
+
+  FlightRecorder();
+  ~FlightRecorder() = delete;  // process-lifetime singleton
+
+  /// The calling thread's ring, created and registered on first use.
+  detail::ThreadRing& local_ring();
+  void push(const char* name, std::uint64_t id, std::uint64_t parent,
+            std::int64_t start_ns, std::int64_t end_ns, double value);
+
+  Impl* impl_;
+};
+
+/// RAII scoped span. Construction opens the span (parented to the
+/// thread's innermost live span), destruction records it. When tracing
+/// is disabled at construction the span is inert — including its
+/// destructor — so toggling mid-span never records a half-timed record.
+class Span {
+ public:
+#if NETCONST_TRACE_COMPILED
+  explicit Span(const char* name) noexcept {
+    if (trace_enabled()) begin(name);
+  }
+  ~Span() {
+    if (active_) finish();
+  }
+  /// Attach the span's numeric payload (last call wins).
+  void set_value(double value) noexcept {
+    if (active_) value_ = value;
+  }
+  bool active() const { return active_; }
+#else
+  explicit Span(const char*) noexcept {}
+  void set_value(double) noexcept {}
+  bool active() const { return false; }
+#endif
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+#if NETCONST_TRACE_COMPILED
+  void begin(const char* name) noexcept;
+  void finish() noexcept;
+
+  const char* name_ = nullptr;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::int64_t start_ns_ = 0;
+  double value_ = 0.0;
+  bool active_ = false;
+#endif
+};
+
+}  // namespace netconst::obs

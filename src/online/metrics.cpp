@@ -125,53 +125,63 @@ std::size_t MetricsRegistry::metric_count() const {
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
-namespace {
-
-struct ExportRow {
-  std::string name;
-  std::string type;
-  Histogram::Summary summary;  // counters/gauges use count=1, sum=value
-  double value = 0.0;
-};
-
-}  // namespace
+std::vector<obs::MetricSample> MetricsRegistry::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<obs::MetricSample> rows;
+  rows.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, metric] : counters_) {
+    obs::MetricSample sample;
+    sample.name = name;
+    sample.type = obs::MetricType::Counter;
+    sample.value = metric->value();
+    rows.push_back(std::move(sample));
+  }
+  for (const auto& [name, metric] : gauges_) {
+    obs::MetricSample sample;
+    sample.name = name;
+    sample.type = obs::MetricType::Gauge;
+    sample.value = metric->value();
+    rows.push_back(std::move(sample));
+  }
+  for (const auto& [name, metric] : histograms_) {
+    const Histogram::Summary summary = metric->summary();
+    obs::MetricSample sample;
+    sample.name = name;
+    sample.type = obs::MetricType::Histogram;
+    sample.histogram.count = summary.count;
+    sample.histogram.rejected = summary.rejected;
+    sample.histogram.sum = summary.sum;
+    sample.histogram.min = summary.min;
+    sample.histogram.max = summary.max;
+    sample.histogram.p50 = summary.p50;
+    sample.histogram.p99 = summary.p99;
+    rows.push_back(std::move(sample));
+  }
+  // std::map iteration is already name-sorted per type; the three sorted
+  // ranges merge into one sorted output.
+  std::sort(rows.begin(), rows.end(),
+            [](const obs::MetricSample& a, const obs::MetricSample& b) {
+              return a.name < b.name;
+            });
+  return rows;
+}
 
 CsvTable MetricsRegistry::to_csv() const {
   CsvTable table;
   table.header = {"metric", "type", "count", "value", "sum",
                   "min",    "max",  "mean",  "p50",   "p99"};
-  std::lock_guard<std::mutex> lock(mutex_);
-  // std::map iteration is already name-sorted per type; interleave by
-  // merging the three sorted ranges into one sorted output.
-  std::vector<ExportRow> rows;
-  rows.reserve(counters_.size() + gauges_.size() + histograms_.size());
-  for (const auto& [name, metric] : counters_) {
-    rows.push_back({name, "counter", {}, metric->value()});
-  }
-  for (const auto& [name, metric] : gauges_) {
-    rows.push_back({name, "gauge", {}, metric->value()});
-  }
-  for (const auto& [name, metric] : histograms_) {
-    rows.push_back({name, "histogram", metric->summary(), 0.0});
-  }
-  std::sort(rows.begin(), rows.end(),
-            [](const ExportRow& a, const ExportRow& b) {
-              return a.name < b.name;
-            });
-  for (const ExportRow& row : rows) {
-    if (row.type == "histogram") {
-      table.rows.push_back({row.name, row.type,
-                            std::to_string(row.summary.count), "",
-                            format_double(row.summary.sum),
-                            format_double(row.summary.min),
-                            format_double(row.summary.max),
-                            format_double(row.summary.mean()),
-                            format_double(row.summary.p50),
-                            format_double(row.summary.p99)});
+  for (const obs::MetricSample& sample : samples()) {
+    if (sample.type == obs::MetricType::Histogram) {
+      const obs::HistogramStats& h = sample.histogram;
+      table.rows.push_back({sample.name, obs::metric_type_name(sample.type),
+                            std::to_string(h.count), "",
+                            format_double(h.sum), format_double(h.min),
+                            format_double(h.max), format_double(h.mean()),
+                            format_double(h.p50), format_double(h.p99)});
     } else {
-      table.rows.push_back({row.name, row.type, "",
-                            format_double(row.value), "", "", "", "", "",
-                            ""});
+      table.rows.push_back({sample.name, obs::metric_type_name(sample.type),
+                            "", format_double(sample.value), "", "", "", "",
+                            "", ""});
     }
   }
   return table;

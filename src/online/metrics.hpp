@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.hpp"
 #include "support/csv.hpp"
 #include "support/table.hpp"
 
@@ -96,6 +97,12 @@ class MetricsRegistry {
   Histogram::Summary histogram_summary(const std::string& name) const;
 
   std::size_t metric_count() const;
+
+  /// Neutral snapshot rows, sorted by metric name — the single source
+  /// every exporter (CSV/JSON/console here, Prometheus/JSON snapshot in
+  /// obs/export.hpp) renders from, so type names, units and label
+  /// spellings cannot drift between formats (see obs/naming.hpp).
+  std::vector<obs::MetricSample> samples() const;
 
   /// Snapshot exports; rows sorted by metric name.
   /// CSV columns: metric,type,count,value,sum,min,max,mean.

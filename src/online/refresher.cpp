@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "linalg/norms.hpp"
+#include "obs/trace.hpp"
 #include "rpca/masked.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
@@ -22,7 +23,9 @@ void clear_seed(rpca::WarmStart& seed) {
 }  // namespace
 
 WindowRefresher::WindowRefresher(const RefresherOptions& options)
-    : options_(options), solve_opts_(options.finder.rpca) {
+    : options_(options),
+      probe_(options.convergence_trace_capacity),
+      solve_opts_(options.finder.rpca) {
   NETCONST_CHECK(options_.divergence_residual >= 0.0,
                  "divergence residual must be >= 0");
 }
@@ -63,6 +66,15 @@ void WindowRefresher::solve_layer(const linalg::Matrix& data,
   }
   info.warm_attempted = use_seed;
 
+  // Reset the probe before every attempt so the retained trace always
+  // belongs to the solve whose result is accepted.
+  if (options_.collect_convergence) {
+    probe_.reset();
+    solve_opts_.probe = &probe_;
+  } else {
+    solve_opts_.probe = nullptr;
+  }
+
   rpca::solve(data, options_.finder.solver, solve_opts_, workspace_, result);
   if (use_seed) {
     seed = std::move(solve_opts_.warm_start);
@@ -79,9 +91,11 @@ void WindowRefresher::solve_layer(const linalg::Matrix& data,
     // or the iterate stalled): discard and solve from scratch.
     info.cold_fallback = true;
     info.warm_used = false;
+    if (options_.collect_convergence) probe_.reset();
     rpca::solve(data, options_.finder.solver, solve_opts_, workspace_,
                 result);
   }
+  if (options_.collect_convergence) info.trace = probe_.trace();
   info.iterations = result.iterations;
   info.residual = result.solver_residual;
   info.solve_seconds = clock.seconds();
@@ -121,6 +135,7 @@ RefreshReport WindowRefresher::refresh(const SlidingWindow& window) {
   NETCONST_CHECK(window.size() >= 2,
                  "refresh needs at least two snapshots in the window");
   const Stopwatch clock;
+  obs::Span refresh_span("online.refresh");
 
   RefreshReport report;
   // Masked front-end: holes are repaired before the solver ever sees
@@ -133,8 +148,17 @@ RefreshReport WindowRefresher::refresh(const SlidingWindow& window) {
       repair_layer(window.bandwidth_data(), bandwidth_seed_,
                    bandwidth_repaired_, report.bandwidth);
 
-  solve_layer(lat_data, latency_seed_, latency_result_, report.latency);
-  solve_layer(bw_data, bandwidth_seed_, bandwidth_result_, report.bandwidth);
+  {
+    obs::Span layer_span("online.refresh.latency");
+    solve_layer(lat_data, latency_seed_, latency_result_, report.latency);
+    layer_span.set_value(report.latency.iterations);
+  }
+  {
+    obs::Span layer_span("online.refresh.bandwidth");
+    solve_layer(bw_data, bandwidth_seed_, bandwidth_result_,
+                report.bandwidth);
+    layer_span.set_value(report.bandwidth.iterations);
+  }
 
   report.component = core::assemble_component(
       lat_data, latency_result_, bw_data, bandwidth_result_,

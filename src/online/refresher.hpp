@@ -18,6 +18,7 @@
 #pragma once
 
 #include "core/constant_finder.hpp"
+#include "obs/convergence.hpp"
 #include "online/window.hpp"
 #include "rpca/rpca.hpp"
 #include "rpca/workspace.hpp"
@@ -43,6 +44,12 @@ struct RefresherOptions {
   double divergence_residual = 1e-3;
   /// Also redo cold when the warm solve hit max_iterations.
   bool fallback_on_nonconvergence = true;
+  /// Collect the accepted solve's per-iteration convergence trace into
+  /// LayerRefresh::trace (see obs/convergence.hpp). Off by default: the
+  /// probe computes extra per-iteration norms. The trace is capped at
+  /// convergence_trace_capacity samples.
+  bool collect_convergence = false;
+  std::size_t convergence_trace_capacity = 512;
 };
 
 /// Per-layer diagnostics of one refresh.
@@ -60,6 +67,9 @@ struct LayerRefresh {
   std::size_t imputed_from_constant = 0;
   std::size_t imputed_from_column = 0;
   std::size_t imputed_from_global = 0;
+  /// Per-iteration trace of the ACCEPTED solve (a rejected warm attempt
+  /// is not retained). Empty unless RefresherOptions::collect_convergence.
+  std::vector<obs::IterationStats> trace;
 };
 
 struct RefreshReport {
@@ -120,6 +130,9 @@ class WindowRefresher {
   RefresherOptions options_;
   rpca::WarmStart latency_seed_;
   rpca::WarmStart bandwidth_seed_;
+  // Convergence probe, reused across solves (reset per attempt so the
+  // retained trace always belongs to the accepted solve).
+  obs::TraceProbe probe_;
   // Persistent solver state: one workspace plus per-layer Result buffers
   // and a mutable Options whose warm_start slot loans the seed to the
   // solver (moved in and back out around each solve). Together these make

@@ -9,16 +9,34 @@
 #include <mutex>
 #include <ostream>
 
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
 
 namespace netconst::online {
 
+namespace {
+
+/// Convergence telemetry needs the refresher's per-iteration probe on;
+/// the service turns it on for every tenant when a convergence ring is
+/// configured (explicit user choice in RefresherOptions is respected).
+RefresherOptions with_convergence(RefresherOptions options,
+                                  std::size_t convergence_capacity) {
+  if (convergence_capacity > 0) options.collect_convergence = true;
+  return options;
+}
+
+}  // namespace
+
 struct ConstantFinderService::Tenant {
-  Tenant(const TenantConfig& config_in, MetricsRegistry& metrics)
+  Tenant(const TenantConfig& config_in, MetricsRegistry& metrics,
+         std::size_t convergence_capacity)
       : config(config_in),
         window(config_in.window_capacity),
-        refresher(config_in.refresher),
+        refresher(
+            with_convergence(config_in.refresher, convergence_capacity)),
+        convergence(convergence_capacity == 0 ? 1 : convergence_capacity),
         scheduler(config_in.scheduler),
         ingestor(*config_in.provider, window, config_in.ingest),
         rng(config_in.seed),
@@ -39,7 +57,9 @@ struct ConstantFinderService::Tenant {
         forced(metrics.counter(prefix() + "forced_recalibrations")),
         imputed_entries(metrics.counter(prefix() + "imputed_entries")),
         error_norm_gauge(metrics.gauge(prefix() + "error_norm")),
-        refresh_seconds(metrics.histogram(prefix() + "refresh_seconds")) {
+        refresh_seconds(metrics.histogram(prefix() + "refresh_seconds")),
+        solver_iterations(
+            metrics.histogram(prefix() + "solver_iterations")) {
     NETCONST_CHECK(config.provider != nullptr, "tenant needs a provider");
     NETCONST_CHECK(config.provider->cluster_size() >= 2,
                    "tenant cluster must have at least two VMs");
@@ -52,6 +72,7 @@ struct ConstantFinderService::Tenant {
   TenantConfig config;
   SlidingWindow window;
   WindowRefresher refresher;
+  obs::ConvergenceLog convergence;  // per-refresh solver telemetry
   RecalibrationScheduler scheduler;
   SnapshotIngestor ingestor;
   Rng rng;
@@ -83,6 +104,7 @@ struct ConstantFinderService::Tenant {
   Counter& imputed_entries;
   Gauge& error_norm_gauge;
   Histogram& refresh_seconds;
+  Histogram& solver_iterations;
 };
 
 ConstantFinderService::ConstantFinderService(const ServiceOptions& options)
@@ -103,7 +125,8 @@ std::size_t ConstantFinderService::add_tenant(const TenantConfig& config) {
     NETCONST_CHECK(tenant->config.provider != config.provider,
                    "providers must not be shared between tenants");
   }
-  tenants_.push_back(std::make_unique<Tenant>(config, metrics_));
+  tenants_.push_back(std::make_unique<Tenant>(config, metrics_,
+                                              options_.convergence_capacity));
   return tenants_.size() - 1;
 }
 
@@ -141,23 +164,58 @@ void ConstantFinderService::account_refresh_imputation(
   metrics_.counter("online.imputed_entries").increment(imputed);
 }
 
+void ConstantFinderService::record_convergence(Tenant& tenant,
+                                               RefreshReport& report) {
+  tenant.solver_iterations.observe(
+      static_cast<double>(report.latency.iterations));
+  tenant.solver_iterations.observe(
+      static_cast<double>(report.bandwidth.iterations));
+  Histogram& global = metrics_.histogram("online.solver_iterations");
+  global.observe(static_cast<double>(report.latency.iterations));
+  global.observe(static_cast<double>(report.bandwidth.iterations));
+  if (options_.convergence_capacity == 0) return;
+
+  const auto refresh =
+      static_cast<std::uint64_t>(tenant.refreshes.value());
+  const double now = tenant.config.provider->now();
+  LayerRefresh* layers[] = {&report.latency, &report.bandwidth};
+  const char* names[] = {"latency", "bandwidth"};
+  for (std::size_t k = 0; k < 2; ++k) {
+    obs::SolveConvergence record;
+    record.refresh = refresh;
+    record.time = now;
+    record.layer = names[k];
+    record.warm = layers[k]->warm_used;
+    record.cold_fallback = layers[k]->cold_fallback;
+    record.iterations = layers[k]->iterations;
+    record.residual = layers[k]->residual;
+    record.solve_seconds = layers[k]->solve_seconds;
+    record.trace = std::move(layers[k]->trace);
+    tenant.convergence.record(std::move(record));
+  }
+}
+
 void ConstantFinderService::bootstrap(Tenant& tenant) {
+  obs::Span bootstrap_span("svc.bootstrap");
   cloud::NetworkProvider& provider = *tenant.config.provider;
-  const double fill_seconds =
-      tenant.ingestor.fill(tenant.config.snapshot_interval);
+  const double fill_seconds = [&] {
+    obs::Span ingest_span("svc.ingest");
+    return tenant.ingestor.fill(tenant.config.snapshot_interval);
+  }();
   const double ingested = static_cast<double>(tenant.window.size());
   tenant.snapshots.increment(ingested);
   metrics_.counter("online.snapshots_ingested").increment(ingested);
   metrics_.histogram("online.calibration_seconds").observe(fill_seconds);
   sync_ingest_totals(tenant);
 
-  const RefreshReport report = tenant.refresher.refresh(tenant.window);
+  RefreshReport report = tenant.refresher.refresh(tenant.window);
   tenant.component = report.component;
   tenant.scheduler.record_refresh(provider.now(),
                                   report.component.error_norm);
   tenant.refreshes.increment();
   metrics_.counter("online.refreshes").increment();
   account_refresh_imputation(tenant, report);
+  record_convergence(tenant, report);
   tenant.cold_solves.increment(2.0);
   metrics_.counter("online.cold_solves").increment(2.0);
   tenant.refresh_seconds.observe(report.total_seconds);
@@ -174,13 +232,17 @@ void ConstantFinderService::bootstrap(Tenant& tenant) {
 
 void ConstantFinderService::maintain(Tenant& tenant, TriggerReason reason,
                                      double trigger_value) {
+  obs::Span maintain_span("svc.maintain");
   cloud::NetworkProvider& provider = *tenant.config.provider;
 
   // The online analogue of Algorithm 1's "re-calibrate": slide the
   // window by one fresh all-link calibration — stale rows phase out of
   // the window instead of being thrown away wholesale, so maintenance
   // costs one snapshot, not time_step of them.
-  const IngestReport ingest = tenant.ingestor.ingest_calibrated();
+  const IngestReport ingest = [&] {
+    obs::Span ingest_span("svc.ingest");
+    return tenant.ingestor.ingest_calibrated();
+  }();
   tenant.snapshots.increment();
   metrics_.counter("online.snapshots_ingested").increment();
   metrics_.histogram("online.calibration_seconds")
@@ -190,7 +252,7 @@ void ConstantFinderService::maintain(Tenant& tenant, TriggerReason reason,
                   EventKind::SnapshotIngested,
                   trigger_reason_name(reason), ingest.elapsed_seconds});
 
-  const RefreshReport report = tenant.refresher.refresh(tenant.window);
+  RefreshReport report = tenant.refresher.refresh(tenant.window);
   tenant.component = report.component;
   const bool level_changed = tenant.scheduler.record_refresh(
       provider.now(), report.component.error_norm);
@@ -198,6 +260,7 @@ void ConstantFinderService::maintain(Tenant& tenant, TriggerReason reason,
   tenant.refreshes.increment();
   metrics_.counter("online.refreshes").increment();
   account_refresh_imputation(tenant, report);
+  record_convergence(tenant, report);
   for (const LayerRefresh* layer : {&report.latency, &report.bandwidth}) {
     if (layer->warm_used) {
       tenant.warm_solves.increment();
@@ -216,6 +279,9 @@ void ConstantFinderService::maintain(Tenant& tenant, TriggerReason reason,
                     EventKind::ColdSolveFallback,
                     "warm solve diverged; solved cold",
                     report.component.error_norm});
+    // A rejected warm solve is an anomaly worth a post-mortem: freeze
+    // the flight recorder's view of the refresh that led here.
+    obs::FlightRecorder::instance().maybe_auto_dump("cold_fallback");
   }
   tenant.refresh_seconds.observe(report.total_seconds);
   metrics_.histogram("online.refresh_seconds").observe(report.total_seconds);
@@ -232,7 +298,10 @@ void ConstantFinderService::maintain(Tenant& tenant, TriggerReason reason,
                    ? "online.recalibrations.forced"
                    : "online.recalibrations.interval")
       .increment();
-  if (reason == TriggerReason::ForcedDegraded) tenant.forced.increment();
+  if (reason == TriggerReason::ForcedDegraded) {
+    tenant.forced.increment();
+    obs::FlightRecorder::instance().maybe_auto_dump("forced_recalibration");
+  }
   events_.record({provider.now(), tenant.config.name,
                   EventKind::Recalibration, trigger_reason_name(reason),
                   trigger_value});
@@ -246,6 +315,7 @@ void ConstantFinderService::maintain(Tenant& tenant, TriggerReason reason,
 }
 
 void ConstantFinderService::step(Tenant& tenant) {
+  obs::Span step_span("svc.step");
   cloud::NetworkProvider& provider = *tenant.config.provider;
   provider.advance(tenant.config.operation_gap);
 
@@ -469,6 +539,27 @@ const core::ConstantComponent& ConstantFinderService::component(
     std::size_t tenant_index) const {
   NETCONST_CHECK(tenant_index < tenants_.size(), "tenant out of range");
   return tenants_[tenant_index]->component;
+}
+
+const obs::ConvergenceLog& ConstantFinderService::convergence(
+    std::size_t tenant_index) const {
+  NETCONST_CHECK(tenant_index < tenants_.size(), "tenant out of range");
+  return tenants_[tenant_index]->convergence;
+}
+
+void ConstantFinderService::write_prometheus(std::ostream& out) const {
+  obs::write_prometheus(out, metrics_.samples());
+}
+
+void ConstantFinderService::write_json_snapshot(std::ostream& out) const {
+  obs::TelemetrySnapshot snapshot;
+  snapshot.metrics = metrics_.samples();
+  snapshot.convergence.reserve(tenants_.size());
+  for (const auto& tenant : tenants_) {
+    snapshot.convergence.emplace_back(tenant->config.name,
+                                      &tenant->convergence);
+  }
+  obs::write_json_snapshot(out, snapshot);
 }
 
 void ConstantFinderService::print_report(std::ostream& out) const {

@@ -34,6 +34,7 @@
 
 #include "cloud/provider.hpp"
 #include "core/constant_finder.hpp"
+#include "obs/convergence.hpp"
 #include "online/events.hpp"
 #include "online/ingest.hpp"
 #include "online/metrics.hpp"
@@ -86,6 +87,11 @@ struct ServiceOptions {
   std::size_t batch_slice = 16;
   /// Event-log retention; 0 = unbounded.
   std::size_t event_capacity = 0;
+  /// Per-tenant solver convergence telemetry: each refresh's per-layer
+  /// iteration trace is kept in a bounded ring of this many records
+  /// (read back via convergence()). 0 disables collection entirely —
+  /// the solver then runs without a probe attached.
+  std::size_t convergence_capacity = 64;
 };
 
 /// Post-run view of one tenant (read via status() after run() returns).
@@ -148,6 +154,18 @@ class ConstantFinderService {
   const MetricsRegistry& metrics() const { return metrics_; }
   const EventLog& events() const { return events_; }
 
+  /// The tenant's solver convergence ring (empty when
+  /// ServiceOptions::convergence_capacity == 0). Thread-safe.
+  const obs::ConvergenceLog& convergence(std::size_t tenant) const;
+
+  /// Prometheus text exposition (version 0.0.4) of every metric in the
+  /// registry, per-tenant series rendered as tenant="..." labels.
+  void write_prometheus(std::ostream& out) const;
+
+  /// One JSON document with the metrics, every tenant's convergence
+  /// ring, and the flight-recorder status (see obs/export.hpp).
+  void write_json_snapshot(std::ostream& out) const;
+
   /// Human-readable per-tenant table + metrics dump.
   void print_report(std::ostream& out) const;
 
@@ -161,6 +179,9 @@ class ConstantFinderService {
   /// (delta since the last sync — fill() can ingest many snapshots).
   void sync_ingest_totals(Tenant& tenant);
   void account_refresh_imputation(Tenant& tenant, const RefreshReport& report);
+  /// Move the refresh's per-layer iteration traces into the tenant's
+  /// convergence ring and observe the iteration-count histograms.
+  void record_convergence(Tenant& tenant, RefreshReport& report);
 
   ServiceOptions options_;
   std::unique_ptr<ThreadPool> owned_pool_;  // null when sharing global()

@@ -6,6 +6,8 @@
 #include "linalg/fused.hpp"
 #include "linalg/norms.hpp"
 #include "linalg/shrinkage.hpp"
+#include "obs/convergence.hpp"
+#include "obs/trace.hpp"
 #include "rpca/workspace.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
@@ -72,6 +74,7 @@ void solve_apg(const linalg::Matrix& a, const Options& options,
 
   result.warm_started = warm;
   for (int k = 0; k < options.max_iterations; ++k) {
+    obs::Span iteration_span("rpca.apg.iteration");
     const double momentum = (t_prev - 1.0) / t;
     // Extrapolated points Y_D, Y_E, the shared residual Y_D + Y_E - A of
     // the smooth term, both proximal gradient steps, and the sparse
@@ -97,6 +100,25 @@ void solve_apg(const linalg::Matrix& a, const Options& options,
     double change = 0.0, scale = 0.0;
     linalg::iterate_change_norms(ws.d, ws.d_prev, ws.e, ws.e_prev, change,
                                  scale);
+    iteration_span.set_value(static_cast<double>(k + 1));
+    if (options.probe != nullptr) {
+      // Read-only diagnostics of the live iterates; ws.residual is
+      // scratch here (it is recomputed from the final iterates after
+      // the loop), so probing never perturbs the solve.
+      obs::IterationStats stats;
+      stats.iteration = k + 1;
+      linalg::sub_sub(a, ws.d, ws.e, ws.residual);
+      stats.residual = linalg::frobenius_norm(ws.residual) / a_norm;
+      const double misfit = stats.residual * a_norm;
+      const double e_l1 = linalg::l1_norm(ws.e);
+      stats.objective = misfit * misfit / (2.0 * mu) + lambda * e_l1;
+      stats.rank = result.rank;
+      stats.sparsity = static_cast<double>(linalg::l0_count(ws.e, 0.0)) /
+                       static_cast<double>(m * n);
+      stats.mu = mu;
+      stats.step = std::sqrt(change) / std::max(std::sqrt(scale), 1.0);
+      options.probe->on_iteration(stats);
+    }
     if (std::sqrt(change) <=
         options.tolerance * std::max(std::sqrt(scale), 1.0)) {
       result.converged = true;

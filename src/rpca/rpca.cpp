@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/norms.hpp"
+#include "obs/trace.hpp"
 #include "rpca/apg.hpp"
 #include "rpca/ialm.hpp"
 #include "rpca/rank1.hpp"
@@ -41,9 +42,28 @@ Result solve(const linalg::Matrix& a, Solver solver,
   return result;
 }
 
+namespace {
+
+const char* solve_span_name(Solver solver) {
+  switch (solver) {
+    case Solver::Apg:
+      return "rpca.solve.apg";
+    case Solver::Ialm:
+      return "rpca.solve.ialm";
+    case Solver::RankOne:
+      return "rpca.solve.rank1";
+    case Solver::StablePcp:
+      return "rpca.solve.stable_pcp";
+  }
+  return "rpca.solve";
+}
+
+}  // namespace
+
 void solve(const linalg::Matrix& a, Solver solver, const Options& options,
            SolverWorkspace& workspace, Result& result) {
   NETCONST_CHECK(!a.empty(), "RPCA of an empty matrix");
+  obs::Span solve_span(solve_span_name(solver));
   // Resolve the default lambda without copying Options (a copy would
   // duplicate any warm-start factors, defeating the workspace).
   const double lambda = options.lambda > 0.0
@@ -73,11 +93,14 @@ void solve(const linalg::Matrix& a, Solver solver, const Options& options,
   }
   result.solver_residual = result.residual;
   if (options.polish_iterations > 0) {
+    obs::Span polish_span("rpca.polish");
     const Stopwatch polish_clock;
     polish_rank1(a, result, lambda, options.polish_iterations,
                  options.polish_tolerance, workspace);
     result.solve_seconds += polish_clock.seconds();
+    polish_span.set_value(result.polish_iterations);
   }
+  solve_span.set_value(result.iterations);
 }
 
 double relative_l0(const linalg::Matrix& e, const linalg::Matrix& a,

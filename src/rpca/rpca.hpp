@@ -23,6 +23,10 @@
 #include "linalg/matrix.hpp"
 #include "linalg/svd.hpp"
 
+namespace netconst::obs {
+class SolverProbe;  // per-iteration convergence observer (obs/convergence.hpp)
+}
+
 namespace netconst::rpca {
 
 enum class Solver { Apg, Ialm, RankOne, StablePcp };
@@ -74,6 +78,13 @@ struct Options {
   int polish_iterations = 0;
   /// Relative iterate-change tolerance of the polish alternation.
   double polish_tolerance = 1e-10;
+  /// Optional convergence observer, called once per solver iteration
+  /// with read-only diagnostics of the live iterates (currently honored
+  /// by Apg, the online path's solver). Null — the default — costs the
+  /// solver one branch per iteration and computes nothing extra.
+  /// Observation never alters an iterate: outputs are byte-identical
+  /// with and without a probe.
+  obs::SolverProbe* probe = nullptr;
 };
 
 struct Result {

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "obs/trace.hpp"
+
 namespace netconst {
 
 // Memory-ordering notes for the region scheduler
@@ -43,9 +45,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(Task task) {
+  // Stamp outside the lock; 0 (tracing off) suppresses the span at
+  // dequeue even if tracing turns on while the task is queued.
+  const std::int64_t enqueue_ns =
+      obs::trace_enabled() ? obs::FlightRecorder::now_ns() : 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back({std::move(task), enqueue_ns});
   }
   cv_.notify_one();
 }
@@ -58,6 +64,9 @@ bool ThreadPool::drain_region(RegionSlot& slot) {
   const std::size_t chunk = slot.chunk;
   const auto* body = slot.body;
   bool did_work = false;
+  const std::int64_t drain_start_ns =
+      obs::trace_enabled() ? obs::FlightRecorder::now_ns() : 0;
+  std::size_t chunks_run = 0;
   for (;;) {
     // The pre-check keeps exhausted regions from inflating `next`
     // forever; the fetch_add may still overshoot once per visitor, which
@@ -68,6 +77,7 @@ bool ThreadPool::drain_region(RegionSlot& slot) {
     if (lo >= end) break;
     const std::size_t hi = lo + chunk < end ? lo + chunk : end;
     did_work = true;
+    ++chunks_run;
     std::exception_ptr error;
     try {
       (*body)(lo, hi);
@@ -84,6 +94,13 @@ bool ThreadPool::drain_region(RegionSlot& slot) {
       std::lock_guard<std::mutex> lock(slot.mutex);
       slot.done_cv.notify_all();
     }
+  }
+  if (did_work && drain_start_ns != 0) {
+    // One span per participation in a region: the busy intervals of
+    // each worker, i.e. its utilization as seen in the trace viewer.
+    obs::FlightRecorder::instance().record_interval(
+        "pool.region_drain", drain_start_ns, obs::FlightRecorder::now_ns(),
+        static_cast<double>(chunks_run));
   }
   return did_work;
 }
@@ -121,6 +138,8 @@ void ThreadPool::run_chunked(
     FunctionRef<void(std::size_t, std::size_t)> body) {
   if (begin >= end) return;
   if (chunk == 0) chunk = 1;
+  obs::Span region_span("pool.region");
+  region_span.set_value(static_cast<double>(end - begin));
 
   // Acquire a free slot; when all kMaxRegions are busy, degrade to
   // inline execution (still allocation-free, still correct).
@@ -184,7 +203,7 @@ void ThreadPool::worker_loop() {
     // Fork/join regions first: they are synchronous and latency-bound,
     // while queued tasks are fire-and-forget.
     if (work_on_regions()) continue;
-    Task task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] {
@@ -205,7 +224,13 @@ void ThreadPool::worker_loop() {
         continue;
       }
     }
-    task();
+    if (task.enqueue_ns != 0 && obs::trace_enabled()) {
+      obs::FlightRecorder::instance().record_interval(
+          "pool.queue_delay", task.enqueue_ns,
+          obs::FlightRecorder::now_ns());
+    }
+    obs::Span task_span("pool.task");
+    task.task();
   }
 }
 

@@ -28,6 +28,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <mutex>
@@ -212,9 +213,18 @@ class ThreadPool {
   /// Active-region count; lets idle workers skip the slot scan entirely.
   std::atomic<std::size_t> active_regions_{0};
 
+  /// A queued task plus its enqueue timestamp (obs clock ns; 0 when
+  /// tracing was off at submit time). The stamp feeds the
+  /// "pool.queue_delay" flight-recorder span — time a task sat in the
+  /// queue before a worker picked it up.
+  struct QueuedTask {
+    Task task;
+    std::int64_t enqueue_ns = 0;
+  };
+
   std::mutex mutex_;  // guards queue_, stopping_, and worker sleep/wake
   std::condition_variable cv_;
-  std::deque<Task> queue_;
+  std::deque<QueuedTask> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };
