@@ -64,4 +64,12 @@ Mapping optimal_mapping(const TaskGraph& tasks,
   return best;
 }
 
+RefineResult plan_mapping(const TaskGraph& tasks,
+                          const netmodel::PerformanceMatrix& performance,
+                          const MappingCost& cost, std::size_t max_rounds) {
+  const Mapping seed = greedy_mapping(
+      tasks, MachineGraph::from_performance(performance));
+  return refine_mapping(seed, tasks, performance, cost, max_rounds);
+}
+
 }  // namespace netconst::mapping

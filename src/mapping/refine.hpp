@@ -39,4 +39,14 @@ Mapping optimal_mapping(const TaskGraph& tasks,
                         const netmodel::PerformanceMatrix& performance,
                         const MappingCost& cost = mapping_volume_cost);
 
+/// The full planning pipeline as one pure entry point: greedy seed over
+/// the bandwidth view of `performance`, then 2-swap refinement under
+/// `cost`. Deterministic in its inputs (no RNG, no global state) — the
+/// serving front end memoizes exactly this call per (snapshot version,
+/// request shape), so any planner change funnels through here.
+RefineResult plan_mapping(const TaskGraph& tasks,
+                          const netmodel::PerformanceMatrix& performance,
+                          const MappingCost& cost = mapping_volume_cost,
+                          std::size_t max_rounds = 100);
+
 }  // namespace netconst::mapping

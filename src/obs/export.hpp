@@ -48,6 +48,12 @@ struct MetricSample {
 /// Escape a string for embedding in a JSON string literal.
 std::string json_escape(const std::string& text);
 
+/// The Content-Type an HTTP endpoint must send with write_prometheus()
+/// output — the text exposition format's standard media type. Scrapers
+/// key the parser off the version parameter, so serve it verbatim.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4";
+
 /// Prometheus text exposition (version 0.0.4). Counters and gauges
 /// export as single samples; histograms export as summaries
 /// (quantile="0.5"/"0.99" series plus _sum and _count). Series sharing

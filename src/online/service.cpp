@@ -195,6 +195,13 @@ void ConstantFinderService::record_convergence(Tenant& tenant,
   }
 }
 
+void ConstantFinderService::publish_snapshot(Tenant& tenant) {
+  if (snapshot_sink_ == nullptr) return;
+  snapshot_sink_->publish(
+      tenant.config.name, tenant.component, tenant.config.provider->now(),
+      static_cast<std::uint64_t>(tenant.refreshes.value()));
+}
+
 void ConstantFinderService::bootstrap(Tenant& tenant) {
   obs::Span bootstrap_span("svc.bootstrap");
   cloud::NetworkProvider& provider = *tenant.config.provider;
@@ -214,6 +221,7 @@ void ConstantFinderService::bootstrap(Tenant& tenant) {
                                   report.component.error_norm);
   tenant.refreshes.increment();
   metrics_.counter("online.refreshes").increment();
+  publish_snapshot(tenant);
   account_refresh_imputation(tenant, report);
   record_convergence(tenant, report);
   tenant.cold_solves.increment(2.0);
@@ -259,6 +267,7 @@ void ConstantFinderService::maintain(Tenant& tenant, TriggerReason reason,
 
   tenant.refreshes.increment();
   metrics_.counter("online.refreshes").increment();
+  publish_snapshot(tenant);
   account_refresh_imputation(tenant, report);
   record_convergence(tenant, report);
   for (const LayerRefresh* layer : {&report.latency, &report.bandwidth}) {

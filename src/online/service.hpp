@@ -94,6 +94,24 @@ struct ServiceOptions {
   std::size_t convergence_capacity = 64;
 };
 
+/// Downstream consumer of refreshed constants (the serving front end's
+/// snapshot store — see src/serving/snapshot_store.hpp). The service
+/// offers every accepted decomposition to the sink right after the
+/// tenant's component is updated: once per bootstrap and once per
+/// maintenance cycle, from the driver thread that owns the tenant.
+/// Implementations must be safe to call concurrently for DIFFERENT
+/// tenants; calls for one tenant are serialized by the ownership rule.
+class SnapshotSink {
+ public:
+  virtual ~SnapshotSink() = default;
+  /// `refresh` is the tenant's refresh ordinal (1 = bootstrap solve),
+  /// strictly increasing per tenant across all trigger reasons,
+  /// forced recalibrations included.
+  virtual void publish(const std::string& tenant,
+                       const core::ConstantComponent& component,
+                       double provider_now, std::uint64_t refresh) = 0;
+};
+
 /// Post-run view of one tenant (read via status() after run() returns).
 struct TenantStatus {
   std::string name;
@@ -134,6 +152,12 @@ class ConstantFinderService {
 
   /// Register a tenant (before run()). Returns its index.
   std::size_t add_tenant(const TenantConfig& config);
+
+  /// Attach (or detach, with nullptr) the snapshot sink. Non-owning;
+  /// must outlive the service or be detached first. Set before run() —
+  /// the sink also receives the bootstrap publication.
+  void set_snapshot_sink(SnapshotSink* sink) { snapshot_sink_ = sink; }
+  SnapshotSink* snapshot_sink() const { return snapshot_sink_; }
 
   std::size_t tenant_count() const { return tenants_.size(); }
 
@@ -183,7 +207,11 @@ class ConstantFinderService {
   /// convergence ring and observe the iteration-count histograms.
   void record_convergence(Tenant& tenant, RefreshReport& report);
 
+  /// Offer the tenant's freshly accepted component to the sink.
+  void publish_snapshot(Tenant& tenant);
+
   ServiceOptions options_;
+  SnapshotSink* snapshot_sink_ = nullptr;
   std::unique_ptr<ThreadPool> owned_pool_;  // null when sharing global()
   ThreadPool* pool_;
   MetricsRegistry metrics_;

@@ -1,0 +1,95 @@
+#include "serving/epoch.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace netconst::serving {
+
+EpochDomain::~EpochDomain() {
+  // Destruction requires quiescence by contract (no Reader outlives the
+  // domain), so everything in limbo is safe to free.
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  for (const Retired& entry : limbo_) entry.deleter(entry.object);
+  reclaimed_total_.fetch_add(limbo_.size(), std::memory_order_relaxed);
+  limbo_.clear();
+}
+
+EpochDomain::Reader::Reader(EpochDomain& domain) : domain_(&domain) {
+  slot_ = kMaxReaders;
+  for (std::size_t k = 0; k < kMaxReaders; ++k) {
+    bool expected = false;
+    if (domain.slots_[k].used.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      slot_ = k;
+      break;
+    }
+  }
+  // Registration is per thread, not per query; running out of slots is
+  // a deployment error, not a load condition.
+  NETCONST_CHECK(slot_ < kMaxReaders,
+                 "EpochDomain reader limit (kMaxReaders) exceeded");
+}
+
+EpochDomain::Reader::~Reader() {
+  domain_->slots_[slot_].epoch.store(0, std::memory_order_release);
+  domain_->slots_[slot_].used.store(false, std::memory_order_release);
+}
+
+void EpochDomain::retire_raw(void* object, void (*deleter)(void*)) {
+  if (object == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    limbo_.push_back({object, deleter,
+                      epoch_.load(std::memory_order_seq_cst)});
+  }
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  // Advance the epoch so future readers announce a value above the
+  // stamp — the signal that they can no longer reach the object.
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+}
+
+std::uint64_t EpochDomain::min_active_epoch() const {
+  std::uint64_t min_epoch = std::numeric_limits<std::uint64_t>::max();
+  for (const Slot& slot : slots_) {
+    const std::uint64_t announced =
+        slot.epoch.load(std::memory_order_seq_cst);
+    if (announced != 0) min_epoch = std::min(min_epoch, announced);
+  }
+  return min_epoch;
+}
+
+std::size_t EpochDomain::reclaim() {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (limbo_.empty()) return 0;
+  const std::uint64_t safe_below = min_active_epoch();
+  std::size_t freed = 0;
+  auto keep = limbo_.begin();
+  for (auto it = limbo_.begin(); it != limbo_.end(); ++it) {
+    if (it->epoch < safe_below) {
+      it->deleter(it->object);
+      ++freed;
+    } else {
+      *keep++ = *it;
+    }
+  }
+  limbo_.erase(keep, limbo_.end());
+  reclaimed_total_.fetch_add(freed, std::memory_order_relaxed);
+  return freed;
+}
+
+std::size_t EpochDomain::pending() const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return limbo_.size();
+}
+
+std::size_t EpochDomain::reader_count() const {
+  std::size_t count = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.used.load(std::memory_order_acquire)) ++count;
+  }
+  return count;
+}
+
+}  // namespace netconst::serving

@@ -1,0 +1,150 @@
+// Epoch-based reclamation for the serving read path (RCU-style).
+//
+// The serving front end publishes immutable objects (constant snapshots,
+// cached plans) that query threads dereference without locks. Writers
+// replace a published pointer and hand the old object to an EpochDomain,
+// which frees it only after every reader that could still hold it has
+// finished — the classic read-copy-update contract, implemented with
+// per-reader epoch announcement slots:
+//
+//  * a reader thread registers once (Reader claims a cache-line-sized
+//    announcement slot) and brackets each query in a ReadGuard. Entering
+//    a guard is wait-free: one seq_cst load of the domain epoch and one
+//    seq_cst store into the slot — no loops, no CAS, no waiting on
+//    writers or other readers;
+//  * a writer retires an object after unlinking it from every shared
+//    location. retire() stamps the object with the current epoch and
+//    advances the epoch; reclaim() frees every retired object whose
+//    stamp is below the minimum epoch announced by any active reader.
+//
+// Why this is safe (the only subtle point): a reader that obtained a
+// retired pointer must have loaded it before the writer unlinked it, so
+// its announcement — which precedes its pointer load in its own program
+// order — is visible to any reclaim() scan that runs after the unlink,
+// and the announced epoch is <= the retire stamp. reclaim() therefore
+// keeps the object. A reader that announces an epoch above the stamp
+// provably loads the replacement pointer instead (all the operations
+// involved are seq_cst, so they are totally ordered).
+//
+// Writers serialize on one mutex (publish/retire/reclaim are off the
+// query path); readers never take it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace netconst::serving {
+
+class EpochDomain {
+ public:
+  /// Maximum simultaneously registered reader threads.
+  static constexpr std::size_t kMaxReaders = 64;
+
+  EpochDomain() = default;
+  /// Frees everything still retired. No Reader may outlive the domain.
+  ~EpochDomain();
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  class ReadGuard;
+
+  /// A registered reader thread: claims one announcement slot for its
+  /// lifetime. Cheap enough to create per thread, not per query —
+  /// create one Reader per querying thread and reuse it.
+  class Reader {
+   public:
+    /// Throws ContractViolation when kMaxReaders threads are already
+    /// registered.
+    explicit Reader(EpochDomain& domain);
+    ~Reader();
+
+    Reader(const Reader&) = delete;
+    Reader& operator=(const Reader&) = delete;
+
+    EpochDomain& domain() const { return *domain_; }
+
+   private:
+    friend class ReadGuard;
+    EpochDomain* domain_;
+    std::size_t slot_;
+  };
+
+  /// RAII critical-section bracket. While alive, any pointer acquired
+  /// from an epoch-protected location stays valid. Entering and leaving
+  /// are wait-free (one atomic store each, plus one load on entry).
+  class ReadGuard {
+   public:
+    explicit ReadGuard(Reader& reader)
+        : epoch_slot_(&reader.domain_->slots_[reader.slot_].epoch) {
+      epoch_slot_->store(
+          reader.domain_->epoch_.load(std::memory_order_seq_cst),
+          std::memory_order_seq_cst);
+    }
+    ~ReadGuard() { epoch_slot_->store(0, std::memory_order_release); }
+
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+   private:
+    std::atomic<std::uint64_t>* epoch_slot_;
+  };
+
+  /// Hand an unlinked object to the domain; it is deleted (via the
+  /// typed deleter) once every reader epoch at or below the current
+  /// epoch has drained. Null pointers are ignored.
+  template <typename T>
+  void retire(const T* object) {
+    retire_raw(const_cast<T*>(object),
+               [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  /// Free every retired object no active reader can still reference.
+  /// Returns the number of objects freed. Writers call this
+  /// opportunistically (every publish) — it scans kMaxReaders slots.
+  std::size_t reclaim();
+
+  /// Objects retired and not yet freed.
+  std::size_t pending() const;
+  /// Lifetime totals (telemetry).
+  std::uint64_t retired_total() const {
+    return retired_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t reclaimed_total() const {
+    return reclaimed_total_.load(std::memory_order_relaxed);
+  }
+  /// Currently registered readers.
+  std::size_t reader_count() const;
+  /// Current epoch (monotone; telemetry and tests).
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{0};  // 0 = quiescent
+    std::atomic<bool> used{false};
+  };
+
+  struct Retired {
+    void* object;
+    void (*deleter)(void*);
+    std::uint64_t epoch;  // stamp at retire time
+  };
+
+  void retire_raw(void* object, void (*deleter)(void*));
+  /// Minimum epoch announced by any active reader (max-u64 if none).
+  std::uint64_t min_active_epoch() const;
+
+  std::atomic<std::uint64_t> epoch_{1};
+  Slot slots_[kMaxReaders];
+  mutable std::mutex writer_mutex_;
+  std::vector<Retired> limbo_;
+  std::atomic<std::uint64_t> retired_total_{0};
+  std::atomic<std::uint64_t> reclaimed_total_{0};
+};
+
+}  // namespace netconst::serving

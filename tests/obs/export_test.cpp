@@ -47,6 +47,27 @@ TEST(ObsNaming, PrometheusSeriesMapping) {
   EXPECT_EQ(tenant.labels, "tenant=\"bursty0\"");
 }
 
+TEST(ObsNaming, PrometheusLabelValuesAreEscaped) {
+  // Exposition format: label values must escape backslash, double
+  // quote, and line feed — a tenant named with any of them must not be
+  // able to break the series line apart.
+  const PrometheusSeries slash =
+      prometheus_series("tenant.a\\b.refreshes");
+  EXPECT_EQ(slash.labels, "tenant=\"a\\\\b\"");
+  const PrometheusSeries quote =
+      prometheus_series("tenant.a\"b.refreshes");
+  EXPECT_EQ(quote.labels, "tenant=\"a\\\"b\"");
+  const PrometheusSeries newline =
+      prometheus_series("tenant.a\nb.refreshes");
+  EXPECT_EQ(newline.labels, "tenant=\"a\\nb\"");
+}
+
+TEST(ObsExport, PrometheusContentTypeConstant) {
+  // Scrapers key the parser off the version parameter; HTTP endpoints
+  // must serve write_prometheus() output under exactly this type.
+  EXPECT_STREQ(kPrometheusContentType, "text/plain; version=0.0.4");
+}
+
 TEST(ObsExport, JsonEscape) {
   EXPECT_EQ(json_escape("plain"), "plain");
   EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
@@ -101,6 +122,22 @@ TEST(ObsExport, PrometheusGolden) {
       "netconst_tenant_refresh_seconds_sum{tenant=\"b\"} 10\n"
       "netconst_tenant_refresh_seconds_count{tenant=\"b\"} 4\n";
   EXPECT_EQ(out.str(), expected);
+}
+
+TEST(ObsExport, PrometheusGoldenEscapesHostileLabels) {
+  std::vector<MetricSample> samples;
+  MetricSample gauge;
+  gauge.name = "tenant.bad\\ten\"ant\nname.error_norm";
+  gauge.type = MetricType::Gauge;
+  gauge.value = 1.0;
+  samples.push_back(gauge);
+  std::ostringstream out;
+  write_prometheus(out, samples);
+  EXPECT_EQ(
+      out.str(),
+      "# TYPE netconst_tenant_error_norm gauge\n"
+      "netconst_tenant_error_norm{tenant=\"bad\\\\ten\\\"ant\\nname\"} "
+      "1\n");
 }
 
 TEST(ObsExport, JsonSnapshotRoundTrips) {

@@ -1,0 +1,202 @@
+// PlanCache + plan canonicalization: permuted requests share one key
+// and one byte-identical plan, cache hits serve exactly what a direct
+// planner invocation produces, and version bumps invalidate precisely.
+#include "serving/plan_cache.hpp"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serving/plan.hpp"
+#include "support/error.hpp"
+
+namespace netconst::serving {
+namespace {
+
+/// Asymmetric deterministic component: link quality varies by pair so
+/// FNF ordering and mapping refinement have real structure to find.
+ConstantSnapshot test_snapshot(std::size_t size, std::uint64_t version) {
+  ConstantSnapshot snapshot;
+  snapshot.tenant = "t";
+  snapshot.version = version;
+  snapshot.refresh = version;
+  snapshot.published_at = static_cast<double>(version);
+  snapshot.component.constant = netmodel::PerformanceMatrix(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    for (std::size_t j = 0; j < size; ++j) {
+      if (i == j) continue;
+      const double alpha =
+          1e-4 * (1.0 + 0.1 * static_cast<double>((i * 7 + j * 3) % 11));
+      const double beta =
+          1e8 / (1.0 + 0.2 * static_cast<double>((i + 2 * j) % 7) +
+                 0.01 * static_cast<double>(version));
+      snapshot.component.constant.set_link(i, j, {alpha, beta});
+    }
+  }
+  return snapshot;
+}
+
+TEST(PlanCache, CanonicalizationSortsAndDedups) {
+  const PlanRequest request = canonical_plan_request(
+      PlanKind::BroadcastTree, {5, 1, 3, 1, 5, 0}, 3, 1024);
+  EXPECT_EQ(request.nodes, (std::vector<std::size_t>{0, 1, 3, 5}));
+  EXPECT_EQ(request.root, 3u);
+  EXPECT_EQ(request.bytes, 1024u);
+
+  EXPECT_THROW(canonical_plan_request(PlanKind::BroadcastTree, {1}, 1, 1),
+               ContractViolation);  // < 2 nodes
+  EXPECT_THROW(canonical_plan_request(PlanKind::BroadcastTree, {1, 2}, 3, 1),
+               ContractViolation);  // root not in set
+  EXPECT_THROW(canonical_plan_request(PlanKind::BroadcastTree, {1, 2}, 1, 0),
+               ContractViolation);  // zero bytes
+}
+
+TEST(PlanCache, PermutedNodeOrdersReturnByteIdenticalPlans) {
+  const ConstantSnapshot snapshot = test_snapshot(8, 1);
+  EpochDomain epoch;
+  PlanCache cache(epoch, 64);
+  EpochDomain::Reader reader(epoch);
+
+  std::vector<std::size_t> nodes{2, 7, 0, 4, 5};
+  std::mt19937_64 rng(42);
+  for (const PlanKind kind :
+       {PlanKind::BroadcastTree, PlanKind::TopologyMapping}) {
+    std::string first_json;
+    for (int permutation = 0; permutation < 8; ++permutation) {
+      std::shuffle(nodes.begin(), nodes.end(), rng);
+      const PlanRequest request = canonical_plan_request(
+          kind, nodes, kind == PlanKind::BroadcastTree ? 4 : 0,
+          1 << 20);
+      EpochDomain::ReadGuard guard(reader);
+      const Plan* plan = cache.lookup_or_compute(0, snapshot, request);
+      ASSERT_NE(plan, nullptr);
+      if (first_json.empty()) {
+        first_json = plan->json;
+        EXPECT_FALSE(first_json.empty());
+      } else {
+        // Byte-identical: permuted spellings share one cache entry.
+        EXPECT_EQ(plan->json, first_json);
+      }
+    }
+  }
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);  // one compute per kind
+  EXPECT_EQ(stats.hits, 14u);   // everything else served from cache
+}
+
+TEST(PlanCache, CachedPlanMatchesDirectPlannerInvocation) {
+  const ConstantSnapshot snapshot = test_snapshot(8, 3);
+  EpochDomain epoch;
+  PlanCache cache(epoch, 64);
+  EpochDomain::Reader reader(epoch);
+
+  for (const PlanKind kind :
+       {PlanKind::BroadcastTree, PlanKind::TopologyMapping}) {
+    const PlanRequest request = canonical_plan_request(
+        kind, {0, 1, 2, 3, 6, 7}, 2, 8 * 1024 * 1024);
+    const Plan direct = compute_plan(snapshot, request);
+
+    EpochDomain::ReadGuard guard(reader);
+    // Twice: once to fill (miss), once to hit.
+    cache.lookup_or_compute(0, snapshot, request);
+    const Plan* cached = cache.lookup_or_compute(0, snapshot, request);
+    ASSERT_NE(cached, nullptr);
+    EXPECT_EQ(cached->json, direct.json);
+    EXPECT_EQ(cached->edges, direct.edges);
+    EXPECT_EQ(cached->assignment, direct.assignment);
+    EXPECT_DOUBLE_EQ(cached->predicted_seconds, direct.predicted_seconds);
+    EXPECT_EQ(cached->version, snapshot.version);
+  }
+}
+
+TEST(PlanCache, BroadcastPlanShape) {
+  const ConstantSnapshot snapshot = test_snapshot(6, 1);
+  const PlanRequest request = canonical_plan_request(
+      PlanKind::BroadcastTree, {1, 2, 4, 5}, 2, 1 << 16);
+  const Plan plan = compute_plan(snapshot, request);
+  // A broadcast tree over k nodes has k-1 edges, all endpoints from the
+  // request's node set, the root transmitting first.
+  ASSERT_EQ(plan.edges.size(), 3u);
+  EXPECT_EQ(plan.edges.front().parent, 2u);
+  for (const Plan::TreeEdge& edge : plan.edges) {
+    EXPECT_TRUE(std::binary_search(request.nodes.begin(),
+                                   request.nodes.end(), edge.parent));
+    EXPECT_TRUE(std::binary_search(request.nodes.begin(),
+                                   request.nodes.end(), edge.child));
+    EXPECT_NE(edge.parent, edge.child);
+  }
+  EXPECT_GT(plan.predicted_seconds, 0.0);
+  EXPECT_NE(plan.json.find("\"kind\":\"broadcast_tree\""),
+            std::string::npos);
+}
+
+TEST(PlanCache, MappingPlanShape) {
+  const ConstantSnapshot snapshot = test_snapshot(6, 1);
+  const PlanRequest request = canonical_plan_request(
+      PlanKind::TopologyMapping, {0, 2, 3, 5}, 0, 1 << 16);
+  const Plan plan = compute_plan(snapshot, request);
+  // A full permutation: every requested node hosts exactly one task.
+  ASSERT_EQ(plan.assignment.size(), 4u);
+  std::vector<std::size_t> hosts = plan.assignment;
+  std::sort(hosts.begin(), hosts.end());
+  EXPECT_EQ(hosts, request.nodes);
+  EXPECT_GT(plan.predicted_seconds, 0.0);
+  EXPECT_NE(plan.json.find("\"kind\":\"topology_mapping\""),
+            std::string::npos);
+}
+
+TEST(PlanCache, VersionBumpInvalidatesExactlyOlderEntries) {
+  const ConstantSnapshot v1 = test_snapshot(8, 1);
+  const ConstantSnapshot v2 = test_snapshot(8, 2);
+  EpochDomain epoch;
+  PlanCache cache(epoch, 64);
+  EpochDomain::Reader reader(epoch);
+  const PlanRequest request = canonical_plan_request(
+      PlanKind::BroadcastTree, {0, 1, 2, 3}, 0, 4096);
+
+  {
+    EpochDomain::ReadGuard guard(reader);
+    const Plan* old_plan = cache.lookup_or_compute(0, v1, request);
+    EXPECT_EQ(old_plan->version, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+    // Version in the key: a v1 probe hits, a v2 probe misses.
+    EXPECT_NE(cache.find(0, 1, request), nullptr);
+    EXPECT_EQ(cache.find(0, 2, request), nullptr);
+  }
+
+  // The publish hook's path: drop entries below the new version.
+  EXPECT_EQ(cache.invalidate_below(0, 2), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  {
+    EpochDomain::ReadGuard guard(reader);
+    EXPECT_EQ(cache.find(0, 1, request), nullptr);
+    const Plan* new_plan = cache.lookup_or_compute(0, v2, request);
+    EXPECT_EQ(new_plan->version, 2u);
+  }
+  // Different snapshot -> different plan bytes (beta depends on version).
+  EXPECT_EQ(cache.stats().invalidated, 1u);
+  epoch.reclaim();
+  EXPECT_EQ(epoch.pending(), 0u);
+}
+
+TEST(PlanCache, TenantsAreIsolated) {
+  const ConstantSnapshot snapshot = test_snapshot(6, 1);
+  EpochDomain epoch;
+  PlanCache cache(epoch, 64);
+  EpochDomain::Reader reader(epoch);
+  const PlanRequest request = canonical_plan_request(
+      PlanKind::BroadcastTree, {0, 1, 2}, 0, 4096);
+  EpochDomain::ReadGuard guard(reader);
+  cache.lookup_or_compute(0, snapshot, request);
+  cache.lookup_or_compute(1, snapshot, request);
+  EXPECT_EQ(cache.size(), 2u);
+  // Invalidating tenant 0 leaves tenant 1's entry alone.
+  EXPECT_EQ(cache.invalidate_below(0, 99), 1u);
+  EXPECT_EQ(cache.find(1, 1, request) != nullptr, true);
+  EXPECT_EQ(cache.find(0, 1, request), nullptr);
+}
+
+}  // namespace
+}  // namespace netconst::serving
