@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <thread>
 
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
@@ -195,9 +196,25 @@ void ConstantFinderService::record_convergence(Tenant& tenant,
   }
 }
 
+void ConstantFinderService::set_snapshot_sink(SnapshotSink* sink) {
+  snapshot_sink_.store(sink, std::memory_order_seq_cst);
+  // A driver that loaded the old sink raised publishes_in_flight_
+  // before its load (seq_cst on both sides), so once the counter reads
+  // zero here no publish can still be running — or start — on it.
+  while (publishes_in_flight_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
+
 void ConstantFinderService::publish_snapshot(Tenant& tenant) {
-  if (snapshot_sink_ == nullptr) return;
-  snapshot_sink_->publish(
+  publishes_in_flight_.fetch_add(1, std::memory_order_seq_cst);
+  struct Leave {
+    std::atomic<std::size_t>* counter;
+    ~Leave() { counter->fetch_sub(1, std::memory_order_release); }
+  } leave{&publishes_in_flight_};
+  SnapshotSink* sink = snapshot_sink_.load(std::memory_order_seq_cst);
+  if (sink == nullptr) return;
+  sink->publish(
       tenant.config.name, tenant.component, tenant.config.provider->now(),
       static_cast<std::uint64_t>(tenant.refreshes.value()));
 }

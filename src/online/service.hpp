@@ -25,6 +25,7 @@
 //   fresh calibration and warm-refresh the decomposition.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
@@ -155,9 +156,15 @@ class ConstantFinderService {
 
   /// Attach (or detach, with nullptr) the snapshot sink. Non-owning;
   /// must outlive the service or be detached first. Set before run() —
-  /// the sink also receives the bootstrap publication.
-  void set_snapshot_sink(SnapshotSink* sink) { snapshot_sink_ = sink; }
-  SnapshotSink* snapshot_sink() const { return snapshot_sink_; }
+  /// the sink also receives the bootstrap publication. Safe to call
+  /// while run() is executing on another thread: the swap is atomic and
+  /// the call blocks until every publish already in flight on the old
+  /// sink has returned, so the previous sink may be destroyed as soon
+  /// as this returns.
+  void set_snapshot_sink(SnapshotSink* sink);
+  SnapshotSink* snapshot_sink() const {
+    return snapshot_sink_.load(std::memory_order_acquire);
+  }
 
   std::size_t tenant_count() const { return tenants_.size(); }
 
@@ -211,7 +218,10 @@ class ConstantFinderService {
   void publish_snapshot(Tenant& tenant);
 
   ServiceOptions options_;
-  SnapshotSink* snapshot_sink_ = nullptr;
+  std::atomic<SnapshotSink*> snapshot_sink_{nullptr};
+  /// Publishes currently executing on the sink; set_snapshot_sink waits
+  /// for this to drain so a detached sink can be destroyed safely.
+  std::atomic<std::size_t> publishes_in_flight_{0};
   std::unique_ptr<ThreadPool> owned_pool_;  // null when sharing global()
   ThreadPool* pool_;
   MetricsRegistry metrics_;

@@ -161,6 +161,7 @@ void HttpServer::start() {
 }
 
 void HttpServer::stop() {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
   if (!running()) return;
   stopping_.store(true, std::memory_order_release);
   const char wake = 'x';
@@ -224,6 +225,10 @@ bool HttpServer::service_input(Connection& connection) {
             "HTTP/1.1 413 Content Too Large\r\nContent-Length: 0\r\n"
             "Connection: close\r\n\r\n";
         connection.close_after_write = true;
+        // Drop the oversized head: the connection only drains its
+        // output from here on (the event loop stops reading once
+        // close_after_write is set), so the bytes are dead weight.
+        connection.input.clear();
       }
       return true;
     }
@@ -350,13 +355,23 @@ void HttpServer::event_loop() {
     }
     if (poll_fds[0].revents != 0) accept_connections();
 
+    // poll_fds only covers connections that existed when poll() was
+    // called; accept_connections() may have appended new ones since, so
+    // bound the walk by the polled entries, not connections_.size().
+    // New connections are picked up by the next poll cycle.
     std::size_t index = 2;
-    for (std::size_t k = 0; k < connections_.size(); ++index, ++k) {
+    for (std::size_t k = 0;
+         index < poll_fds.size() && k < connections_.size();
+         ++index, ++k) {
       Connection& connection = *connections_[k];
       const short revents = poll_fds[index].revents;
       bool alive = (revents & (POLLERR | POLLNVAL)) == 0;
 
-      if (alive && (revents & (POLLIN | POLLHUP)) != 0) {
+      // A connection marked close_after_write is drain-only: reading
+      // more input could queue further responses (e.g. a second 413 for
+      // the same oversized head) that the peer must never see.
+      if (alive && !connection.close_after_write &&
+          (revents & (POLLIN | POLLHUP)) != 0) {
         char buffer[4096];
         for (;;) {
           const ssize_t received =

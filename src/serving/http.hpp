@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -85,7 +86,9 @@ class HttpServer {
   /// Bind, listen, and run the event loop on a background thread.
   /// Throws netconst::Error when the socket cannot be set up.
   void start();
-  /// Idempotent; also called by the destructor.
+  /// Idempotent and safe to call from multiple threads (one caller
+  /// performs the join/cleanup, the rest wait); also called by the
+  /// destructor.
   void stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -108,6 +111,9 @@ class HttpServer {
 
   Options options_;
   std::map<std::string, HttpHandler> routes_;
+  /// Serializes stop() callers: without it, two threads passing the
+  /// running() check would both join the thread and close the fds.
+  std::mutex stop_mutex_;
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};

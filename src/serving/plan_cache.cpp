@@ -18,7 +18,8 @@ std::size_t round_up_pow2(std::size_t value) {
 PlanCache::PlanCache(EpochDomain& epoch, std::size_t capacity)
     : epoch_(&epoch),
       mask_(round_up_pow2(capacity) - 1),
-      table_(mask_ + 1) {}
+      table_(mask_ + 1),
+      invalidate_reader_(epoch) {}
 
 PlanCache::~PlanCache() {
   for (std::atomic<const Entry*>& slot : table_) {
@@ -112,6 +113,18 @@ const Plan* PlanCache::lookup_or_compute(std::size_t tenant_index,
 
 std::size_t PlanCache::invalidate_below(std::size_t tenant_index,
                                         std::uint64_t version) {
+  // The scan dereferences entries it has not unlinked yet, so it must
+  // run under an epoch read guard: without one, a query thread can
+  // stale-replace and retire the entry we just loaded, and a concurrent
+  // publish for another tenant can reclaim() it — a use-after-free on
+  // the key compare, and (if the freed address is reused by a new
+  // insert in the same slot) an ABA double-retire on the CAS. The guard
+  // pins every entry loaded below until the scan finishes. Publishing
+  // threads hold no Reader of their own, so the cache keeps one slot
+  // for this purpose; the mutex serializes concurrent invalidators
+  // (different-tenant publishes) onto it.
+  std::lock_guard<std::mutex> lock(invalidate_mutex_);
+  EpochDomain::ReadGuard guard(invalidate_reader_);
   std::size_t dropped = 0;
   for (std::atomic<const Entry*>& slot : table_) {
     const Entry* entry = slot.load(std::memory_order_seq_cst);

@@ -28,6 +28,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "serving/epoch.hpp"
@@ -64,7 +65,11 @@ class PlanCache {
                    const PlanRequest& request) const;
 
   /// Unlink every entry of `tenant_index` with version < `version` and
-  /// retire it. Called from the snapshot store's publish hook.
+  /// retire it. Called from the snapshot store's publish hook; unlike
+  /// the query paths it needs no caller-held guard — the scan pins the
+  /// cache's own reader slot (concurrent callers serialize on it),
+  /// so entries a racing stale-replacement retires cannot be reclaimed
+  /// and re-inserted (ABA) mid-traversal.
   std::size_t invalidate_below(std::size_t tenant_index,
                                std::uint64_t version);
 
@@ -96,6 +101,10 @@ class PlanCache {
   EpochDomain* epoch_;
   std::size_t mask_;  // capacity - 1 (power of two)
   std::vector<std::atomic<const Entry*>> table_;
+  /// Reader slot pinned across invalidate_below scans; one slot, so
+  /// concurrent invalidators serialize on the mutex (publish path only).
+  std::mutex invalidate_mutex_;
+  EpochDomain::Reader invalidate_reader_;
 
   mutable std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};

@@ -89,6 +89,10 @@ ConstantServer::ConstantServer(online::ConstantFinderService& service,
 
 ConstantServer::~ConstantServer() {
   http_.stop();
+  // Detach before the store/cache members are torn down. The detach is
+  // an atomic swap that blocks until every publish already in flight
+  // has returned, so service drivers running concurrently can never
+  // touch the store (or its publish hook) mid-destruction.
   if (service_->snapshot_sink() == &store_) {
     service_->set_snapshot_sink(nullptr);
   }

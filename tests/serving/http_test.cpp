@@ -9,9 +9,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -156,6 +160,124 @@ TEST(HttpServer, MalformedRequestGets400) {
   EXPECT_EQ(raw.rfind("HTTP/1.1 400", 0), 0u) << raw;
 }
 
+// Regression: the event loop's connection walk must be bounded by the
+// pollfd set built before accept_connections() ran — new connections
+// accepted mid-cycle have no pollfd entry yet, and walking
+// connections_.size() entries read past the end of poll_fds (ASan
+// heap-buffer-overflow). Concurrent clients connecting while others
+// are mid-request open that window on most cycles.
+TEST(HttpServer, AcceptsDuringActiveTrafficSafely) {
+  HttpServer server;
+  server.route("/ping", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "pong"};
+  });
+  server.start();
+
+  constexpr std::size_t kClients = 4;
+  constexpr int kRequestsPerClient = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const ClientResponse response =
+            http_request(server.port(), "GET", "/ping");
+        if (response.status != 200 || response.body != "pong") {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server.stats().requests_served,
+            static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+  server.stop();
+}
+
+// Regression: stop() must be safe against concurrent callers — the old
+// code let two threads pass the running() check and both join the event
+// thread and close the same fds.
+TEST(HttpServer, ConcurrentStopCallsAreSafe) {
+  HttpServer server;
+  server.route("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  server.start();
+  ASSERT_TRUE(server.running());
+  std::thread first([&] { server.stop(); });
+  std::thread second([&] { server.stop(); });
+  first.join();
+  second.join();
+  EXPECT_FALSE(server.running());
+  server.stop();  // still idempotent afterwards
+}
+
+// Regression: an oversized request head must produce exactly one 413.
+// The old code re-entered the size check on every later POLLIN while
+// the response queue was still draining, appending a fresh 413 each
+// time. Provoke that window with backpressure — a keep-alive response
+// far larger than the client's receive buffer keeps the output queue
+// non-empty — then feed oversized garbage in several chunks.
+TEST(HttpServer, OversizedHeadGetsAtMostOne413) {
+  HttpServer::Options options;
+  options.max_request_bytes = 1024;
+  HttpServer server(options);
+  server.route("/big", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body.assign(512 * 1024, 'x');
+    return response;
+  });
+  server.start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int rcvbuf = 4096;  // keep the server's output queue backed up
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                      sizeof(address)),
+            0);
+
+  const std::string big_request =
+      "GET /big HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(::send(fd, big_request.data(), big_request.size(), 0),
+            static_cast<ssize_t>(big_request.size()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Never-terminated oversized head, delivered across several poll
+  // cycles while the /big response is still queued.
+  const std::string chunk(2048, 'a');
+  for (int k = 0; k < 3; ++k) {
+    // The server may already have reset the connection; sends after
+    // that are allowed to fail.
+    (void)::send(fd, chunk.data(), chunk.size(), MSG_NOSIGNAL);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  std::string raw;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (got <= 0) break;
+    raw.append(buffer, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+
+  std::size_t responses_413 = 0;
+  for (std::size_t at = raw.find("HTTP/1.1 413");
+       at != std::string::npos; at = raw.find("HTTP/1.1 413", at + 1)) {
+    ++responses_413;
+  }
+  // The /big response comes first; the oversized head earns one 413 at
+  // most (the tail can be cut short by the connection reset, never
+  // duplicated).
+  EXPECT_EQ(raw.rfind("HTTP/1.1 200", 0), 0u);
+  EXPECT_LE(responses_413, 1u);
+  server.stop();
+}
+
 class ServingEndToEnd : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -279,6 +401,18 @@ TEST_F(ServingEndToEnd, PlanQueriesMatchInProcessPath) {
                          "/plan?tenant=edge&nodes=0,1&root=9")
                 .status,
             400);
+}
+
+// Regression: destroying the server while service drivers are still
+// publishing must not race — the sink detach is an atomic swap that
+// waits out in-flight publishes, so no driver can touch the store (or
+// its plan-cache publish hook) mid-destruction. TSan pins this.
+TEST_F(ServingEndToEnd, DestroyServerWhileServiceRefreshes) {
+  std::thread driver([&] { service_.run(64); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server_.reset();
+  driver.join();
+  EXPECT_EQ(service_.snapshot_sink(), nullptr);
 }
 
 TEST_F(ServingEndToEnd, ServesWhileRefreshing) {

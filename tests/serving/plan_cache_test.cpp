@@ -4,7 +4,11 @@
 #include "serving/plan_cache.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <random>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -177,6 +181,91 @@ TEST(PlanCache, VersionBumpInvalidatesExactlyOlderEntries) {
   }
   // Different snapshot -> different plan bytes (beta depends on version).
   EXPECT_EQ(cache.stats().invalidated, 1u);
+  epoch.reclaim();
+  EXPECT_EQ(epoch.pending(), 0u);
+}
+
+// Regression: invalidate_below scans (and dereferences) live table
+// entries from the publishing thread. Without its internal read guard,
+// a query thread can stale-replace + retire the entry mid-scan and a
+// concurrent publish for the *other* tenant can reclaim() it — a
+// use-after-free on the key compare and a potential ABA double-retire.
+// Two per-tenant publishers bump versions and invalidate while query
+// threads keep inserting plans for whatever version they last saw
+// (including just-superseded ones, which forces stale replacements).
+// ASan/TSan make the unguarded variant fail loudly.
+TEST(PlanCache, InvalidateRacesQueriesAndCrossTenantReclaims) {
+  EpochDomain epoch;
+  // Small table: probe windows collide, so stale in-place replacement
+  // and probe-window-exhausted paths all fire.
+  PlanCache cache(epoch, 64);
+  constexpr std::size_t kTenants = 2;
+  constexpr std::uint64_t kVersions = 160;
+  constexpr std::size_t kQueryThreads = 4;
+
+  std::array<std::vector<ConstantSnapshot>, kTenants> snapshots;
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    for (std::uint64_t v = 1; v <= kVersions; ++v) {
+      snapshots[t].push_back(test_snapshot(6, v));
+    }
+  }
+  std::array<std::atomic<std::uint64_t>, kTenants> current{};
+  for (auto& version : current) version.store(1);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> queriers;
+  for (std::size_t q = 0; q < kQueryThreads; ++q) {
+    queriers.emplace_back([&, q] {
+      EpochDomain::Reader reader(epoch);
+      std::mt19937_64 rng(1000 * q + 7);
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::size_t t = rng() % kTenants;
+        // The version a real querier pinned may lag the publisher's
+        // bump — exactly the window where invalidation races inserts.
+        const std::uint64_t v =
+            current[t].load(std::memory_order_acquire);
+        std::vector<std::size_t> nodes{rng() % 6, 0, 0};
+        nodes[1] = (nodes[0] + 1 + rng() % 5) % 6;
+        nodes[2] = (nodes[0] + 1 + rng() % 5) % 6;
+        const PlanRequest request = canonical_plan_request(
+            PlanKind::BroadcastTree, nodes, nodes.front(),
+            1024 * (1 + rng() % 4));
+        EpochDomain::ReadGuard guard(reader);
+        const Plan* plan = cache.lookup_or_compute(
+            t, snapshots[t][static_cast<std::size_t>(v - 1)], request);
+        if (plan == nullptr || plan->version != v ||
+            plan->request.nodes != request.nodes) {
+          failed.store(true, std::memory_order_release);
+          return;
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> publishers;
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    publishers.emplace_back([&, t] {
+      for (std::uint64_t v = 2; v <= kVersions; ++v) {
+        current[t].store(v, std::memory_order_release);
+        cache.invalidate_below(t, v);
+        // The cross-tenant hazard: this reclaim can free entries the
+        // other tenant's invalidation scan is still dereferencing.
+        epoch.reclaim();
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  for (std::thread& publisher : publishers) publisher.join();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& querier : queriers) querier.join();
+  EXPECT_FALSE(failed.load());
+
+  // Only entries at each tenant's final version may remain.
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    EXPECT_EQ(cache.invalidate_below(t, kVersions), 0u);
+  }
   epoch.reclaim();
   EXPECT_EQ(epoch.pending(), 0u);
 }
