@@ -27,6 +27,7 @@
 
 #include <malloc.h>  // malloc_usable_size (glibc)
 
+#include "rpca/incremental.hpp"
 #include "rpca/reference.hpp"
 #include "rpca/rpca.hpp"
 #include "rpca/validation.hpp"
@@ -322,6 +323,138 @@ SuiteRow warm_suite(std::size_t cluster, int steps) {
   return row;
 }
 
+/// Incremental suite: a sliding-window trajectory at scale. The
+/// `reference` section is the pre-PR hot path (warm workspace full
+/// solve per slide); the `workspace` section is the subspace tracker's
+/// row update on the identical trajectory. This is the grid behind the
+/// N-scaling claim: the tracker's per-slide cost is O(sweeps * N^2)
+/// against the full solve's O(iterations * rows * N^2), so N=512
+/// refreshes fit inside the old N=64 budget.
+SuiteRow incremental_suite(std::size_t cluster, int slides) {
+  SuiteRow row;
+  row.suite = "incremental";
+  row.solver = "Tracker";
+  row.cluster = cluster;
+
+  rpca::Options options;
+  options.polish_iterations = 300;  // the online refresher default
+
+  const auto problem = tp_problem(cluster, 201 + cluster);
+  row.rows = problem.data.rows();
+  row.cols = problem.data.cols();
+
+  // Full-solve side: the warm workspace trajectory (what every slide
+  // cost before the tracker existed).
+  {
+    linalg::Matrix data = problem.data;
+    Rng rng(11);
+    rpca::Options opts = options;
+    rpca::SolverWorkspace ws;
+    rpca::Result result;
+    rpca::solve(data, rpca::Solver::Apg, opts, ws, result);
+    std::vector<double> times;
+    for (int s = 0; s < slides; ++s) {
+      slide_row(data, static_cast<std::size_t>(s), rng);
+      opts.warm_start.low_rank = result.low_rank;
+      opts.warm_start.sparse = result.sparse;
+      opts.warm_start.mu = result.final_mu;
+      opts.warm_start.mu_floor = result.mu_floor;
+      timed_rep(row.reference, times, [&] {
+        rpca::solve(data, rpca::Solver::Apg, opts, ws, result);
+        return result.iterations;
+      });
+    }
+    finish_section(row.reference, times);
+  }
+
+  // Tracker side: identical trajectory (same slide Rng), served by the
+  // row update. Anchoring is the one-off full solve the online path
+  // pays at bootstrap; the steady state is the timed update.
+  {
+    linalg::Matrix data = problem.data;
+    Rng rng(11);
+    rpca::SolverWorkspace ws;
+    rpca::Result result;
+    rpca::solve(data, rpca::Solver::Apg, options, ws, result);
+    rpca::IncrementalTracker tracker;
+    tracker.anchor(data, result, 1e-3);
+    std::vector<double> times;
+    for (int s = 0; s < slides; ++s) {
+      const std::size_t slot = static_cast<std::size_t>(s) % data.rows();
+      slide_row(data, static_cast<std::size_t>(s), rng);
+      timed_rep(row.workspace, times, [&] {
+        tracker.update(data, slot);
+        return static_cast<int>(tracker.options().update_sweeps);
+      });
+    }
+    finish_section(row.workspace, times);
+  }
+
+  row.speedup = row.workspace.median_ms > 0.0
+                    ? row.reference.median_ms / row.workspace.median_ms
+                    : 0.0;
+  return row;
+}
+
+/// Randomized-SVT suite at a Gram-ineligible shape (96 snapshot rows:
+/// small side > 64, so the exact path pays the allocating Jacobi SVD
+/// every iteration while the sketch stays in workspace scratch). Warm
+/// sliding trajectory — the long-window refresh this policy exists
+/// for; warm iterates are near the low-rank solution, so every SVT
+/// step's sketch is verified and accepted. The `reference` section is
+/// the exact warm solve, the `workspace` section the sketched one —
+/// the alloc gate below binds the sketched side, which must hold zero
+/// (sketch, QR and subspace scratch all pre-sized in the workspace)
+/// even though the exact side cannot at this shape.
+SuiteRow randomized_suite(int slides) {
+  SuiteRow row;
+  row.suite = "randomized";
+  row.solver = "APG";
+  row.cluster = 32;
+
+  rpca::SyntheticSpec spec;
+  spec.rows = 96;
+  spec.cols = 32 * 32;
+  spec.rank = 1;
+  spec.sparsity = 0.05;
+  Rng rng(317);
+  const auto problem = rpca::make_synthetic(spec, rng);
+  row.rows = problem.data.rows();
+  row.cols = problem.data.cols();
+
+  rpca::Options base;
+  base.polish_iterations = 300;  // the online refresher default
+
+  for (const bool randomized : {false, true}) {
+    rpca::Options opts = base;
+    opts.randomized.enabled = randomized;
+    SectionStats& stats = randomized ? row.workspace : row.reference;
+
+    linalg::Matrix data = problem.data;
+    Rng slide_rng(11);
+    rpca::SolverWorkspace ws;
+    rpca::Result result;
+    rpca::solve(data, rpca::Solver::Apg, opts, ws, result);  // anchor
+    std::vector<double> times;
+    for (int s = 0; s < slides; ++s) {
+      slide_row(data, static_cast<std::size_t>(s), slide_rng);
+      opts.warm_start.low_rank = result.low_rank;
+      opts.warm_start.sparse = result.sparse;
+      opts.warm_start.mu = result.final_mu;
+      opts.warm_start.mu_floor = result.mu_floor;
+      timed_rep(stats, times, [&] {
+        rpca::solve(data, rpca::Solver::Apg, opts, ws, result);
+        return result.iterations;
+      });
+    }
+    finish_section(stats, times);
+  }
+  row.speedup = row.workspace.median_ms > 0.0
+                    ? row.reference.median_ms / row.workspace.median_ms
+                    : 0.0;
+  return row;
+}
+
 void emit_section(std::ostream& out, const char* name,
                   const SectionStats& s) {
   out << "      \"" << name << "\": {\n"
@@ -377,6 +510,27 @@ int main(int argc, char** argv) {
               << "x, steady-state allocs " << r.workspace.allocs << "\n";
   }
 
+  // The N-scaling grid: tracker row update vs warm full solve.
+  const std::vector<std::size_t> grid = {64, 128, 256, 512};
+  const int slides = smoke ? 4 : 8;
+  for (std::size_t cluster : grid) {
+    rows.push_back(incremental_suite(cluster, slides));
+    const SuiteRow& r = rows.back();
+    std::cout << "incremental N=" << cluster << ": full "
+              << r.reference.median_ms << " ms, update "
+              << r.workspace.median_ms << " ms, speedup " << r.speedup
+              << "x, steady-state allocs " << r.workspace.allocs << "\n";
+  }
+
+  rows.push_back(randomized_suite(slides));
+  {
+    const SuiteRow& r = rows.back();
+    std::cout << "randomized APG rows=" << r.rows << ": exact "
+              << r.reference.median_ms << " ms, sketch "
+              << r.workspace.median_ms << " ms, speedup " << r.speedup
+              << "x, steady-state allocs " << r.workspace.allocs << "\n";
+  }
+
   // The regression gate: a warm workspace solve must not touch the heap.
   int violations = 0;
   for (const SuiteRow& r : rows) {
@@ -386,6 +540,28 @@ int main(int argc, char** argv) {
                 << " N=" << r.cluster << " performed "
                 << r.workspace.allocs << " steady-state allocations\n";
     }
+  }
+
+  // Scaling gates: the tracker must beat the full solve where both are
+  // cheap (N=128), and its N=512 refresh must fit inside the budget the
+  // pre-PR hot path spent at N=64 (warm full solve, same trajectory).
+  double warm64_full = 0.0, inc128_speedup = 0.0, inc512_ms = -1.0;
+  for (const SuiteRow& r : rows) {
+    if (r.suite != "incremental") continue;
+    if (r.cluster == 64) warm64_full = r.reference.median_ms;
+    if (r.cluster == 128) inc128_speedup = r.speedup;
+    if (r.cluster == 512) inc512_ms = r.workspace.median_ms;
+  }
+  if (inc128_speedup < 1.0) {
+    ++violations;
+    std::cerr << "SCALING VIOLATION: incremental N=128 speedup "
+              << inc128_speedup << " < 1.0\n";
+  }
+  if (inc512_ms > warm64_full) {
+    ++violations;
+    std::cerr << "SCALING VIOLATION: incremental N=512 update "
+              << inc512_ms << " ms exceeds the N=64 full-solve budget of "
+              << warm64_full << " ms\n";
   }
 
   std::ostringstream json;

@@ -6,12 +6,10 @@
 #include "support/error.hpp"
 
 namespace netconst::linalg {
-namespace {
 
-// In-place Householder factorization: on return, the upper triangle of
-// `work` holds R and the essential parts of the reflectors sit below the
-// diagonal with scaling factors in `tau`.
-void householder_factor(Matrix& work, std::vector<double>& tau) {
+void qr_factor_inplace(Matrix& work, std::vector<double>& tau) {
+  NETCONST_CHECK(work.rows() >= work.cols(),
+                 "Householder factorization requires rows >= cols");
   const std::size_t m = work.rows();
   const std::size_t n = work.cols();
   tau.assign(n, 0.0);
@@ -41,6 +39,34 @@ void householder_factor(Matrix& work, std::vector<double>& tau) {
   }
 }
 
+void qr_thin_q_into(const Matrix& work, const std::vector<double>& tau,
+                    Matrix& q) {
+  const std::size_t m = work.rows();
+  const std::size_t n = work.cols();
+  NETCONST_CHECK(tau.size() == n, "tau does not match the factorization");
+  // Apply the reflectors to the first n identity columns in reverse
+  // order.
+  q.resize(m, n);
+  q.fill(0.0);
+  for (std::size_t j = 0; j < n; ++j) q(j, j) = 1.0;
+  for (std::size_t k = n; k-- > 0;) {
+    if (tau[k] == 0.0) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = q(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) {
+        s += work(i, k) * q(i, j);
+      }
+      s *= tau[k];
+      q(k, j) -= s;
+      for (std::size_t i = k + 1; i < m; ++i) {
+        q(i, j) -= s * work(i, k);
+      }
+    }
+  }
+}
+
+namespace {
+
 // Apply Q^T (product of reflectors in `work`/`tau`) to a vector in place.
 void apply_qt(const Matrix& work, const std::vector<double>& tau,
               std::vector<double>& b) {
@@ -60,35 +86,17 @@ void apply_qt(const Matrix& work, const std::vector<double>& tau,
 
 QrResult qr_decompose(const Matrix& a) {
   NETCONST_CHECK(a.rows() >= a.cols(), "thin QR requires rows >= cols");
-  const std::size_t m = a.rows();
   const std::size_t n = a.cols();
   Matrix work = a;
   std::vector<double> tau;
-  householder_factor(work, tau);
+  qr_factor_inplace(work, tau);
 
   QrResult result;
   result.r = Matrix(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i; j < n; ++j) result.r(i, j) = work(i, j);
   }
-  // Form thin Q by applying the reflectors to the first n identity columns
-  // in reverse order.
-  result.q = Matrix(m, n);
-  for (std::size_t j = 0; j < n; ++j) result.q(j, j) = 1.0;
-  for (std::size_t k = n; k-- > 0;) {
-    if (tau[k] == 0.0) continue;
-    for (std::size_t j = 0; j < n; ++j) {
-      double s = result.q(k, j);
-      for (std::size_t i = k + 1; i < m; ++i) {
-        s += work(i, k) * result.q(i, j);
-      }
-      s *= tau[k];
-      result.q(k, j) -= s;
-      for (std::size_t i = k + 1; i < m; ++i) {
-        result.q(i, j) -= s * work(i, k);
-      }
-    }
-  }
+  qr_thin_q_into(work, tau, result.q);
   return result;
 }
 
@@ -112,7 +120,7 @@ std::vector<double> least_squares(const Matrix& a, std::vector<double> b) {
   NETCONST_CHECK(a.rows() >= a.cols(), "least_squares needs rows >= cols");
   Matrix work = a;
   std::vector<double> tau;
-  householder_factor(work, tau);
+  qr_factor_inplace(work, tau);
   apply_qt(work, tau, b);
   Matrix r(a.cols(), a.cols());
   for (std::size_t i = 0; i < a.cols(); ++i) {

@@ -9,11 +9,7 @@
 #include "support/parallel_for.hpp"
 
 namespace netconst::linalg {
-namespace {
 
-/// Mirror of svd()'s Auto resolution; the scratch fast path must engage
-/// exactly when svd() would take the Gram route without a transpose, so
-/// both paths compute identical decompositions.
 bool gram_fast_path_applies(const Matrix& a, const SvdOptions& options) {
   if (a.empty()) return false;  // let the general path report the error
   SvdMethod method = options.method;
@@ -25,6 +21,8 @@ bool gram_fast_path_applies(const Matrix& a, const SvdOptions& options) {
   }
   return method == SvdMethod::Gram && a.rows() <= a.cols();
 }
+
+namespace {
 
 // Auto method resolution never takes the Gram route above this many
 // rows; a larger row count only appears when the caller forces

@@ -70,7 +70,18 @@ std::string escape_label_value(const std::string& value) {
 PrometheusSeries prometheus_series(const std::string& dotted_name) {
   constexpr const char* kTenantPrefix = "tenant.";
   constexpr std::size_t kTenantPrefixLen = 7;
+  constexpr const char* kSvdPathPrefix = "rpca.svd.path.";
+  constexpr std::size_t kSvdPathPrefixLen = 14;
   PrometheusSeries series;
+  if (dotted_name.compare(0, kSvdPathPrefixLen, kSvdPathPrefix) == 0 &&
+      dotted_name.size() > kSvdPathPrefixLen) {
+    // The decomposition-path counters fold into one labeled series so
+    // dashboards can stack full/randomized/incremental shares.
+    const std::string path = dotted_name.substr(kSvdPathPrefixLen);
+    series.name = "netconst_rpca_svd_path";
+    series.labels = "path=\"" + escape_label_value(path) + '"';
+    return series;
+  }
   if (dotted_name.compare(0, kTenantPrefixLen, kTenantPrefix) == 0) {
     const std::size_t dot = dotted_name.find('.', kTenantPrefixLen);
     if (dot != std::string::npos && dot + 1 < dotted_name.size()) {

@@ -25,6 +25,8 @@ void clear_seed(rpca::WarmStart& seed) {
 WindowRefresher::WindowRefresher(const RefresherOptions& options)
     : options_(options),
       probe_(options.convergence_trace_capacity),
+      latency_tracker_(options.incremental_options),
+      bandwidth_tracker_(options.incremental_options),
       solve_opts_(options.finder.rpca) {
   NETCONST_CHECK(options_.divergence_residual >= 0.0,
                  "divergence residual must be >= 0");
@@ -34,6 +36,7 @@ void WindowRefresher::solve_layer(const linalg::Matrix& data,
                                   rpca::WarmStart& seed, rpca::Result& result,
                                   LayerRefresh& info) {
   const Stopwatch clock;
+  const std::size_t accepts_before = workspace_.stats.randomized_accepts;
   if (linalg::frobenius_norm(data) == 0.0) {
     // A fully-unobserved window imputes to all zeros when no constant is
     // known yet (fresh bootstrap under total probe loss). The solvers
@@ -98,7 +101,89 @@ void WindowRefresher::solve_layer(const linalg::Matrix& data,
   if (options_.collect_convergence) info.trace = probe_.trace();
   info.iterations = result.iterations;
   info.residual = result.solver_residual;
+  info.randomized_steps =
+      workspace_.stats.randomized_accepts - accepts_before;
   info.solve_seconds = clock.seconds();
+}
+
+const linalg::Matrix& WindowRefresher::refresh_layer(
+    const linalg::Matrix& raw, bool slide_by_one, std::size_t slot,
+    rpca::WarmStart& seed, rpca::IncrementalTracker& tracker,
+    rpca::Result& result, linalg::Matrix& repaired, LayerRefresh& info) {
+  const bool trackable = options_.incremental && tracker.ready() &&
+                         tracker.sparse().same_shape(raw);
+  if (slide_by_one && trackable) {
+    if (rpca::count_missing(raw) == 0) {
+      const Stopwatch clock;
+      const rpca::DriftStats drift = tracker.update(raw, slot);
+      info.drift = drift.instant;
+      if (!drift.breach) {
+        // The frozen subspace still explains the replaced row: the
+        // tracked factors ARE this refresh's decomposition. Result
+        // buffers stay untouched; assembly reads the tracker.
+        info.incremental_used = true;
+        info.solve_seconds = clock.seconds();
+        return raw;
+      }
+      info.drift_fallback = true;
+    } else {
+      // The imputation front-end must not write through the tracker's
+      // cached row stats; holes route this refresh to the full path.
+      info.incremental_masked = true;
+    }
+  }
+  // Full path. A tracker that advanced past its anchor holds fresher
+  // factors than the last full solve — seed from it instead.
+  if (trackable && tracker.updates() > 0) tracker.seed_warm_start(seed);
+  const linalg::Matrix& data = repair_layer(raw, seed, repaired, info);
+  solve_layer(data, seed, result, info);
+  // The accepted factors seed the next refresh; copy-assignment reuses
+  // the seeds' existing capacity (zero allocations in steady state).
+  seed.low_rank = result.low_rank;
+  seed.sparse = result.sparse;
+  seed.mu = result.final_mu;
+  seed.mu_floor = result.mu_floor;
+  if (options_.incremental) {
+    tracker.anchor(data, result, options_.finder.l0_rel_tolerance);
+    info.anchored = tracker.ready();
+  }
+  return data;
+}
+
+core::ConstantComponent WindowRefresher::assemble_mixed(
+    const linalg::Matrix& lat_data, const linalg::Matrix& bw_data,
+    std::size_t cluster_size, const RefreshReport& report) {
+  core::ConstantComponent component;
+  component.solve_seconds =
+      report.latency.solve_seconds + report.bandwidth.solve_seconds;
+  // The tracker's Norm(N_E) counts at the cutoff frozen at its anchor
+  // (see IncrementalTracker::error_norm); a full-path layer counts at
+  // the current window's cutoff exactly like assemble_component.
+  if (report.latency.incremental_used) {
+    component.latency_rank = latency_tracker_.rank();
+    component.latency_error_norm = latency_tracker_.error_norm();
+    latency_tracker_.constant_row_into(constant_scratch_);
+  } else {
+    component.latency_rank = latency_result_.rank;
+    component.latency_error_norm = rpca::relative_l0(
+        latency_result_.sparse, lat_data, options_.finder.l0_rel_tolerance);
+    constant_scratch_ = core::constant_row(latency_result_.low_rank,
+                                           cluster_size);
+  }
+  if (report.bandwidth.incremental_used) {
+    component.bandwidth_rank = bandwidth_tracker_.rank();
+    component.error_norm = bandwidth_tracker_.error_norm();
+    bandwidth_tracker_.constant_row_into(bandwidth_constant_scratch_);
+  } else {
+    component.bandwidth_rank = bandwidth_result_.rank;
+    component.error_norm = rpca::relative_l0(
+        bandwidth_result_.sparse, bw_data, options_.finder.l0_rel_tolerance);
+    bandwidth_constant_scratch_ =
+        core::constant_row(bandwidth_result_.low_rank, cluster_size);
+  }
+  component.constant = netmodel::matrices_to_performance(
+      constant_scratch_, bandwidth_constant_scratch_);
+  return component;
 }
 
 const linalg::Matrix& WindowRefresher::repair_layer(
@@ -138,42 +223,46 @@ RefreshReport WindowRefresher::refresh(const SlidingWindow& window) {
   obs::Span refresh_span("online.refresh");
 
   RefreshReport report;
-  // Masked front-end: holes are repaired before the solver ever sees
-  // the data, so a degraded window costs one extra copy per dirty
-  // layer and nothing when fully observed.
-  const linalg::Matrix& lat_data =
-      repair_layer(window.latency_data(), latency_seed_, latency_repaired_,
-                   report.latency);
-  const linalg::Matrix& bw_data =
-      repair_layer(window.bandwidth_data(), bandwidth_seed_,
-                   bandwidth_repaired_, report.bandwidth);
+  // "Slid by exactly one snapshot" is the incremental hot path's
+  // precondition: one replaced ring slot, everything else untouched.
+  const bool slide_by_one = options_.incremental && window.full() &&
+                            window.pushes() == last_pushes_ + 1;
+  // The push that slid the window reused the evicted snapshot's ring
+  // slot, so the one changed row is the NEWEST snapshot's slot.
+  const std::size_t slot =
+      window.full() ? window.slot_of_age(window.size() - 1) : 0;
+  last_pushes_ = window.pushes();
 
+  // Each layer routes independently: row update, warm full solve, or
+  // masked repair + solve (see refresh_layer). The masked front-end
+  // runs inside the layer so a clean incremental refresh never copies.
+  const linalg::Matrix* lat_data = nullptr;
+  const linalg::Matrix* bw_data = nullptr;
   {
     obs::Span layer_span("online.refresh.latency");
-    solve_layer(lat_data, latency_seed_, latency_result_, report.latency);
+    lat_data = &refresh_layer(window.latency_data(), slide_by_one, slot,
+                              latency_seed_, latency_tracker_,
+                              latency_result_, latency_repaired_,
+                              report.latency);
     layer_span.set_value(report.latency.iterations);
   }
   {
     obs::Span layer_span("online.refresh.bandwidth");
-    solve_layer(bw_data, bandwidth_seed_, bandwidth_result_,
-                report.bandwidth);
+    bw_data = &refresh_layer(window.bandwidth_data(), slide_by_one, slot,
+                             bandwidth_seed_, bandwidth_tracker_,
+                             bandwidth_result_, bandwidth_repaired_,
+                             report.bandwidth);
     layer_span.set_value(report.bandwidth.iterations);
   }
 
-  report.component = core::assemble_component(
-      lat_data, latency_result_, bw_data, bandwidth_result_,
-      window.cluster_size(), options_.finder.l0_rel_tolerance);
-
-  // The accepted factors seed the next refresh; copy-assignment reuses
-  // the seeds' existing capacity (zero allocations in steady state).
-  latency_seed_.low_rank = latency_result_.low_rank;
-  latency_seed_.sparse = latency_result_.sparse;
-  latency_seed_.mu = latency_result_.final_mu;
-  latency_seed_.mu_floor = latency_result_.mu_floor;
-  bandwidth_seed_.low_rank = bandwidth_result_.low_rank;
-  bandwidth_seed_.sparse = bandwidth_result_.sparse;
-  bandwidth_seed_.mu = bandwidth_result_.final_mu;
-  bandwidth_seed_.mu_floor = bandwidth_result_.mu_floor;
+  if (report.latency.incremental_used || report.bandwidth.incremental_used) {
+    report.component = assemble_mixed(*lat_data, *bw_data,
+                                      window.cluster_size(), report);
+  } else {
+    report.component = core::assemble_component(
+        *lat_data, latency_result_, *bw_data, bandwidth_result_,
+        window.cluster_size(), options_.finder.l0_rel_tolerance);
+  }
 
   report.total_seconds = clock.seconds();
   return report;
@@ -182,6 +271,9 @@ RefreshReport WindowRefresher::refresh(const SlidingWindow& window) {
 void WindowRefresher::reset() {
   latency_seed_ = rpca::WarmStart{};
   bandwidth_seed_ = rpca::WarmStart{};
+  latency_tracker_.reset();
+  bandwidth_tracker_.reset();
+  last_pushes_ = 0;
 }
 
 }  // namespace netconst::online

@@ -17,9 +17,12 @@
 // paper's model (rank(N_D) = 1) enforced exactly.
 #pragma once
 
+#include <cstdint>
+
 #include "core/constant_finder.hpp"
 #include "obs/convergence.hpp"
 #include "online/window.hpp"
+#include "rpca/incremental.hpp"
 #include "rpca/rpca.hpp"
 #include "rpca/workspace.hpp"
 
@@ -50,6 +53,15 @@ struct RefresherOptions {
   /// convergence_trace_capacity samples.
   bool collect_convergence = false;
   std::size_t convergence_trace_capacity = 512;
+  /// Incremental subspace-tracking hot path (rpca/incremental.hpp):
+  /// when the window slid by exactly one snapshot since the last
+  /// refresh, serve the refresh by re-fitting only the replaced row
+  /// against the tracker's frozen constant direction — O(N^2) instead
+  /// of a full re-solve. A drift breach, a masked window, or any
+  /// non-single-slide refresh falls back to the full solver path
+  /// (warm-seeded from the tracked state) and re-anchors the tracker.
+  bool incremental = false;
+  rpca::IncrementalOptions incremental_options;
 };
 
 /// Per-layer diagnostics of one refresh.
@@ -70,6 +82,15 @@ struct LayerRefresh {
   /// Per-iteration trace of the ACCEPTED solve (a rejected warm attempt
   /// is not retained). Empty unless RefresherOptions::collect_convergence.
   std::vector<obs::IterationStats> trace;
+  // Incremental-path accounting (RefresherOptions::incremental).
+  bool incremental_used = false;   // the row update served this layer
+  bool drift_fallback = false;     // tracker breached; redone as a warm solve
+  bool incremental_masked = false; // eligible slide had holes; full path
+  bool anchored = false;           // this refresh re-anchored the tracker
+  double drift = 0.0;              // instant drift statistic of the update
+  /// Accepted randomized-SVT steps inside this layer's solve (0 when
+  /// the exact path or the row update served it).
+  std::size_t randomized_steps = 0;
 };
 
 struct RefreshReport {
@@ -84,6 +105,12 @@ struct RefreshReport {
   }
   bool fully_warm() const {
     return latency.warm_used && bandwidth.warm_used;
+  }
+  bool fully_incremental() const {
+    return latency.incremental_used && bandwidth.incremental_used;
+  }
+  bool any_drift_fallback() const {
+    return latency.drift_fallback || bandwidth.drift_fallback;
   }
   /// Window entries (both layers) that had to be imputed this refresh.
   std::size_t missing_entries() const {
@@ -114,9 +141,35 @@ class WindowRefresher {
     return workspace_.stats;
   }
 
+  /// The per-layer subspace trackers (inspection; empty/not-ready until
+  /// the first full solve anchors them under options().incremental).
+  const rpca::IncrementalTracker& latency_tracker() const {
+    return latency_tracker_;
+  }
+  const rpca::IncrementalTracker& bandwidth_tracker() const {
+    return bandwidth_tracker_;
+  }
+
  private:
+  /// One layer end to end: the incremental row update when the window
+  /// slid by one and the tracker holds, otherwise repair + full solve +
+  /// re-anchor. Returns the matrix the accepted path consumed.
+  const linalg::Matrix& refresh_layer(const linalg::Matrix& raw,
+                                      bool slide_by_one, std::size_t slot,
+                                      rpca::WarmStart& seed,
+                                      rpca::IncrementalTracker& tracker,
+                                      rpca::Result& result,
+                                      linalg::Matrix& repaired,
+                                      LayerRefresh& info);
   void solve_layer(const linalg::Matrix& data, rpca::WarmStart& seed,
                    rpca::Result& result, LayerRefresh& info);
+  /// Component assembly when at least one layer came from its tracker
+  /// (rank/Norm(N_E)/constant read from tracked state instead of a
+  /// Result).
+  core::ConstantComponent assemble_mixed(const linalg::Matrix& lat_data,
+                                         const linalg::Matrix& bw_data,
+                                         std::size_t cluster_size,
+                                         const RefreshReport& report);
   /// Masked front-end of one layer: when `data` has non-finite entries,
   /// copy it into `repaired`, impute the holes (preferring the rank-1
   /// constant derived from `seed`) and return the repaired matrix;
@@ -130,6 +183,11 @@ class WindowRefresher {
   RefresherOptions options_;
   rpca::WarmStart latency_seed_;
   rpca::WarmStart bandwidth_seed_;
+  // Incremental hot path: per-layer subspace trackers plus the push
+  // watermark that detects "slid by exactly one since last refresh".
+  rpca::IncrementalTracker latency_tracker_;
+  rpca::IncrementalTracker bandwidth_tracker_;
+  std::uint64_t last_pushes_ = 0;
   // Convergence probe, reused across solves (reset per attempt so the
   // retained trace always belongs to the accepted solve).
   obs::TraceProbe probe_;
@@ -146,6 +204,7 @@ class WindowRefresher {
   linalg::Matrix latency_repaired_;
   linalg::Matrix bandwidth_repaired_;
   linalg::Matrix constant_scratch_;  // 1 x N^2 rank-1 constant row
+  linalg::Matrix bandwidth_constant_scratch_;  // mixed-assembly twin
 };
 
 }  // namespace netconst::online

@@ -57,6 +57,9 @@ struct ConstantFinderService::Tenant {
         stale_rows(metrics.counter(prefix() + "stale_rows_reused")),
         forced(metrics.counter(prefix() + "forced_recalibrations")),
         imputed_entries(metrics.counter(prefix() + "imputed_entries")),
+        incremental_updates(
+            metrics.counter(prefix() + "incremental_updates")),
+        drift_fallbacks(metrics.counter(prefix() + "drift_fallbacks")),
         error_norm_gauge(metrics.gauge(prefix() + "error_norm")),
         refresh_seconds(metrics.histogram(prefix() + "refresh_seconds")),
         solver_iterations(
@@ -103,6 +106,8 @@ struct ConstantFinderService::Tenant {
   Counter& stale_rows;
   Counter& forced;
   Counter& imputed_entries;
+  Counter& incremental_updates;
+  Counter& drift_fallbacks;
   Gauge& error_norm_gauge;
   Histogram& refresh_seconds;
   Histogram& solver_iterations;
@@ -243,6 +248,15 @@ void ConstantFinderService::bootstrap(Tenant& tenant) {
   record_convergence(tenant, report);
   tenant.cold_solves.increment(2.0);
   metrics_.counter("online.cold_solves").increment(2.0);
+  for (const LayerRefresh* layer : {&report.latency, &report.bandwidth}) {
+    metrics_
+        .counter(layer->randomized_steps > 0 ? "rpca.svd.path.randomized"
+                                             : "rpca.svd.path.full")
+        .increment();
+    if (layer->anchored) {
+      metrics_.counter("rpca.incremental.anchors").increment();
+    }
+  }
   tenant.refresh_seconds.observe(report.total_seconds);
   metrics_.histogram("online.refresh_seconds").observe(report.total_seconds);
   metrics_.histogram("online.error_norm").observe(
@@ -288,6 +302,28 @@ void ConstantFinderService::maintain(Tenant& tenant, TriggerReason reason,
   account_refresh_imputation(tenant, report);
   record_convergence(tenant, report);
   for (const LayerRefresh* layer : {&report.latency, &report.bandwidth}) {
+    // Which machinery produced this layer's factors: the incremental
+    // row update, the randomized-SVT solver path, or the exact solver.
+    if (layer->incremental_used) {
+      tenant.incremental_updates.increment();
+      metrics_.counter("rpca.incremental.updates").increment();
+      metrics_.counter("rpca.svd.path.incremental").increment();
+      continue;  // no solve ran for this layer
+    }
+    metrics_
+        .counter(layer->randomized_steps > 0 ? "rpca.svd.path.randomized"
+                                             : "rpca.svd.path.full")
+        .increment();
+    if (layer->drift_fallback) {
+      tenant.drift_fallbacks.increment();
+      metrics_.counter("rpca.incremental.drift_fallbacks").increment();
+    }
+    if (layer->incremental_masked) {
+      metrics_.counter("rpca.incremental.masked_fallbacks").increment();
+    }
+    if (layer->anchored) {
+      metrics_.counter("rpca.incremental.anchors").increment();
+    }
     if (layer->warm_used) {
       tenant.warm_solves.increment();
       metrics_.counter("online.warm_solves").increment();

@@ -7,6 +7,7 @@
 #include "linalg/norms.hpp"
 #include "linalg/shrinkage.hpp"
 #include "rpca/rank1.hpp"
+#include "rpca/svd_path.hpp"
 #include "rpca/workspace.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
@@ -82,8 +83,7 @@ void solve_stable_pcp(const linalg::Matrix& a, const Options& base,
     ws.d.swap(ws.d_prev);
     ws.e.swap(ws.e_prev);
     ws.e.swap(ws.ge);
-    const auto svt = linalg::singular_value_threshold_into(
-        ws.gd, mu * inv_lf, base.svd, ws.svt, ws.d);
+    const auto svt = svt_step(ws.gd, mu * inv_lf, base, ws, ws.d);
     if (!svt.used_scratch) ++ws.stats.svt_fallbacks;
     result.rank = svt.rank;
 
@@ -106,8 +106,7 @@ void solve_stable_pcp(const linalg::Matrix& a, const Options& base,
   // discovered rank (standard post-processing for stable PCP).
   if (result.rank > 0) {
     linalg::sub(a, ws.e, ws.target);
-    linalg::low_rank_approximation_into(ws.target, result.rank, base.svd,
-                                        ws.svt, ws.d);
+    low_rank_step(ws.target, result.rank, base, ws, ws.d);
   }
 
   linalg::sub_sub(a, ws.d, ws.e, ws.residual);

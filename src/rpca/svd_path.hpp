@@ -1,0 +1,37 @@
+// SVT-step dispatch for the batch solvers: one entry point that routes
+// each proximal step either through the exact decomposition
+// (linalg::singular_value_threshold_into — Gram fast path or the
+// allocating Jacobi SVD) or through the verified randomized sketch
+// (linalg::randomized_svt_into) according to Options::randomized.
+//
+// The randomized route is rank-adaptive (the target rank follows the
+// rank the previous step kept, +1 headroom), grows the sketch once
+// in-call on a reject, and falls back to the exact path when the
+// truncation-error bound still trips — so enabling the policy can never
+// change what a solve converges to beyond the documented inexact-prox
+// budget. All sketches draw from the workspace's seeded stream:
+// identical call sequences reproduce bit-identically across thread
+// counts and SIMD levels (see linalg/randomized_svd.hpp).
+#pragma once
+
+#include "linalg/shrinkage.hpp"
+#include "rpca/rpca.hpp"
+#include "rpca/workspace.hpp"
+
+namespace netconst::rpca {
+
+/// One SVT proximal step out = D_tau(a), dispatched per the options'
+/// randomized policy. Semantics and diagnostics match
+/// linalg::singular_value_threshold_into; used_scratch is true whenever
+/// the step ran allocation-free (Gram fast path or accepted sketch).
+linalg::SvtInfo svt_step(const linalg::Matrix& a, double tau,
+                         const Options& options, SolverWorkspace& ws,
+                         linalg::Matrix& out);
+
+/// Best rank-k cut of `a` into `out` (stable PCP's debias step) through
+/// the same dispatch.
+void low_rank_step(const linalg::Matrix& a, std::size_t k,
+                   const Options& options, SolverWorkspace& ws,
+                   linalg::Matrix& out);
+
+}  // namespace netconst::rpca

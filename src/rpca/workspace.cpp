@@ -33,6 +33,12 @@ void SolverWorkspace::reserve(std::size_t rows, std::size_t cols) {
   magnitudes.reserve(rows * cols);
 }
 
+void SolverWorkspace::reserve_randomized(std::size_t rows, std::size_t cols,
+                                         const RandomizedSvdPolicy& policy) {
+  randomized.scratch.reserve(rows, cols,
+                             policy.max_rank + policy.oversampling);
+}
+
 void reset_result(Result& result) {
   result.iterations = 0;
   result.converged = false;

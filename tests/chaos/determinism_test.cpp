@@ -59,7 +59,7 @@ std::string serialize_constant(const netmodel::PerformanceMatrix& matrix) {
   return out.str();
 }
 
-CampaignResult run_campaign(std::size_t threads) {
+CampaignResult run_campaign(std::size_t threads, bool incremental = false) {
   ServiceOptions options;
   options.threads = threads;
   ConstantFinderService service(options);
@@ -79,6 +79,7 @@ CampaignResult run_campaign(std::size_t threads) {
     config.snapshot_interval = 600.0;
     config.operation_gap = 300.0;
     config.scheduler.base_interval = 1500.0;
+    config.refresher.incremental = incremental;
     config.seed = t + 1;
     service.add_tenant(config);
   }
@@ -144,6 +145,25 @@ TEST(ChaosDeterminism, OneAndEightThreadsAgreeByteForByte) {
   const CampaignResult single = run_campaign(1);
   const CampaignResult parallel = run_campaign(8);
   expect_identical(single, parallel);
+}
+
+// The incremental hot path under the same chaos plan (drops, storms, a
+// placement change): the tracker's row updates, drift fallbacks and
+// masked detours are sequential scalar code, so the campaign stays a
+// pure function of its seeds at any thread count.
+TEST(ChaosDeterminism, IncrementalCampaignIsThreadCountInvariant) {
+  const CampaignResult single = run_campaign(1, true);
+  const CampaignResult parallel = run_campaign(8, true);
+  expect_identical(single, parallel);
+  // And the incremental path actually engaged: serving constants from
+  // the tracker changes what maintenance publishes, so at least one
+  // tenant's constant must differ from the full-solve campaign.
+  const CampaignResult full = run_campaign(1, false);
+  bool any_diverged = false;
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    any_diverged = any_diverged || single.constants[t] != full.constants[t];
+  }
+  EXPECT_TRUE(any_diverged);
 }
 
 }  // namespace

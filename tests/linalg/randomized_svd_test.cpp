@@ -4,6 +4,8 @@
 
 #include "linalg/blas.hpp"
 #include "linalg/norms.hpp"
+#include "linalg/shrinkage.hpp"
+#include "linalg/simd.hpp"
 #include "support/error.hpp"
 
 namespace netconst::linalg {
@@ -82,6 +84,101 @@ TEST(RandomizedSvd, DeterministicGivenRngState) {
   for (std::size_t k = 0; k < 3; ++k) {
     EXPECT_EQ(ra.singular_values[k], rb.singular_values[k]);
   }
+}
+
+// Same Rng state, different SIMD levels: every byte of the SVT output
+// and the acceptance decision must agree. The kernels are restricted to
+// fixed-order scalar dots plus the elementwise blas trio exactly so
+// this holds (see the header's determinism contract).
+TEST(RandomizedSvd, BitIdenticalAcrossSimdLevels) {
+  Rng data_rng(11);
+  const Matrix a = random_low_rank(12, 300, 3, data_rng);
+  const RandomizedSvdOptions opt;
+  RandomizedSvdScratch scalar_scratch, native_scratch;
+  Matrix scalar_out, native_out;
+  Rng scalar_stream(42), native_stream(42);
+  RandomizedSvdInfo scalar_info, native_info;
+  {
+    simd::ScopedLevel force(simd::Level::Scalar);
+    scalar_info = randomized_svt_into(a, 0.01, 4, scalar_stream, opt, 0.0,
+                                      1e-6, scalar_scratch, scalar_out);
+  }
+  native_info = randomized_svt_into(a, 0.01, 4, native_stream, opt, 0.0,
+                                    1e-6, native_scratch, native_out);
+  ASSERT_TRUE(scalar_info.accepted);
+  ASSERT_TRUE(native_info.accepted);
+  EXPECT_EQ(scalar_info.rank, native_info.rank);
+  EXPECT_EQ(scalar_info.truncation_error, native_info.truncation_error);
+  EXPECT_EQ(scalar_info.input_fro, native_info.input_fro);
+  ASSERT_TRUE(scalar_out.same_shape(native_out));
+  EXPECT_EQ(scalar_out.max_abs_diff(native_out), 0.0);
+}
+
+// A rejected sketch must not leak partial results: `out` keeps its
+// prior contents so the caller's exact-path fallback starts clean.
+TEST(RandomizedSvd, RejectedSketchLeavesOutputUntouched) {
+  Rng data_rng(12);
+  const Matrix a = random_matrix(24, 200, data_rng);  // full rank 24
+  RandomizedSvdScratch scratch;
+  Matrix out(1, 1);
+  out(0, 0) = 7.5;
+  Rng stream(1);
+  const RandomizedSvdInfo info = randomized_svt_into(
+      a, 1e-6, 2, stream, RandomizedSvdOptions{}, 0.0, 1e-12, scratch, out);
+  EXPECT_FALSE(info.accepted);
+  EXPECT_GT(info.truncation_error, 0.0);
+  EXPECT_EQ(out.rows(), 1u);
+  EXPECT_EQ(out(0, 0), 7.5);
+}
+
+// A sketch as wide as the row space is a complete decomposition: the
+// scratch-based SVT must then agree with the exact prox to roundoff.
+TEST(RandomizedSvd, CompleteSketchMatchesExactSvt) {
+  Rng data_rng(13);
+  const Matrix a = random_matrix(10, 80, data_rng);
+  const double tau = 0.4;
+  RandomizedSvdScratch scratch;
+  Matrix out;
+  Rng stream(2);
+  // target 6 + oversampling 8 > rows: the sketch clamps to complete.
+  const RandomizedSvdInfo info = randomized_svt_into(
+      a, tau, 6, stream, RandomizedSvdOptions{}, 0.0, 0.0, scratch, out);
+  ASSERT_TRUE(info.accepted);
+  EXPECT_EQ(info.sketch, a.rows());
+  const SvtResult exact = singular_value_threshold(a, tau);
+  EXPECT_EQ(info.rank, exact.rank);
+  EXPECT_LT(out.max_abs_diff(exact.value), 1e-9);
+}
+
+// target_rank >= min(rows, cols) must degrade to the full decomposition
+// rather than trip a contract (the adaptive dispatch can ask for it).
+TEST(RandomizedSvd, OversizedTargetRankIsComplete) {
+  Rng data_rng(14);
+  const Matrix a = random_matrix(6, 50, data_rng);
+  RandomizedSvdScratch scratch;
+  Matrix out;
+  Rng stream(3);
+  const RandomizedSvdInfo info = randomized_svt_into(
+      a, 0.05, 64, stream, RandomizedSvdOptions{}, 0.0, 0.0, scratch, out);
+  ASSERT_TRUE(info.accepted);
+  EXPECT_EQ(info.sketch, a.rows());
+  EXPECT_LE(info.rank, a.rows());
+}
+
+// The low-rank variant against the exact rank-k cut.
+TEST(RandomizedSvd, LowRankIntoMatchesExactCut) {
+  Rng data_rng(15);
+  const Matrix a = random_low_rank(12, 150, 3, data_rng);
+  RandomizedSvdScratch scratch;
+  Matrix out;
+  Rng stream(4);
+  const RandomizedSvdInfo info = randomized_low_rank_into(
+      a, 3, stream, RandomizedSvdOptions{}, 0.0, 1e-6, scratch, out);
+  ASSERT_TRUE(info.accepted);
+  GramSvtScratch exact_scratch;
+  Matrix exact;
+  low_rank_approximation_into(a, 3, SvdOptions{}, exact_scratch, exact);
+  EXPECT_LT(out.max_abs_diff(exact), 1e-8);
 }
 
 // The shape RPCA would use it for: rank-1 TP-matrix sketches.

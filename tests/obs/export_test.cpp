@@ -45,6 +45,19 @@ TEST(ObsNaming, PrometheusSeriesMapping) {
       prometheus_series("tenant.bursty0.refresh_seconds");
   EXPECT_EQ(tenant.name, "netconst_tenant_refresh_seconds");
   EXPECT_EQ(tenant.labels, "tenant=\"bursty0\"");
+
+  // The per-path SVT counters fold into one labeled series, so the
+  // full/randomized/incremental split is a single Prometheus query.
+  const PrometheusSeries svd = prometheus_series("rpca.svd.path.full");
+  EXPECT_EQ(svd.name, "netconst_rpca_svd_path");
+  EXPECT_EQ(svd.labels, "path=\"full\"");
+  const PrometheusSeries inc =
+      prometheus_series("rpca.svd.path.incremental");
+  EXPECT_EQ(inc.name, "netconst_rpca_svd_path");
+  EXPECT_EQ(inc.labels, "path=\"incremental\"");
+  // The bare prefix has no path suffix to label: plain mapping.
+  const PrometheusSeries bare = prometheus_series("rpca.svd.path.");
+  EXPECT_EQ(bare.name, "netconst_rpca_svd_path_");
 }
 
 TEST(ObsNaming, PrometheusLabelValuesAreEscaped) {

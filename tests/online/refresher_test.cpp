@@ -187,5 +187,180 @@ TEST(WindowRefresher, SeedInvalidatedByShapeChange) {
   EXPECT_GT(report.component.constant.size(), 0u);
 }
 
+TEST(WindowRefresher, IncrementalSlideServesFromTracker) {
+  cloud::SyntheticCloud cloud(small_cloud_config(21));
+  SlidingWindow window = filled_window(cloud, 6, 600.0);
+
+  RefresherOptions options;
+  options.incremental = true;
+  WindowRefresher refresher(options);
+
+  // The first refresh is a full solve that anchors both trackers.
+  const RefreshReport first = refresher.refresh(window);
+  EXPECT_FALSE(first.latency.incremental_used);
+  EXPECT_FALSE(first.bandwidth.incremental_used);
+  EXPECT_TRUE(first.latency.anchored);
+  EXPECT_TRUE(first.bandwidth.anchored);
+
+  // Slide by one snapshot: the refresh must be served by the tracked
+  // subspace, not a solver run.
+  cloud.advance(600.0);
+  window.push(cloud.now(), cloud.oracle_snapshot());
+  const RefreshReport second = refresher.refresh(window);
+  EXPECT_TRUE(second.fully_incremental());
+  EXPECT_FALSE(second.any_drift_fallback());
+  EXPECT_FALSE(second.latency.warm_attempted);
+  EXPECT_EQ(second.latency.iterations, 0);
+
+  // The tracked constant agrees with a cold solve of the same window
+  // to within the soft-threshold resolution of the row update.
+  WindowRefresher cold_refresher;
+  const RefreshReport cold = cold_refresher.refresh(window);
+  EXPECT_LT(relative_frobenius_diff(second.component.constant.bandwidth(),
+                                    cold.component.constant.bandwidth()),
+            0.05);
+  EXPECT_LT(relative_frobenius_diff(second.component.constant.latency(),
+                                    cold.component.constant.latency()),
+            0.05);
+}
+
+TEST(WindowRefresher, IncrementalNeedsASingleSlide) {
+  cloud::SyntheticCloud cloud(small_cloud_config(22));
+  SlidingWindow window = filled_window(cloud, 6, 600.0);
+
+  RefresherOptions options;
+  options.incremental = true;
+  WindowRefresher refresher(options);
+  refresher.refresh(window);
+
+  // Same window again (no push): the full warm path runs and
+  // re-anchors — the row update only covers one-snapshot slides.
+  const RefreshReport same = refresher.refresh(window);
+  EXPECT_FALSE(same.latency.incremental_used);
+  EXPECT_TRUE(same.latency.warm_attempted);
+  EXPECT_TRUE(same.latency.anchored);
+
+  // Two pushes between refreshes: more than one row changed.
+  for (int k = 0; k < 2; ++k) {
+    cloud.advance(600.0);
+    window.push(cloud.now(), cloud.oracle_snapshot());
+  }
+  const RefreshReport jumped = refresher.refresh(window);
+  EXPECT_FALSE(jumped.latency.incremental_used);
+  EXPECT_TRUE(jumped.latency.warm_attempted);
+}
+
+TEST(WindowRefresher, PlacementShiftTripsDriftFallback) {
+  cloud::SyntheticCloud cloud(small_cloud_config(23));
+  SlidingWindow window = filled_window(cloud, 6, 600.0);
+
+  RefresherOptions options;
+  options.incremental = true;
+  WindowRefresher refresher(options);
+  refresher.refresh(window);  // anchors
+
+  // A placement change: every cross-rack link of the next snapshot is
+  // structurally different (5x the latency plus a switch hop, a fifth
+  // of the bandwidth) while same-rack links are untouched. A uniform
+  // rescale would stay inside the rank-1 model; this non-uniform shift
+  // cannot, so the replaced row's sparse support explodes.
+  cloud.advance(600.0);
+  netmodel::PerformanceMatrix shifted = cloud.oracle_snapshot();
+  const std::vector<std::size_t>& racks = cloud.placement();
+  for (std::size_t i = 0; i < shifted.size(); ++i) {
+    for (std::size_t j = 0; j < shifted.size(); ++j) {
+      if (i == j || racks[i] == racks[j]) continue;
+      netmodel::LinkParams link = shifted.link(i, j);
+      link.alpha = link.alpha * 5.0 + 1e-3;
+      link.beta /= 5.0;
+      shifted.set_link(i, j, link);
+    }
+  }
+  window.push(cloud.now(), shifted);
+
+  const RefreshReport report = refresher.refresh(window);
+  EXPECT_TRUE(report.any_drift_fallback());
+  EXPECT_FALSE(report.latency.incremental_used &&
+               report.bandwidth.incremental_used);
+
+  // The fallback is an ordinary full solve of the current window: it
+  // matches a cold refresher on the same data and re-anchors.
+  const bool fell_back = report.latency.drift_fallback;
+  if (fell_back) {
+    EXPECT_GT(report.latency.drift,
+              options.incremental_options.drift_threshold);
+    EXPECT_TRUE(report.latency.anchored);
+    WindowRefresher cold_refresher;
+    const RefreshReport cold = cold_refresher.refresh(window);
+    EXPECT_LT(relative_frobenius_diff(report.component.constant.latency(),
+                                      cold.component.constant.latency()),
+              1e-6);
+  }
+}
+
+TEST(WindowRefresher, MaskedSlideRoutesToFullSolve) {
+  cloud::SyntheticCloud cloud(small_cloud_config(24));
+  SlidingWindow window = filled_window(cloud, 6, 600.0);
+
+  RefresherOptions options;
+  options.incremental = true;
+  WindowRefresher refresher(options);
+  refresher.refresh(window);  // anchors
+
+  // Slide with a hole: one link failed to measure. The row update
+  // cannot see through NaNs, so the masked full path must serve the
+  // refresh without feeding the hole to the tracker.
+  cloud.advance(600.0);
+  netmodel::PerformanceMatrix snapshot = cloud.oracle_snapshot();
+  snapshot.mark_link_missing(1, 3);
+  window.push(cloud.now(), snapshot);
+
+  const RefreshReport report = refresher.refresh(window);
+  EXPECT_FALSE(report.latency.incremental_used);
+  EXPECT_TRUE(report.latency.incremental_masked);
+  EXPECT_TRUE(report.bandwidth.incremental_masked);
+  EXPECT_FALSE(report.any_drift_fallback());
+  EXPECT_TRUE(report.latency.anchored);  // the full solve re-anchors
+  EXPECT_GT(report.component.constant.size(), 0u);
+
+  // The hole stays in the window until it ages out, and every slide
+  // until then keeps taking the masked detour. Once the window is
+  // clean again the tracker — re-anchored, never corrupted — serves
+  // the slide incrementally.
+  RefreshReport next;
+  for (std::size_t k = 0; k < 6; ++k) {
+    cloud.advance(600.0);
+    window.push(cloud.now(), cloud.oracle_snapshot());
+    next = refresher.refresh(window);
+    if (k < 5) {
+      EXPECT_TRUE(next.latency.incremental_masked) << "slide " << k;
+    }
+  }
+  EXPECT_TRUE(next.fully_incremental());
+}
+
+TEST(WindowRefresher, ResetDropsTrackers) {
+  cloud::SyntheticCloud cloud(small_cloud_config(25));
+  SlidingWindow window = filled_window(cloud, 6, 600.0);
+
+  RefresherOptions options;
+  options.incremental = true;
+  WindowRefresher refresher(options);
+  refresher.refresh(window);
+  EXPECT_TRUE(refresher.latency_tracker().ready());
+
+  refresher.reset();
+  EXPECT_FALSE(refresher.latency_tracker().ready());
+  EXPECT_FALSE(refresher.bandwidth_tracker().ready());
+
+  // After reset the next slide cannot be incremental (no anchor, and
+  // the push counter continuity was dropped with the seeds).
+  cloud.advance(600.0);
+  window.push(cloud.now(), cloud.oracle_snapshot());
+  const RefreshReport report = refresher.refresh(window);
+  EXPECT_FALSE(report.latency.incremental_used);
+  EXPECT_TRUE(report.latency.anchored);
+}
+
 }  // namespace
 }  // namespace netconst::online

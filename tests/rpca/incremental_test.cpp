@@ -1,0 +1,237 @@
+// IncrementalTracker: subspace tracking against full solves.
+//
+// The tracker's contract has three legs, each pinned here:
+//  * at the anchor it reproduces the full solve (rank-1 factors and the
+//    cached Norm(N_E) counts are exactly the anchor solve's),
+//  * across single-row slides it stays within the soft-threshold
+//    resolution of a cold re-solve while drift stays quiet, and
+//  * its drift-breach fallback (a warm solve seeded from tracked state)
+//    is the ordinary solver path — bit-exact against rpca::reference.
+#include "rpca/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/proptest.hpp"
+#include "linalg/norms.hpp"
+#include "rpca/reference.hpp"
+#include "rpca/workspace.hpp"
+#include "support/error.hpp"
+
+namespace netconst::rpca {
+namespace {
+
+constexpr double kL0Tol = 0.05;
+
+Options online_options() {
+  Options options;
+  options.polish_iterations = 300;  // the online warm/cold-equivalence mode
+  return options;
+}
+
+/// Replace row `slot` of `data` with the case's constant row plus
+/// `outliers` interference entries (factor x5), like a window slide
+/// under an unchanged placement.
+void slide_row(linalg::Matrix& data, std::size_t slot,
+               const linalg::Matrix& constant_row, std::size_t outliers,
+               Rng& rng) {
+  for (std::size_t j = 0; j < data.cols(); ++j) {
+    data(slot, j) = constant_row(0, j);
+  }
+  for (std::size_t k = 0; k < outliers; ++k) {
+    const auto j = testing::random_size(rng, 0, data.cols() - 1);
+    data(slot, j) = constant_row(0, j) * 5.0;
+  }
+}
+
+double relative_diff(const linalg::Matrix& a, const linalg::Matrix& b) {
+  linalg::Matrix diff = a;
+  diff -= b;
+  const double scale = linalg::frobenius_norm(b);
+  return scale == 0.0 ? linalg::frobenius_norm(diff)
+                      : linalg::frobenius_norm(diff) / scale;
+}
+
+TEST(IncrementalTracker, ContractsBeforeAnchor) {
+  IncrementalTracker tracker;
+  EXPECT_FALSE(tracker.ready());
+  EXPECT_EQ(tracker.rank(), 0u);
+  linalg::Matrix data(4, 16);
+  data.fill(1.0);
+  EXPECT_THROW(tracker.update(data, 0), ContractViolation);
+  EXPECT_THROW(tracker.error_norm(), ContractViolation);
+  WarmStart seed;
+  EXPECT_THROW(tracker.seed_warm_start(seed), ContractViolation);
+}
+
+TEST(IncrementalTracker, AnchorReproducesTheFullSolve) {
+  Rng rng(11);
+  const auto problem = testing::random_rank1_sparse(rng, 8, 64, 0.05);
+  const Result full = solve(problem.data, Solver::Apg, online_options());
+
+  IncrementalTracker tracker;
+  tracker.anchor(problem.data, full, kL0Tol);
+  ASSERT_TRUE(tracker.ready());
+  EXPECT_EQ(tracker.rank(), 1u);
+
+  // The polished low-rank component is exactly rank 1, so projecting
+  // onto its own direction loses nothing.
+  linalg::Matrix materialized;
+  tracker.materialize_low_rank(materialized);
+  EXPECT_LT(materialized.max_abs_diff(full.low_rank), 1e-10);
+  EXPECT_EQ(tracker.sparse().max_abs_diff(full.sparse), 0.0);
+  // Identical cutoff, identical counts: the cached Norm(N_E) IS
+  // relative_l0 at the anchor.
+  EXPECT_DOUBLE_EQ(tracker.error_norm(),
+                   relative_l0(full.sparse, problem.data, kL0Tol));
+}
+
+TEST(IncrementalTracker, UpdateTracksAStationarySubspace) {
+  Rng rng(12);
+  const auto problem = testing::random_rank1_sparse(rng, 8, 64, 0.05);
+  linalg::Matrix data = problem.data;
+  const Result full = solve(data, Solver::Apg, online_options());
+
+  IncrementalTracker tracker;
+  tracker.anchor(data, full, kL0Tol);
+  ASSERT_TRUE(tracker.ready());
+
+  for (std::size_t step = 0; step < 4; ++step) {
+    const std::size_t slot = step % data.rows();
+    slide_row(data, slot, problem.constant_row, 3, rng);
+    const DriftStats drift = tracker.update(data, slot);
+    EXPECT_FALSE(drift.breach) << "step " << step;
+    EXPECT_LT(drift.instant, 0.2) << "step " << step;
+  }
+  EXPECT_EQ(tracker.updates(), 4u);
+
+  // The tracked constant stays on the planted one.
+  linalg::Matrix constant;
+  tracker.constant_row_into(constant);
+  EXPECT_LT(relative_diff(constant, problem.constant_row), 0.1);
+  // And the decomposition still explains the data: A - D - E small
+  // relative to the soft-threshold floor.
+  linalg::Matrix low_rank;
+  tracker.materialize_low_rank(low_rank);
+  linalg::Matrix residual = data;
+  residual -= low_rank;
+  residual -= tracker.sparse();
+  EXPECT_LT(linalg::frobenius_norm(residual) /
+                linalg::frobenius_norm(data),
+            0.15);
+}
+
+TEST(IncrementalTracker, PlacementShiftBreaches) {
+  Rng rng(13);
+  const auto problem = testing::random_rank1_sparse(rng, 8, 64, 0.05);
+  linalg::Matrix data = problem.data;
+  const Result full = solve(data, Solver::Apg, online_options());
+
+  IncrementalTracker tracker;
+  tracker.anchor(data, full, kL0Tol);
+  ASSERT_TRUE(tracker.ready());
+
+  // A placement change: the replaced row follows a different constant
+  // (every link roughly tripled — far outside the frozen direction's
+  // soft-threshold band).
+  for (std::size_t j = 0; j < data.cols(); ++j) {
+    data(0, j) = problem.constant_row(0, j) * 3.0 + 0.5;
+  }
+  const DriftStats drift = tracker.update(data, 0);
+  EXPECT_TRUE(drift.breach);
+  EXPECT_GT(drift.instant, tracker.options().drift_threshold);
+}
+
+TEST(IncrementalTracker, DriftFallbackIsBitExactAgainstReference) {
+  Rng rng(14);
+  const auto problem = testing::random_rank1_sparse(rng, 8, 64, 0.05);
+  linalg::Matrix data = problem.data;
+  const Result full = solve(data, Solver::Apg, online_options());
+
+  IncrementalTracker tracker;
+  tracker.anchor(data, full, kL0Tol);
+  slide_row(data, 2, problem.constant_row, 3, rng);
+  tracker.update(data, 2);
+
+  // The breach path: a warm full solve seeded from the tracked state.
+  // Run it through the production workspace solver and the frozen
+  // reference with the identical seed — they must agree bitwise.
+  Options ws_opts = online_options();
+  Options ref_opts = online_options();
+  tracker.seed_warm_start(ws_opts.warm_start);
+  tracker.seed_warm_start(ref_opts.warm_start);
+
+  SolverWorkspace ws;
+  Result ws_result;
+  solve(data, Solver::Apg, ws_opts, ws, ws_result);
+  const Result ref_result = reference::solve(data, Solver::Apg, ref_opts);
+
+  EXPECT_TRUE(ws_result.warm_started);
+  EXPECT_EQ(ws_result.iterations, ref_result.iterations);
+  EXPECT_EQ(ws_result.low_rank.max_abs_diff(ref_result.low_rank), 0.0);
+  EXPECT_EQ(ws_result.sparse.max_abs_diff(ref_result.sparse), 0.0);
+}
+
+TEST(IncrementalTracker, ResetRequiresReanchor) {
+  Rng rng(15);
+  const auto problem = testing::random_rank1_sparse(rng, 6, 32, 0.05);
+  const Result full = solve(problem.data, Solver::Apg, online_options());
+  IncrementalTracker tracker;
+  tracker.anchor(problem.data, full, kL0Tol);
+  ASSERT_TRUE(tracker.ready());
+  tracker.reset();
+  EXPECT_FALSE(tracker.ready());
+  EXPECT_THROW(tracker.update(problem.data, 0), ContractViolation);
+}
+
+TEST(IncrementalTracker, ZeroConstantLeavesTrackerNotReady) {
+  linalg::Matrix data(4, 16);
+  data.fill(0.0);
+  Result synthetic;
+  synthetic.low_rank.resize(4, 16);
+  synthetic.low_rank.fill(0.0);
+  synthetic.sparse.resize(4, 16);
+  synthetic.sparse.fill(0.0);
+  IncrementalTracker tracker;
+  tracker.anchor(data, synthetic, kL0Tol);
+  EXPECT_FALSE(tracker.ready());
+}
+
+// The satellite property: incremental updates followed by a (forced)
+// full-solve fallback land on the same decomposition a cold solve of
+// the final window finds — the tracker can drift the *seed*, never the
+// *answer*.
+TEST(IncrementalTracker, PropertyIncrementalThenFallbackMatchesCold) {
+  testing::run_property(0xFACADE, 8, [](Rng& rng) {
+    const std::size_t rows = testing::random_size(rng, 6, 10);
+    const std::size_t cols = testing::random_size(rng, 32, 96);
+    const auto problem =
+        testing::random_rank1_sparse(rng, rows, cols, 0.05);
+    linalg::Matrix data = problem.data;
+    const Result full = solve(data, Solver::Apg, online_options());
+
+    IncrementalTracker tracker;
+    tracker.anchor(data, full, kL0Tol);
+    ASSERT_TRUE(tracker.ready());
+
+    const std::size_t slides = testing::random_size(rng, 1, 4);
+    for (std::size_t s = 0; s < slides; ++s) {
+      const std::size_t slot = s % rows;
+      slide_row(data, slot, problem.constant_row, 2, rng);
+      tracker.update(data, slot);
+    }
+
+    // Forced fallback: warm solve of the final window seeded from the
+    // tracker, against a cold solve of the same window.
+    Options warm_opts = online_options();
+    tracker.seed_warm_start(warm_opts.warm_start);
+    const Result warm = solve(data, Solver::Apg, warm_opts);
+    const Result cold = solve(data, Solver::Apg, online_options());
+
+    const double scale = linalg::frobenius_norm(data);
+    EXPECT_LT(warm.low_rank.max_abs_diff(cold.low_rank), 1e-6 * scale);
+    EXPECT_LT(warm.sparse.max_abs_diff(cold.sparse), 1e-6 * scale);
+  });
+}
+
+}  // namespace
+}  // namespace netconst::rpca
