@@ -75,6 +75,11 @@ online::TenantConfig tenant_config(const std::string& name,
   // 7200 s, so the run below (32 x 300 s = 9600 s) both suppresses the
   // intermediate base probes and still reaches one interval refresh.
   config.scheduler.base_interval = 1800.0;
+  // Change-point detection rides every refresh; congested tenants'
+  // interference bursts surface as outlier_storm verdicts in the event
+  // log and the detect.* metrics.
+  config.detector_enabled = true;
+  config.detector.direction_confirm_slides = config.window_capacity;
   config.seed = seed;
   return config;
 }

@@ -117,6 +117,22 @@ double FaultPlan::storm_factor(double now) const {
   return factor;
 }
 
+std::vector<GroundTruthEvent> FaultPlan::ground_truth_events() const {
+  std::vector<GroundTruthEvent> truth;
+  truth.reserve(config_.storms.size() + config_.placement_changes.size());
+  for (std::size_t k = 0; k < config_.storms.size(); ++k) {
+    const OutlierStorm& storm = config_.storms[k];
+    truth.push_back({FaultKind::OutlierInjected, k, storm.start, storm.end,
+                     0, storm.elapsed_factor});
+  }
+  for (std::size_t k = 0; k < config_.placement_changes.size(); ++k) {
+    const PlacementChange& change = config_.placement_changes[k];
+    truth.push_back({FaultKind::PlacementShift, k, change.time, change.time,
+                     change.vm, change.elapsed_factor});
+  }
+  return truth;
+}
+
 ProbeFault FaultPlan::next_probe(double now, std::size_t i, std::size_t j) {
   advance_to(now);
   const std::uint64_t sequence = sequence_++;

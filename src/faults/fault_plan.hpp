@@ -117,6 +117,21 @@ struct ProbeFault {
   bool value_lost() const { return timeout || dropped; }
 };
 
+/// One scripted chaos event in labeled, detector-scorable form: what a
+/// change-point detector SHOULD find in a campaign driven by this plan.
+/// Derived purely from the plan's config — the stochastic per-probe
+/// faults (timeouts, drops) are noise, not ground truth.
+struct GroundTruthEvent {
+  FaultKind kind = FaultKind::OutlierInjected;
+  /// Ordinal within the kind's script (index into storms /
+  /// placement_changes), so detections can be matched 1:1.
+  std::size_t ordinal = 0;
+  double start = 0.0;  // storm start / shift effect time
+  double end = 0.0;    // storm end; == start for point events
+  std::size_t vm = 0;  // PlacementShift only
+  double factor = 1.0;
+};
+
 class FaultPlan {
  public:
   explicit FaultPlan(const FaultPlanConfig& config);
@@ -140,6 +155,11 @@ class FaultPlan {
   std::uint64_t probes() const { return sequence_; }
   const FaultEventLog& log() const { return log_; }
   const FaultPlanConfig& config() const { return config_; }
+
+  /// The scripted events in labeled form, storms first then placement
+  /// changes, each in script order. The precision/recall gates in
+  /// tests/detect score detector verdicts against exactly this view.
+  std::vector<GroundTruthEvent> ground_truth_events() const;
 
  private:
   double storm_factor(double now) const;

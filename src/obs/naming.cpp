@@ -82,6 +82,18 @@ PrometheusSeries prometheus_series(const std::string& dotted_name) {
     series.labels = "path=\"" + escape_label_value(path) + '"';
     return series;
   }
+  constexpr const char* kVerdictPrefix = "detect.verdicts.";
+  constexpr std::size_t kVerdictPrefixLen = 16;
+  if (dotted_name.compare(0, kVerdictPrefixLen, kVerdictPrefix) == 0 &&
+      dotted_name.size() > kVerdictPrefixLen) {
+    // Per-kind verdict counters fold into one labeled series so a
+    // dashboard can stack placement_shift/outlier_storm/baseline_drift
+    // shares in a single query.
+    const std::string kind = dotted_name.substr(kVerdictPrefixLen);
+    series.name = "netconst_detect_verdicts";
+    series.labels = "kind=\"" + escape_label_value(kind) + '"';
+    return series;
+  }
   if (dotted_name.compare(0, kTenantPrefixLen, kTenantPrefix) == 0) {
     const std::size_t dot = dotted_name.find('.', kTenantPrefixLen);
     if (dot != std::string::npos && dot + 1 < dotted_name.size()) {

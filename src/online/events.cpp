@@ -29,6 +29,8 @@ const char* event_kind_name(EventKind kind) {
       return "stale_row_reused";
     case EventKind::ForcedRecalibration:
       return "forced_recalibration";
+    case EventKind::ChangeDetected:
+      return "change_detected";
   }
   return "unknown";
 }

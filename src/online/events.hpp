@@ -28,8 +28,9 @@ enum class EventKind {
   ProbeDropped,             // an operation probe's value was lost (NaN)
   StaleRowReused,           // degraded calibration replaced by last good row
   ForcedRecalibration,      // consecutive probe losses forced maintenance
+  ChangeDetected,           // change-point detector issued a verdict
 };
-inline constexpr std::size_t kEventKindCount = 10;
+inline constexpr std::size_t kEventKindCount = 11;
 
 const char* event_kind_name(EventKind kind);
 

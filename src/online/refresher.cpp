@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "detect/detector.hpp"
 #include "linalg/norms.hpp"
 #include "obs/trace.hpp"
 #include "rpca/masked.hpp"
@@ -24,9 +25,9 @@ void clear_seed(rpca::WarmStart& seed) {
 
 WindowRefresher::WindowRefresher(const RefresherOptions& options)
     : options_(options),
-      probe_(options.convergence_trace_capacity),
       latency_tracker_(options.incremental_options),
       bandwidth_tracker_(options.incremental_options),
+      probe_(options.convergence_trace_capacity),
       solve_opts_(options.finder.rpca) {
   NETCONST_CHECK(options_.divergence_residual >= 0.0,
                  "divergence residual must be >= 0");
@@ -253,6 +254,32 @@ RefreshReport WindowRefresher::refresh(const SlidingWindow& window) {
                              bandwidth_result_, bandwidth_repaired_,
                              report.bandwidth);
     layer_span.set_value(report.bandwidth.iterations);
+  }
+
+  if (options_.collect_support_stats) {
+    // The accepted sparse factors live in the Result buffers (full
+    // path) or the tracker (row update); either way the cutoff is the
+    // window's own, exactly as rpca::relative_l0 derives it.
+    const auto layer_stats = [&](const LayerRefresh& info,
+                                 const rpca::IncrementalTracker& tracker,
+                                 const rpca::Result& result,
+                                 const linalg::Matrix& data) {
+      const linalg::Matrix& sparse =
+          info.incremental_used ? tracker.sparse() : result.sparse;
+      const double cutoff =
+          options_.finder.l0_rel_tolerance * linalg::max_abs(data);
+      return detect::support_stats(sparse, window.cluster_size(), cutoff);
+    };
+    const detect::SupportStats lat_stats = layer_stats(
+        report.latency, latency_tracker_, latency_result_, *lat_data);
+    report.latency.support_fraction = lat_stats.fraction;
+    report.latency.support_concentration = lat_stats.concentration;
+    report.latency.support_vm = lat_stats.vm;
+    const detect::SupportStats bw_stats = layer_stats(
+        report.bandwidth, bandwidth_tracker_, bandwidth_result_, *bw_data);
+    report.bandwidth.support_fraction = bw_stats.fraction;
+    report.bandwidth.support_concentration = bw_stats.concentration;
+    report.bandwidth.support_vm = bw_stats.vm;
   }
 
   if (report.latency.incremental_used || report.bandwidth.incremental_used) {

@@ -62,6 +62,11 @@ struct RefresherOptions {
   /// (warm-seeded from the tracked state) and re-anchors the tracker.
   bool incremental = false;
   rpca::IncrementalOptions incremental_options;
+  /// Fill LayerRefresh's sparse-support geometry (fraction,
+  /// concentration, most-implicated VM) from the accepted factors —
+  /// the change-point detector's classification inputs (src/detect).
+  /// Off by default: it is an extra O(n N^2) scan per layer.
+  bool collect_support_stats = false;
 };
 
 /// Per-layer diagnostics of one refresh.
@@ -91,6 +96,12 @@ struct LayerRefresh {
   /// Accepted randomized-SVT steps inside this layer's solve (0 when
   /// the exact path or the row update served it).
   std::size_t randomized_steps = 0;
+  // Sparse-support geometry of the accepted factors at the window's
+  // relative-l0 cutoff (RefresherOptions::collect_support_stats; all
+  // zero otherwise). See detect::support_stats.
+  double support_fraction = 0.0;
+  double support_concentration = 0.0;
+  std::size_t support_vm = 0;
 };
 
 struct RefreshReport {

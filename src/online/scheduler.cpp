@@ -16,6 +16,8 @@ const char* trigger_reason_name(TriggerReason reason) {
       return "interval_elapsed";
     case TriggerReason::ForcedDegraded:
       return "forced_degraded";
+    case TriggerReason::DetectorSignal:
+      return "detector_signal";
   }
   return "unknown";
 }
@@ -41,6 +43,7 @@ bool RecalibrationScheduler::record_refresh(double now, double error_norm) {
 }
 
 double RecalibrationScheduler::effective_interval() const {
+  if (!options_.adaptive_interval) return options_.base_interval;
   return options_.base_interval * advisor_.recalibration_interval_factor();
 }
 

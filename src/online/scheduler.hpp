@@ -28,6 +28,10 @@ enum class TriggerReason {
   /// so the model is refreshed defensively (see
   /// TenantConfig::forced_recalibration_after).
   ForcedDegraded,
+  /// Pre-emptive maintenance requested by the change-point detector
+  /// (src/detect): a verdict said the constant's regime moved before
+  /// the threshold/interval policies noticed.
+  DetectorSignal,
 };
 
 const char* trigger_reason_name(TriggerReason reason);
@@ -48,6 +52,12 @@ struct SchedulerOptions {
   double threshold = 1.0;
   /// Base seconds between routine probes (before advisor scaling).
   double base_interval = 1800.0;
+  /// When false the advisor still classifies (and its level is still
+  /// reported), but the probe interval stays pinned at base_interval —
+  /// no Stable stretching, no Dynamic tightening. Measurement campaigns
+  /// that score detection latency against wall-clock ground truth need
+  /// the fixed cadence; production tenants keep the adaptive default.
+  bool adaptive_interval = true;
   core::AdvisorOptions advisor;
 };
 

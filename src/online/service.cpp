@@ -7,6 +7,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <thread>
 
@@ -19,12 +20,15 @@ namespace netconst::online {
 
 namespace {
 
-/// Convergence telemetry needs the refresher's per-iteration probe on;
-/// the service turns it on for every tenant when a convergence ring is
-/// configured (explicit user choice in RefresherOptions is respected).
-RefresherOptions with_convergence(RefresherOptions options,
-                                  std::size_t convergence_capacity) {
+/// Convergence telemetry needs the refresher's per-iteration probe on,
+/// and the change-point detector needs the sparse-support geometry; the
+/// service turns both on per tenant as the config demands (an explicit
+/// user choice in RefresherOptions is respected).
+RefresherOptions tenant_refresher_options(const TenantConfig& config,
+                                          std::size_t convergence_capacity) {
+  RefresherOptions options = config.refresher;
   if (convergence_capacity > 0) options.collect_convergence = true;
+  if (config.detector_enabled) options.collect_support_stats = true;
   return options;
 }
 
@@ -36,7 +40,8 @@ struct ConstantFinderService::Tenant {
       : config(config_in),
         window(config_in.window_capacity),
         refresher(
-            with_convergence(config_in.refresher, convergence_capacity)),
+            tenant_refresher_options(config_in, convergence_capacity)),
+        detector(config_in.detector),
         convergence(convergence_capacity == 0 ? 1 : convergence_capacity),
         scheduler(config_in.scheduler),
         ingestor(*config_in.provider, window, config_in.ingest),
@@ -60,6 +65,9 @@ struct ConstantFinderService::Tenant {
         incremental_updates(
             metrics.counter(prefix() + "incremental_updates")),
         drift_fallbacks(metrics.counter(prefix() + "drift_fallbacks")),
+        detector_verdicts(metrics.counter(prefix() + "detector_verdicts")),
+        detector_recalibrations(
+            metrics.counter(prefix() + "detector_recalibrations")),
         error_norm_gauge(metrics.gauge(prefix() + "error_norm")),
         refresh_seconds(metrics.histogram(prefix() + "refresh_seconds")),
         solver_iterations(
@@ -76,6 +84,14 @@ struct ConstantFinderService::Tenant {
   TenantConfig config;
   SlidingWindow window;
   WindowRefresher refresher;
+  detect::ChangePointDetector detector;
+  /// Per-pair transfer times of the accepted constant — the detector's
+  /// direction/level reference space (reused scratch).
+  std::vector<double> constant_flat;
+  /// A persistent-change verdict arms this; the next step() runs a
+  /// pre-emptive maintenance (TriggerReason::DetectorSignal).
+  bool detector_preempt_pending = false;
+  double detector_preempt_score = 0.0;
   obs::ConvergenceLog convergence;  // per-refresh solver telemetry
   RecalibrationScheduler scheduler;
   SnapshotIngestor ingestor;
@@ -108,6 +124,8 @@ struct ConstantFinderService::Tenant {
   Counter& imputed_entries;
   Counter& incremental_updates;
   Counter& drift_fallbacks;
+  Counter& detector_verdicts;
+  Counter& detector_recalibrations;
   Gauge& error_norm_gauge;
   Histogram& refresh_seconds;
   Histogram& solver_iterations;
@@ -201,6 +219,76 @@ void ConstantFinderService::record_convergence(Tenant& tenant,
   }
 }
 
+void ConstantFinderService::run_detector(Tenant& tenant,
+                                         const RefreshReport& report) {
+  cloud::NetworkProvider& provider = *tenant.config.provider;
+  // The constant's direction/level signal: per-pair transfer times of
+  // the tenant's own message size — one unit-free vector that moves
+  // with both alpha and beta exactly as the operation stream does. A
+  // placement shift bends its direction; a uniform (diurnal) swing
+  // moves its level and leaves the direction alone.
+  const netmodel::PerformanceMatrix& constant = tenant.component.constant;
+  const std::size_t n = constant.size();
+  tenant.constant_flat.resize(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      tenant.constant_flat[i * n + j] =
+          i == j ? 0.0
+                 : constant.transfer_time(i, j,
+                                          tenant.config.operation_bytes);
+    }
+  }
+
+  detect::RefreshSignals signals;
+  signals.time = provider.now();
+  signals.refresh = static_cast<std::uint64_t>(tenant.refreshes.value());
+  signals.sparsity = std::max(report.component.error_norm,
+                              report.component.latency_error_norm);
+  signals.residual =
+      std::max(report.latency.residual, report.bandwidth.residual);
+  signals.drift = std::max(report.latency.drift, report.bandwidth.drift);
+  const LayerRefresh& support_layer =
+      report.bandwidth.support_fraction >= report.latency.support_fraction
+          ? report.bandwidth
+          : report.latency;
+  signals.support_concentration = support_layer.support_concentration;
+  signals.support_vm = support_layer.support_vm;
+  signals.constant = &tenant.constant_flat;
+
+  const std::optional<detect::Verdict> verdict =
+      tenant.detector.observe(signals);
+  if (!verdict) return;
+
+  const char* kind = detect::verdict_kind_name(verdict->kind);
+  tenant.detector_verdicts.increment();
+  metrics_.counter(std::string("detect.verdicts.") + kind).increment();
+  metrics_.histogram("detect.latency_slides")
+      .observe(static_cast<double>(verdict->latency_slides));
+  std::string detail = std::string(kind) + " (signal " +
+                       detect::signal_name(verdict->signal) + ", latency " +
+                       std::to_string(verdict->latency_slides) + " slides";
+  if (verdict->kind == detect::VerdictKind::PlacementShift) {
+    detail += ", vm " + std::to_string(verdict->vm);
+  }
+  detail += ")";
+  events_.record({provider.now(), tenant.config.name,
+                  EventKind::ChangeDetected, std::move(detail),
+                  verdict->score});
+  // A verdict is exactly the anomaly the flight recorder exists for.
+  obs::FlightRecorder::instance().maybe_auto_dump(
+      verdict->kind == detect::VerdictKind::PlacementShift
+          ? "detector_placement_shift"
+      : verdict->kind == detect::VerdictKind::OutlierStorm
+          ? "detector_outlier_storm"
+          : "detector_baseline_drift");
+  if (tenant.config.detector_preempt &&
+      verdict->kind != detect::VerdictKind::OutlierStorm) {
+    tenant.detector_preempt_pending = true;
+    tenant.detector_preempt_score = verdict->score;
+    metrics_.counter("detect.preemptions").increment();
+  }
+}
+
 void ConstantFinderService::set_snapshot_sink(SnapshotSink* sink) {
   snapshot_sink_.store(sink, std::memory_order_seq_cst);
   // A driver that loaded the old sink raised publishes_in_flight_
@@ -266,6 +354,7 @@ void ConstantFinderService::bootstrap(Tenant& tenant) {
                   "bootstrap (" + std::to_string(tenant.window.size()) +
                       " snapshots, cold solve)",
                   report.component.error_norm});
+  if (tenant.config.detector_enabled) run_detector(tenant, report);
   tenant.bootstrapped = true;
 }
 
@@ -358,11 +447,16 @@ void ConstantFinderService::maintain(Tenant& tenant, TriggerReason reason,
                    ? "online.recalibrations.breach"
                : reason == TriggerReason::ForcedDegraded
                    ? "online.recalibrations.forced"
+               : reason == TriggerReason::DetectorSignal
+                   ? "online.recalibrations.detector"
                    : "online.recalibrations.interval")
       .increment();
   if (reason == TriggerReason::ForcedDegraded) {
     tenant.forced.increment();
     obs::FlightRecorder::instance().maybe_auto_dump("forced_recalibration");
+  }
+  if (reason == TriggerReason::DetectorSignal) {
+    tenant.detector_recalibrations.increment();
   }
   events_.record({provider.now(), tenant.config.name,
                   EventKind::Recalibration, trigger_reason_name(reason),
@@ -374,12 +468,22 @@ void ConstantFinderService::maintain(Tenant& tenant, TriggerReason reason,
          core::effectiveness_name(tenant.scheduler.level()),
          report.component.error_norm});
   }
+  if (tenant.config.detector_enabled) run_detector(tenant, report);
 }
 
 void ConstantFinderService::step(Tenant& tenant) {
   obs::Span step_span("svc.step");
   cloud::NetworkProvider& provider = *tenant.config.provider;
   provider.advance(tenant.config.operation_gap);
+
+  // A persistent-change verdict pre-empts the threshold/interval
+  // policies: refresh the model now, before more operations are planned
+  // against a constant the detector says is stale.
+  if (tenant.detector_preempt_pending) {
+    tenant.detector_preempt_pending = false;
+    maintain(tenant, TriggerReason::DetectorSignal,
+             tenant.detector_preempt_score);
+  }
 
   // One operation of the tenant's stream: a point-to-point transfer
   // between a random pair, planned with the constant component.
@@ -594,6 +698,10 @@ TenantStatus ConstantFinderService::status(std::size_t tenant_index) const {
       static_cast<std::uint64_t>(tenant.forced.value());
   status.imputed_entries =
       static_cast<std::uint64_t>(tenant.imputed_entries.value());
+  status.detector_verdicts =
+      static_cast<std::uint64_t>(tenant.detector_verdicts.value());
+  status.detector_recalibrations =
+      static_cast<std::uint64_t>(tenant.detector_recalibrations.value());
   return status;
 }
 

@@ -35,6 +35,7 @@
 
 #include "cloud/provider.hpp"
 #include "core/constant_finder.hpp"
+#include "detect/detector.hpp"
 #include "obs/convergence.hpp"
 #include "online/events.hpp"
 #include "online/ingest.hpp"
@@ -71,6 +72,23 @@ struct TenantConfig {
   /// service forces a maintenance cycle (TriggerReason::ForcedDegraded)
   /// rather than trusting a constant it can no longer check. 0 disables.
   std::size_t forced_recalibration_after = 8;
+  /// Online change-point detection over the refresh telemetry
+  /// (src/detect). When enabled the service feeds every maintenance
+  /// refresh's signals — Norm(N_E), solver residual, drift statistic,
+  /// sparse-support geometry and the constant's per-pair transfer
+  /// times — to a per-tenant ChangePointDetector; verdicts land in the
+  /// event log (EventKind::ChangeDetected), the detect.* metrics, and
+  /// the flight recorder's auto-dump triggers. Enabling this also turns
+  /// on RefresherOptions::collect_support_stats for the tenant.
+  bool detector_enabled = false;
+  detect::DetectorOptions detector;
+  /// With the detector on: a verdict that names a persistent change
+  /// (placement_shift or baseline_drift) schedules a pre-emptive
+  /// maintenance cycle on the tenant's next step
+  /// (TriggerReason::DetectorSignal) instead of waiting for the
+  /// threshold/interval policies. Diffuse outlier storms never
+  /// pre-empt — transient interference is the dynamic component's job.
+  bool detector_preempt = true;
 };
 
 struct ServiceOptions {
@@ -134,6 +152,9 @@ struct TenantStatus {
   std::uint64_t stale_rows_reused = 0;      // snapshots replaced by last good
   std::uint64_t forced_recalibrations = 0;  // ForcedDegraded maintenances
   std::uint64_t imputed_entries = 0;        // window entries repaired
+  // Change-point detector accounting (zero when the detector is off).
+  std::uint64_t detector_verdicts = 0;
+  std::uint64_t detector_recalibrations = 0;  // DetectorSignal maintenances
 
   double warm_hit_rate() const {
     const std::uint64_t total = warm_solves + cold_solves;
@@ -213,6 +234,9 @@ class ConstantFinderService {
   /// Move the refresh's per-layer iteration traces into the tenant's
   /// convergence ring and observe the iteration-count histograms.
   void record_convergence(Tenant& tenant, RefreshReport& report);
+  /// Feed one refresh to the tenant's change-point detector and act on
+  /// a verdict (events, metrics, auto-dump, pre-emption flag).
+  void run_detector(Tenant& tenant, const RefreshReport& report);
 
   /// Offer the tenant's freshly accepted component to the sink.
   void publish_snapshot(Tenant& tenant);

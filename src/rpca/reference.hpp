@@ -16,6 +16,7 @@
 
 #include "rpca/rpca.hpp"
 #include "rpca/stable_pcp.hpp"
+#include "rpca/stable_pcp_tf.hpp"
 
 namespace netconst::rpca::reference {
 
@@ -29,5 +30,11 @@ Result solve_ialm(const linalg::Matrix& a, const Options& options);
 Result solve_rank1(const linalg::Matrix& a, const Options& options);
 Result solve_stable_pcp(const linalg::Matrix& a,
                         const StablePcpOptions& options = {});
+// The TF-constrained variant's transform kernels (basis build, panel
+// products, coefficient shrink) are sequential scalar loops shared with
+// the production solver — sharing them is what makes the equivalence
+// structural rather than a rewrite that has to be re-validated.
+Result solve_stable_pcp_tf(const linalg::Matrix& a,
+                           const StablePcpTfOptions& options = {});
 
 }  // namespace netconst::rpca::reference

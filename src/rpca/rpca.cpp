@@ -9,6 +9,7 @@
 #include "rpca/ialm.hpp"
 #include "rpca/rank1.hpp"
 #include "rpca/stable_pcp.hpp"
+#include "rpca/stable_pcp_tf.hpp"
 #include "rpca/workspace.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
@@ -25,6 +26,8 @@ std::string solver_name(Solver solver) {
       return "Rank1";
     case Solver::StablePcp:
       return "StablePCP";
+    case Solver::StablePcpTf:
+      return "StablePCP-TF";
   }
   return "unknown";
 }
@@ -54,6 +57,8 @@ const char* solve_span_name(Solver solver) {
       return "rpca.solve.rank1";
     case Solver::StablePcp:
       return "rpca.solve.stable_pcp";
+    case Solver::StablePcpTf:
+      return "rpca.solve.stable_pcp_tf";
   }
   return "rpca.solve";
 }
@@ -82,6 +87,11 @@ void solve(const linalg::Matrix& a, Solver solver, const Options& options,
     case Solver::StablePcp:
       solve_stable_pcp(a, options, lambda, /*noise_sigma=*/0.0, workspace,
                        result);
+      break;
+    case Solver::StablePcpTf:
+      solve_stable_pcp_tf(a, options, lambda, /*noise_sigma=*/0.0,
+                          kDefaultTfPassband, kDefaultTfWeight, workspace,
+                          result);
       break;
     default:
       throw Error("unknown RPCA solver");

@@ -14,7 +14,11 @@
 //              exactly rather than through the nuclear-norm surrogate;
 //  * StablePcp — stable principal component pursuit, which additionally
 //              tolerates dense small noise (the volatility band) in the
-//              residual instead of forcing it into E.
+//              residual instead of forcing it into E;
+//  * StablePcpTf — time-frequency constrained stable PCP (Hu/Wang/Yin),
+//              which further band-limits D along the time axis so slow
+//              diurnal/baseline structure stays in the constant
+//              component while fast churn is pushed out of it.
 #pragma once
 
 #include <cstddef>
@@ -30,7 +34,7 @@ class SolverProbe;  // per-iteration convergence observer (obs/convergence.hpp)
 
 namespace netconst::rpca {
 
-enum class Solver { Apg, Ialm, RankOne, StablePcp };
+enum class Solver { Apg, Ialm, RankOne, StablePcp, StablePcpTf };
 
 // Defined in workspace.hpp; forward-declared so the workspace-based
 // solve overloads below don't force every client through that header.

@@ -1,0 +1,229 @@
+#include "rpca/stable_pcp_tf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "linalg/fused.hpp"
+#include "linalg/norms.hpp"
+#include "obs/convergence.hpp"
+#include "rpca/stable_pcp.hpp"
+#include "rpca/svd_path.hpp"
+#include "rpca/workspace.hpp"
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+
+namespace netconst::rpca {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Build (or reuse) the cached DCT-II basis for a `rows`-snapshot
+/// window. The basis depends only on the window length, so a workspace
+/// that has served this length once never recomputes or reallocates it.
+const linalg::Matrix& cached_dct_basis(std::size_t rows,
+                                       SolverWorkspace& ws) {
+  if (ws.dct.basis_rows != rows) {
+    temporal_dct_basis_into(rows, ws.dct.basis);
+    ws.dct.basis_rows = rows;
+  }
+  return ws.dct.basis;
+}
+
+/// One time-frequency proximal step on `d` through the workspace's
+/// coefficient panel: forward DCT along time, shrink above the
+/// passband, transform back.
+void tf_prox_step(linalg::Matrix& d, std::size_t keep_rows,
+                  double threshold, SolverWorkspace& ws) {
+  const linalg::Matrix& basis = cached_dct_basis(d.rows(), ws);
+  temporal_dct_forward(basis, d, ws.dct.coeffs);
+  shrink_high_frequencies(ws.dct.coeffs, keep_rows, threshold);
+  temporal_dct_inverse(basis, ws.dct.coeffs, d);
+}
+
+}  // namespace
+
+std::size_t tf_passband_rows(std::size_t rows, double passband_fraction) {
+  NETCONST_CHECK(rows > 0, "passband of an empty window");
+  const double kept =
+      std::floor(passband_fraction * static_cast<double>(rows) + 0.5);
+  if (kept < 1.0) return 1;
+  if (kept >= static_cast<double>(rows)) return rows;
+  return static_cast<std::size_t>(kept);
+}
+
+void temporal_dct_basis_into(std::size_t rows, linalg::Matrix& basis) {
+  NETCONST_CHECK(rows > 0, "DCT basis of an empty window");
+  basis.resize(rows, rows);
+  const double m = static_cast<double>(rows);
+  const double dc_scale = std::sqrt(1.0 / m);
+  const double ac_scale = std::sqrt(2.0 / m);
+  for (std::size_t k = 0; k < rows; ++k) {
+    const double scale = k == 0 ? dc_scale : ac_scale;
+    for (std::size_t i = 0; i < rows; ++i) {
+      basis(k, i) =
+          scale * std::cos(kPi * (static_cast<double>(i) + 0.5) *
+                           static_cast<double>(k) / m);
+    }
+  }
+}
+
+void temporal_dct_forward(const linalg::Matrix& basis,
+                          const linalg::Matrix& x, linalg::Matrix& coeffs) {
+  NETCONST_CHECK(basis.rows() == x.rows() && basis.rows() == basis.cols(),
+                 "DCT basis / panel shape mismatch");
+  coeffs.resize(x.rows(), x.cols());
+  for (std::size_t k = 0; k < basis.rows(); ++k) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < x.rows(); ++i) {
+        sum += basis(k, i) * x(i, j);
+      }
+      coeffs(k, j) = sum;
+    }
+  }
+}
+
+void temporal_dct_inverse(const linalg::Matrix& basis,
+                          const linalg::Matrix& coeffs, linalg::Matrix& x) {
+  NETCONST_CHECK(basis.rows() == coeffs.rows() &&
+                     basis.rows() == basis.cols(),
+                 "DCT basis / panel shape mismatch");
+  x.resize(coeffs.rows(), coeffs.cols());
+  for (std::size_t i = 0; i < coeffs.rows(); ++i) {
+    for (std::size_t j = 0; j < coeffs.cols(); ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < coeffs.rows(); ++k) {
+        sum += basis(k, i) * coeffs(k, j);
+      }
+      x(i, j) = sum;
+    }
+  }
+}
+
+void shrink_high_frequencies(linalg::Matrix& coeffs, std::size_t keep_rows,
+                             double threshold) {
+  for (std::size_t k = keep_rows; k < coeffs.rows(); ++k) {
+    for (std::size_t j = 0; j < coeffs.cols(); ++j) {
+      const double v = coeffs(k, j);
+      const double mag = std::abs(v) - threshold;
+      coeffs(k, j) = mag > 0.0 ? (v > 0.0 ? mag : -mag) : 0.0;
+    }
+  }
+}
+
+Result solve_stable_pcp_tf(const linalg::Matrix& a,
+                           const StablePcpTfOptions& options) {
+  NETCONST_CHECK(!a.empty(), "TF stable PCP of an empty matrix");
+  const double lambda = options.base.lambda > 0.0
+                            ? options.base.lambda
+                            : default_lambda(a.rows(), a.cols());
+  SolverWorkspace ws;
+  Result result;
+  solve_stable_pcp_tf(a, options.base, lambda, options.noise_sigma,
+                      options.passband_fraction, options.tf_weight, ws,
+                      result);
+  return result;
+}
+
+void solve_stable_pcp_tf(const linalg::Matrix& a, const Options& base,
+                         double lambda, double noise_sigma,
+                         double passband_fraction, double tf_weight,
+                         SolverWorkspace& ws, Result& result) {
+  NETCONST_CHECK(!a.empty(), "TF stable PCP of an empty matrix");
+  NETCONST_CHECK(lambda > 0.0, "TF stable PCP requires lambda > 0");
+  NETCONST_CHECK(tf_weight >= 0.0, "TF weight must be non-negative");
+  const Stopwatch clock;
+  reset_result(result);
+  ++ws.stats.solves;
+  double sigma = noise_sigma;
+  if (sigma <= 0.0) sigma = estimate_noise_sigma(a, ws);
+  NETCONST_CHECK(sigma >= 0.0, "noise sigma must be non-negative");
+
+  const double a_fro = linalg::frobenius_norm(a);
+  NETCONST_CHECK(a_fro > 0.0, "TF stable PCP of an all-zero matrix");
+  // Stable PCP's Lagrangian weight; the TF shrink reuses its scale.
+  const double mu =
+      std::sqrt(2.0 * static_cast<double>(std::max(a.rows(), a.cols()))) *
+      std::max(sigma, 1e-12 * linalg::max_abs(a));
+  const double inv_lf = 0.5;  // gradient Lipschitz constant is 2
+  const std::size_t keep_rows = tf_passband_rows(a.rows(), passband_fraction);
+  const double tf_threshold = tf_weight * mu * inv_lf;
+
+  ws.d.resize(a.rows(), a.cols());
+  ws.d.fill(0.0);
+  ws.e.resize(a.rows(), a.cols());
+  ws.e.fill(0.0);
+  ws.d_prev = ws.d;
+  ws.e_prev = ws.e;
+  double t = 1.0, t_prev = 1.0;
+
+  for (int k = 0; k < base.max_iterations; ++k) {
+    const double momentum = (t_prev - 1.0) / t;
+    linalg::gradient_step(ws.d, ws.d_prev, ws.e, ws.e_prev, a, momentum,
+                          inv_lf, lambda * mu * inv_lf, ws.gd, ws.ge);
+
+    ws.d.swap(ws.d_prev);
+    ws.e.swap(ws.e_prev);
+    ws.e.swap(ws.ge);
+    const auto svt = svt_step(ws.gd, mu * inv_lf, base, ws, ws.d);
+    if (!svt.used_scratch) ++ws.stats.svt_fallbacks;
+    result.rank = svt.rank;
+    // The extra proximal step that distinguishes this solver: band-limit
+    // D along the time axis before the next gradient evaluation.
+    if (tf_threshold > 0.0 && keep_rows < a.rows()) {
+      tf_prox_step(ws.d, keep_rows, tf_threshold, ws);
+    }
+
+    t_prev = t;
+    t = 0.5 * (1.0 + std::sqrt(4.0 * t * t + 1.0));
+    result.iterations = k + 1;
+
+    double change = 0.0, scale = 0.0;
+    linalg::iterate_change_norms(ws.d, ws.d_prev, ws.e, ws.e_prev, change,
+                                 scale);
+    if (base.probe != nullptr) {
+      // Read-only diagnostics of the live iterates; ws.residual is
+      // scratch here (recomputed from the final iterates after the
+      // loop), so probing never perturbs the solve.
+      obs::IterationStats stats;
+      stats.iteration = k + 1;
+      linalg::sub_sub(a, ws.d, ws.e, ws.residual);
+      stats.residual = linalg::frobenius_norm(ws.residual) / a_fro;
+      const double misfit = stats.residual * a_fro;
+      const double e_l1 = linalg::l1_norm(ws.e);
+      stats.objective = misfit * misfit / (2.0 * mu) + lambda * e_l1;
+      stats.rank = result.rank;
+      stats.sparsity =
+          static_cast<double>(linalg::l0_count(ws.e, 0.0)) /
+          static_cast<double>(a.rows() * a.cols());
+      stats.mu = mu;
+      stats.step = std::sqrt(change) / std::max(std::sqrt(scale), 1.0);
+      base.probe->on_iteration(stats);
+    }
+    if (std::sqrt(change) <=
+        base.tolerance * std::max(std::sqrt(scale), 1.0)) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Debias exactly like stable PCP, then re-impose the band limit once:
+  // the rank-r refit is taken from data that still contains the
+  // high-frequency noise the constraint is meant to exclude.
+  if (result.rank > 0) {
+    linalg::sub(a, ws.e, ws.target);
+    low_rank_step(ws.target, result.rank, base, ws, ws.d);
+    if (tf_threshold > 0.0 && keep_rows < a.rows()) {
+      tf_prox_step(ws.d, keep_rows, tf_threshold, ws);
+    }
+  }
+
+  linalg::sub_sub(a, ws.d, ws.e, ws.residual);
+  result.residual = linalg::frobenius_norm(ws.residual) / a_fro;
+  result.low_rank.swap(ws.d);
+  result.sparse.swap(ws.e);
+  result.solve_seconds = clock.seconds();
+}
+
+}  // namespace netconst::rpca

@@ -31,6 +31,8 @@ void SolverWorkspace::reserve(std::size_t rows, std::size_t cols) {
   rank1.v.reserve(cols);
   rank1.w.reserve(cols);
   magnitudes.reserve(rows * cols);
+  dct.basis.resize(rows, rows);
+  dct.coeffs.resize(rows, cols);
 }
 
 void SolverWorkspace::reserve_randomized(std::size_t rows, std::size_t cols,

@@ -75,6 +75,16 @@ struct Rank1Scratch {
   std::vector<double> w;  // A^T u intermediate, length n
 };
 
+/// Temporal-DCT working set for the time-frequency stable PCP solver:
+/// the orthonormal DCT-II basis, cached per window length so repeated
+/// solves of the same shape never rebuild it, and the coefficient panel
+/// the band-limiting prox step shrinks in.
+struct TemporalDctScratch {
+  linalg::Matrix basis;        // basis_rows x basis_rows frequency atoms
+  linalg::Matrix coeffs;       // rows x cols coefficient panel
+  std::size_t basis_rows = 0;  // window length `basis` was built for
+};
+
 /// The full working set of one solver instance. Matrices are rotated
 /// with Matrix::swap (O(1), no copies) and reshaped with Matrix::resize
 /// (capacity-reusing), so a workspace that has seen a problem shape once
@@ -99,6 +109,8 @@ struct SolverWorkspace {
   RandomizedSvtState randomized;
   // |residual| magnitudes for stable PCP's MAD noise estimate.
   std::vector<double> magnitudes;
+  // Temporal-DCT basis and coefficient panel for TF stable PCP.
+  TemporalDctScratch dct;
 
   WorkspaceStats stats;
 

@@ -13,6 +13,7 @@
 #include "cloud/synthetic.hpp"
 #include "faults/fault_provider.hpp"
 #include "online/service.hpp"
+#include "rpca/rpca.hpp"
 #include "support/csv.hpp"
 
 namespace netconst::online {
@@ -36,13 +37,14 @@ cloud::SyntheticCloudConfig tiny_cloud(std::uint64_t seed) {
   return config;
 }
 
-faults::FaultPlanConfig fault_config(std::uint64_t seed) {
+faults::FaultPlanConfig fault_config(std::uint64_t seed,
+                                     double shift_time = 6000.0) {
   faults::FaultPlanConfig config;
   config.seed = seed;
   config.timeout_probability = 0.02;
   config.drop_probability = 0.08;
   config.storms.push_back({3000.0, 4500.0, 3.0});
-  config.placement_changes.push_back({6000.0, 1, 2.0});
+  config.placement_changes.push_back({shift_time, 1, 2.0});
   return config;
 }
 
@@ -59,7 +61,10 @@ std::string serialize_constant(const netmodel::PerformanceMatrix& matrix) {
   return out.str();
 }
 
-CampaignResult run_campaign(std::size_t threads, bool incremental = false) {
+CampaignResult run_campaign(std::size_t threads, bool incremental = false,
+                            bool detector = false,
+                            rpca::Solver solver = rpca::Solver::Apg,
+                            std::size_t steps = kSteps) {
   ServiceOptions options;
   options.threads = threads;
   ConstantFinderService service(options);
@@ -69,8 +74,11 @@ CampaignResult run_campaign(std::size_t threads, bool incremental = false) {
   for (std::uint64_t t = 0; t < kTenants; ++t) {
     clouds.push_back(
         std::make_unique<cloud::SyntheticCloud>(tiny_cloud(100 + t)));
+    // Detector campaigns script the shift after warmup (6 slides at the
+    // 1500 s cadence) so verdicts actually fire within the run.
     providers.push_back(std::make_unique<faults::FaultInjectionProvider>(
-        *clouds.back(), fault_config(200 + t)));
+        *clouds.back(),
+        fault_config(200 + t, detector ? 12000.0 : 6000.0)));
 
     TenantConfig config;
     config.name = "tenant" + std::to_string(t);
@@ -80,10 +88,16 @@ CampaignResult run_campaign(std::size_t threads, bool incremental = false) {
     config.operation_gap = 300.0;
     config.scheduler.base_interval = 1500.0;
     config.refresher.incremental = incremental;
+    config.refresher.finder.solver = solver;
+    if (detector) {
+      config.detector_enabled = true;
+      config.detector.direction_confirm_slides = config.window_capacity;
+      config.scheduler.adaptive_interval = false;
+    }
     config.seed = t + 1;
     service.add_tenant(config);
   }
-  service.run(kSteps);
+  service.run(steps);
 
   CampaignResult result;
   const std::vector<Event> events = service.events().snapshot();
@@ -129,6 +143,10 @@ void expect_identical(const CampaignResult& a, const CampaignResult& b) {
     EXPECT_EQ(a.statuses[t].forced_recalibrations,
               b.statuses[t].forced_recalibrations);
     EXPECT_EQ(a.statuses[t].imputed_entries, b.statuses[t].imputed_entries);
+    EXPECT_EQ(a.statuses[t].detector_verdicts,
+              b.statuses[t].detector_verdicts);
+    EXPECT_EQ(a.statuses[t].detector_recalibrations,
+              b.statuses[t].detector_recalibrations);
   }
 }
 
@@ -164,6 +182,35 @@ TEST(ChaosDeterminism, IncrementalCampaignIsThreadCountInvariant) {
     any_diverged = any_diverged || single.constants[t] != full.constants[t];
   }
   EXPECT_TRUE(any_diverged);
+}
+
+// The change-point detector rides the refresh path: its verdict stream
+// (ChangeDetected events, preemptive recalibrations) is per-tenant
+// sequential scalar arithmetic, so a detector campaign must stay
+// byte-identical across thread counts — and must actually produce
+// verdicts, or the invariant is vacuous.
+TEST(ChaosDeterminism, DetectorVerdictsAreThreadCountInvariant) {
+  const CampaignResult single =
+      run_campaign(1, false, true, rpca::Solver::Apg, 60);
+  const CampaignResult parallel =
+      run_campaign(8, false, true, rpca::Solver::Apg, 60);
+  expect_identical(single, parallel);
+  std::uint64_t verdicts = 0;
+  for (const TenantStatus& status : single.statuses) {
+    verdicts += status.detector_verdicts;
+  }
+  EXPECT_GE(verdicts, 1u);
+}
+
+// The time-frequency constrained solver adds DCT projections to the
+// refresh path; like the other solvers they are deterministic per
+// tenant, independent of the service's worker count.
+TEST(ChaosDeterminism, StablePcpTfCampaignIsThreadCountInvariant) {
+  const CampaignResult single =
+      run_campaign(1, false, false, rpca::Solver::StablePcpTf);
+  const CampaignResult parallel =
+      run_campaign(8, false, false, rpca::Solver::StablePcpTf);
+  expect_identical(single, parallel);
 }
 
 }  // namespace

@@ -58,6 +58,17 @@ TEST(ObsNaming, PrometheusSeriesMapping) {
   // The bare prefix has no path suffix to label: plain mapping.
   const PrometheusSeries bare = prometheus_series("rpca.svd.path.");
   EXPECT_EQ(bare.name, "netconst_rpca_svd_path_");
+
+  // Detector verdict counters fold the same way: one series, the
+  // verdict kind as a label.
+  const PrometheusSeries verdict =
+      prometheus_series("detect.verdicts.placement_shift");
+  EXPECT_EQ(verdict.name, "netconst_detect_verdicts");
+  EXPECT_EQ(verdict.labels, "kind=\"placement_shift\"");
+  const PrometheusSeries latency =
+      prometheus_series("detect.latency_slides");
+  EXPECT_EQ(latency.name, "netconst_detect_latency_slides");
+  EXPECT_EQ(latency.labels, "");
 }
 
 TEST(ObsNaming, PrometheusLabelValuesAreEscaped) {
@@ -114,13 +125,43 @@ std::vector<MetricSample> sample_fixture() {
     hist.histogram.p99 = 4.0;
     samples.push_back(hist);
   }
+
+  // Detector verdict counters: per-kind names fold into one labeled
+  // series and must share a single # TYPE header.
+  for (const char* kind : {"placement_shift", "outlier_storm"}) {
+    MetricSample verdicts;
+    verdicts.name = std::string("detect.verdicts.") + kind;
+    verdicts.type = MetricType::Counter;
+    verdicts.value = kind[0] == 'p' ? 3.0 : 1.0;
+    samples.push_back(verdicts);
+  }
+  MetricSample latency;
+  latency.name = "detect.latency_slides";
+  latency.type = MetricType::Histogram;
+  latency.histogram.count = 4;
+  latency.histogram.sum = 9.0;
+  latency.histogram.min = 1.0;
+  latency.histogram.max = 4.0;
+  latency.histogram.p50 = 2.0;
+  latency.histogram.p99 = 4.0;
+  samples.push_back(latency);
   return samples;
 }
 
 TEST(ObsExport, PrometheusGolden) {
   std::ostringstream out;
   write_prometheus(out, sample_fixture());
+  // Series render in sorted order; the per-kind verdict counters land
+  // under one # TYPE with their kind labels.
   const std::string expected =
+      "# TYPE netconst_detect_latency_slides summary\n"
+      "netconst_detect_latency_slides{quantile=\"0.5\"} 2\n"
+      "netconst_detect_latency_slides{quantile=\"0.99\"} 4\n"
+      "netconst_detect_latency_slides_sum 9\n"
+      "netconst_detect_latency_slides_count 4\n"
+      "# TYPE netconst_detect_verdicts counter\n"
+      "netconst_detect_verdicts{kind=\"outlier_storm\"} 1\n"
+      "netconst_detect_verdicts{kind=\"placement_shift\"} 3\n"
       "# TYPE netconst_online_refreshes counter\n"
       "netconst_online_refreshes 42\n"
       "# TYPE netconst_tenant_error_norm gauge\n"
@@ -170,7 +211,7 @@ TEST(ObsExport, JsonSnapshotRoundTrips) {
   const testjson::Value doc = testjson::parse(out.str());
 
   const testjson::Value& metrics = doc.at("metrics");
-  ASSERT_EQ(metrics.size(), 4u);
+  ASSERT_EQ(metrics.size(), 7u);
   EXPECT_EQ(metrics.at(0).at("name").string, "online.refreshes");
   EXPECT_EQ(metrics.at(0).at("type").string, "counter");
   EXPECT_EQ(metrics.at(0).at("value").number, 42.0);
@@ -178,6 +219,14 @@ TEST(ObsExport, JsonSnapshotRoundTrips) {
   EXPECT_EQ(metrics.at(2).at("unit").string, "seconds");
   EXPECT_EQ(metrics.at(2).at("count").number, 4.0);
   EXPECT_EQ(metrics.at(2).at("p99").number, 4.0);
+  // Detector metrics keep their dotted names in JSON (the labeled fold
+  // is a Prometheus-only concern).
+  EXPECT_EQ(metrics.at(4).at("name").string,
+            "detect.verdicts.placement_shift");
+  EXPECT_EQ(metrics.at(4).at("value").number, 3.0);
+  EXPECT_EQ(metrics.at(6).at("name").string, "detect.latency_slides");
+  EXPECT_EQ(metrics.at(6).at("type").string, "histogram");
+  EXPECT_EQ(metrics.at(6).at("count").number, 4.0);
 
   const testjson::Value& convergence = doc.at("convergence");
   const testjson::Value& tenant_log = convergence.at("tenant_a");

@@ -102,6 +102,23 @@ TEST(RecalibrationScheduler, StableTenantStretchesIntervalAndSuppresses) {
   EXPECT_EQ(scheduler.suppressed(), 3u);
 }
 
+TEST(RecalibrationScheduler, FixedCadenceIgnoresAdvisorFactor) {
+  // adaptive_interval = false pins the probe interval at the base even
+  // when the advisor classifies Stable (factor 4) or Dynamic (0.25);
+  // the advisor's level is still tracked and reported.
+  SchedulerOptions options = fast_options();
+  options.adaptive_interval = false;
+  RecalibrationScheduler scheduler(options);
+  scheduler.record_refresh(0.0, 0.05);  // Stable would stretch to 400
+  EXPECT_EQ(scheduler.level(), core::Effectiveness::Stable);
+  EXPECT_DOUBLE_EQ(scheduler.effective_interval(), 100.0);
+  EXPECT_FALSE(scheduler.poll(99.0).recalibrate);
+  EXPECT_TRUE(scheduler.poll(100.0).recalibrate);
+  scheduler.record_refresh(100.0, 0.6);  // Dynamic would shorten to 25
+  EXPECT_EQ(scheduler.level(), core::Effectiveness::Dynamic);
+  EXPECT_DOUBLE_EQ(scheduler.effective_interval(), 100.0);
+}
+
 TEST(RecalibrationScheduler, DynamicTenantShortensInterval) {
   RecalibrationScheduler scheduler(fast_options());
   scheduler.record_refresh(0.0, 0.6);  // Dynamic: factor 0.25 -> 25 s
